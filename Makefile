@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerates every table and figure of the paper plus the extensions.
+experiments:
+	go run ./cmd/experiments -all -ablations -portability -alltoall -thread-scaling
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/layers
+	go run ./examples/exhaustion
+	go run ./examples/bfs-gemini
+	go run ./examples/pagerank
+	go run ./examples/delta-stepping
+
+clean:
+	go clean ./...

@@ -1,0 +1,62 @@
+// Command graph-gen generates the paper-substitute input graphs (Table I)
+// and reports their properties, optionally persisting them in the binary
+// CSR format.
+//
+// Usage:
+//
+//	graph-gen -table1 [-scale N]            # print Table I for all inputs
+//	graph-gen -name rmat -scale 16 -out g.csr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lcigraph/internal/graph"
+	"lcigraph/internal/partition"
+)
+
+func main() {
+	name := flag.String("name", "", "input to generate: web, kron or rmat")
+	scale := flag.Int("scale", 12, "log2 of the vertex count")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", "", "write binary CSR to this file")
+	table1 := flag.Bool("table1", false, "print Table I for all three inputs")
+	partStats := flag.Int("partition-stats", 0, "if >0, also report partitioning metrics for this many hosts")
+	flag.Parse()
+
+	if *table1 {
+		fmt.Printf("Table I substitutes at scale %d (paper: clueweb12 / kron30 / rmat28)\n", *scale)
+		for _, n := range graph.Inputs() {
+			g := graph.Named(n, *scale, *seed)
+			fmt.Println(" ", graph.Analyze(n, g))
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "need -name or -table1")
+		os.Exit(2)
+	}
+	g := graph.Named(*name, *scale, *seed)
+	fmt.Println(graph.Analyze(*name, g))
+	if *partStats > 0 {
+		for _, pol := range []partition.Policy{partition.EdgeCut, partition.EdgeCutByDst, partition.VertexCut} {
+			pt := partition.Build(g, *partStats, pol)
+			fmt.Println(" ", pt.MeasureMetrics())
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := g.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,88 @@
+// Command lci-micro runs the Fig. 1 microbenchmark: one-way latency and
+// aggregate message rate between two simulated hosts for the three receive
+// disciplines (MPI no-probe, MPI probe, LCI queue).
+//
+// Usage:
+//
+//	lci-micro [-iters N] [-profile omnipath|infiniband] [-impl intelmpi|mvapich2|openmpi]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lcigraph/internal/bench"
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/mpi"
+)
+
+func parseProfile(name string) (fabric.Profile, error) {
+	switch name {
+	case "omnipath":
+		return fabric.OmniPath(), nil
+	case "infiniband":
+		return fabric.InfiniBand(), nil
+	case "sockets":
+		return fabric.Sockets(), nil
+	default:
+		return fabric.Profile{}, fmt.Errorf("unknown profile %q", name)
+	}
+}
+
+func parseImpl(name string) (mpi.Impl, error) {
+	for _, im := range mpi.Impls() {
+		if im.Name == name {
+			return im, nil
+		}
+	}
+	return mpi.Impl{}, fmt.Errorf("unknown MPI implementation %q", name)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	iters := flag.Int("iters", 2000, "round trips / messages per thread")
+	profName := flag.String("profile", "omnipath", "NIC profile: omnipath, infiniband or sockets")
+	implName := flag.String("impl", "intelmpi", "MPI implementation profile")
+	sizesStr := flag.String("sizes", "8,256,4096", "latency payload sizes (bytes)")
+	threadsStr := flag.String("threads", "1,2,4,8", "rate benchmark sender thread counts")
+	flag.Parse()
+
+	prof, err := parseProfile(*profName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	impl, err := parseImpl(*implName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sizes, err := parseInts(*sizesStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -sizes:", err)
+		os.Exit(2)
+	}
+	threads, err := parseInts(*threadsStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -threads:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("lci-micro: profile=%s impl=%s iters=%d\n\n", prof.Name, impl.Name, *iters)
+	rs := bench.Fig1(sizes, threads, *iters, prof, impl)
+	fmt.Print(bench.FormatMicro(rs))
+}

@@ -1,0 +1,17 @@
+// Package lcigraph reproduces "A Lightweight Communication Runtime for
+// Distributed Graph Analytics" (Dang et al., IPDPS 2018) as a Go library.
+//
+// The paper's contribution — the LCI communication runtime — lives in
+// internal/core. The systems it is evaluated against and integrated with
+// are built from scratch in the other internal packages: a simulated NIC
+// fabric (internal/fabric), an MPI-like baseline with two-sided and
+// one-sided layers (internal/mpi, internal/comm), Abelian- and Gemini-style
+// distributed graph frameworks (internal/abelian, internal/gemini), graph
+// generators and partitioners (internal/graph, internal/partition), and the
+// four benchmark applications (internal/apps).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for the paper-vs-measured
+// record. The benchmarks in bench_test.go regenerate every table and
+// figure; cmd/experiments prints them as text reports.
+package lcigraph

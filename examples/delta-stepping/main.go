@@ -1,0 +1,73 @@
+// Delta-stepping demonstrates the priority-ordered SSSP extension on the
+// Abelian runtime: the bucketed schedule the Galois system actually uses,
+// compared against the plain data-driven (Bellman-Ford-style) rounds the
+// paper benchmarks. Both must produce Dijkstra's distances; delta-stepping
+// wastes fewer relaxations on weighted graphs at the cost of more
+// synchronization rounds.
+//
+// Run with: go run ./examples/delta-stepping
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"lcigraph/internal/abelian"
+	"lcigraph/internal/apps"
+	"lcigraph/internal/cluster"
+	"lcigraph/internal/comm"
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/graph"
+	"lcigraph/internal/partition"
+)
+
+func main() {
+	const (
+		scale  = 11
+		hosts  = 4
+		source = 2
+	)
+	g := graph.Named("rmat", scale, 21) // weighted, skewed
+	fmt.Println("input:", graph.Analyze("rmat", g))
+	oracle := apps.OracleSSSP(g, source)
+
+	for _, mode := range []string{"bellman-ford rounds", "delta-stepping"} {
+		pt := partition.Build(g, hosts, partition.VertexCut)
+		fab := fabric.New(hosts, fabric.OmniPath())
+		dist := make([]uint64, g.N)
+		rounds := make([]int, hosts)
+
+		start := time.Now()
+		cluster.Run(hosts, 2, func(r int) comm.Layer {
+			return comm.NewLCILayer(fab.Endpoint(r), lci.Options{PoolPackets: 64 * hosts})
+		}, func(h *cluster.Host) {
+			rt := abelian.New(h, pt.Hosts[h.Rank], partition.VertexCut)
+			var f *abelian.Field
+			var r int
+			if mode == "delta-stepping" {
+				f, r = apps.SSSPDelta(rt, source, 16)
+			} else {
+				f, r = apps.SSSP(rt, source)
+			}
+			rounds[h.Rank] = r
+			hg := rt.HG
+			for m := 0; m < hg.NumMasters; m++ {
+				dist[hg.L2G[m]] = f.Get(uint32(m))
+			}
+		})
+		elapsed := time.Since(start)
+
+		bad := 0
+		for v := range oracle {
+			if dist[v] != oracle[v] {
+				bad++
+			}
+		}
+		status := "matches Dijkstra"
+		if bad > 0 {
+			status = fmt.Sprintf("%d MISMATCHES", bad)
+		}
+		fmt.Printf("%-22s %10v  %3d rounds  [%s]\n", mode, elapsed, rounds[0], status)
+	}
+}

@@ -1,0 +1,3 @@
+module lcigraph
+
+go 1.22

@@ -1,0 +1,243 @@
+package abelian
+
+import (
+	"sync"
+	"testing"
+
+	"lcigraph/internal/cluster"
+	"lcigraph/internal/comm"
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/graph"
+	"lcigraph/internal/partition"
+)
+
+func minU64(a, b uint64) uint64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// runCluster builds a vertex-cut partition of g over p hosts with LCI
+// layers and runs body per host.
+func runCluster(g *graph.Graph, p int, body func(rt *Runtime)) {
+	pt := partition.Build(g, p, partition.VertexCut)
+	fab := fabric.New(p, fabric.TestProfile())
+	cluster.Run(p, 2, func(r int) comm.Layer {
+		return comm.NewLCILayer(fab.Endpoint(r), lci.Options{})
+	}, func(h *cluster.Host) {
+		body(New(h, pt.Hosts[h.Rank], partition.VertexCut))
+	})
+}
+
+func TestFieldApplySemantics(t *testing.T) {
+	g := graph.Ring(8)
+	runCluster(g, 2, func(rt *Runtime) {
+		f := rt.NewField(100, minU64)
+		if f.Get(0) != 100 {
+			t.Errorf("identity not stored")
+		}
+		if !f.Apply(0, 5) {
+			t.Errorf("apply smaller value reported unchanged")
+		}
+		if f.Apply(0, 7) {
+			t.Errorf("apply larger value reported change")
+		}
+		if f.Get(0) != 5 {
+			t.Errorf("value = %d", f.Get(0))
+		}
+		if f.UpdatedCount() == 0 {
+			t.Errorf("apply did not mark updated")
+		}
+		f.ResetUpdated()
+		if f.UpdatedCount() != 0 {
+			t.Errorf("reset left updated bits")
+		}
+	})
+}
+
+// TestSyncReducePropagatesMinToMaster: mirrors write, reduce carries the
+// min to the master, and the mirror resets to identity.
+func TestSyncReducePropagatesMinToMaster(t *testing.T) {
+	g := graph.Complete(12) // every host sees every vertex
+	const p = 3
+	var mu sync.Mutex
+	finalAtMaster := map[uint32]uint64{}
+
+	runCluster(g, p, func(rt *Runtime) {
+		f := rt.NewField(^uint64(0), minU64)
+		// Every host writes rank+10 into its proxy of global vertex 0.
+		if lv, ok := rt.HG.G2L(0); ok {
+			f.Apply(lv, uint64(rt.Host.Rank)+10)
+		}
+		rt.Host.Barrier()
+		f.SyncReduce()
+		if lv, ok := rt.HG.G2L(0); ok && rt.HG.IsMaster(lv) {
+			mu.Lock()
+			finalAtMaster[0] = f.Get(lv)
+			mu.Unlock()
+		}
+		// Mirrors that shipped their value must be reset to identity.
+		if lv, ok := rt.HG.G2L(0); ok && !rt.HG.IsMaster(lv) {
+			if f.Get(lv) != ^uint64(0) {
+				t.Errorf("host %d: mirror not reset (%d)", rt.Host.Rank, f.Get(lv))
+			}
+		}
+	})
+	if finalAtMaster[0] != 10 {
+		t.Fatalf("master value = %d, want 10 (min over hosts)", finalAtMaster[0])
+	}
+}
+
+// TestSyncBroadcastOverwritesMirrors: master updates flow to all mirrors.
+func TestSyncBroadcastOverwritesMirrors(t *testing.T) {
+	g := graph.Complete(12)
+	const p = 3
+	runCluster(g, p, func(rt *Runtime) {
+		f := rt.NewField(0, minU64)
+		// Masters stamp their global id + 1000.
+		for lv := 0; lv < rt.HG.NumMasters; lv++ {
+			f.Set(uint32(lv), uint64(rt.HG.L2G[lv])+1000)
+		}
+		rt.Host.Barrier()
+		f.SyncBroadcast()
+		for lv := 0; lv < rt.HG.NumLocal; lv++ {
+			want := uint64(rt.HG.L2G[lv]) + 1000
+			if f.Get(uint32(lv)) != want {
+				t.Errorf("host %d proxy of %d = %d, want %d",
+					rt.Host.Rank, rt.HG.L2G[lv], f.Get(uint32(lv)), want)
+			}
+		}
+		// Broadcast must clear master updated-bits.
+		if n := f.UpdatedCount(); n != 0 {
+			t.Errorf("updated bits remain after broadcast: %d", n)
+		}
+	})
+}
+
+// TestOnChangeActivation: sync-induced changes trigger the activation hook
+// exactly for changed proxies.
+func TestOnChangeActivation(t *testing.T) {
+	g := graph.Complete(9)
+	const p = 3
+	runCluster(g, p, func(rt *Runtime) {
+		f := rt.NewField(^uint64(0), minU64)
+		var mu sync.Mutex
+		changed := map[uint32]bool{}
+		f.OnChange = func(lv uint32) {
+			mu.Lock()
+			changed[rt.HG.L2G[lv]] = true
+			mu.Unlock()
+		}
+		// Only host 0 writes vertex 1's proxy.
+		if rt.Host.Rank == 0 {
+			if lv, ok := rt.HG.G2L(1); ok {
+				f.Apply(lv, 7)
+			}
+		}
+		rt.Host.Barrier()
+		f.SyncReduce()
+		f.SyncBroadcast()
+		rt.Host.Barrier()
+		mu.Lock()
+		defer mu.Unlock()
+		if lv, ok := rt.HG.G2L(1); ok {
+			isWriter := rt.Host.Rank == 0
+			isMaster := rt.HG.IsMaster(lv)
+			// The writing host changed it locally (no OnChange for local
+			// Apply by the app itself); remote proxies must have fired.
+			if !isWriter && !changed[1] {
+				t.Errorf("host %d (master=%v): OnChange missed vertex 1", rt.Host.Rank, isMaster)
+			}
+		}
+		for gid := range changed {
+			if gid != 1 {
+				t.Errorf("host %d: spurious OnChange for %d", rt.Host.Rank, gid)
+			}
+		}
+	})
+}
+
+// TestSparsePairFormat: with very few updates out of a large sync list the
+// gather must pick the index-value-pair encoding and the scatter must
+// decode it correctly.
+func TestSparsePairFormat(t *testing.T) {
+	g := graph.Complete(200) // large lists: every vertex mirrored everywhere
+	const p = 2
+	runCluster(g, p, func(rt *Runtime) {
+		f := rt.NewField(^uint64(0), minU64)
+		// Exactly one update per host, to a vertex owned by the peer.
+		target := uint32(0)
+		if lv, ok := rt.HG.G2L(target); ok && rt.HG.IsMaster(lv) {
+			target = uint32(g.N - 1)
+		}
+		if lv, ok := rt.HG.G2L(target); ok && !rt.HG.IsMaster(lv) {
+			f.Apply(lv, uint64(42+rt.Host.Rank))
+		}
+		rt.Host.Barrier()
+		f.SyncReduce()
+		rt.Host.Barrier()
+		if lv, ok := rt.HG.G2L(target); ok && rt.HG.IsMaster(lv) {
+			got := f.Get(lv)
+			if got == ^uint64(0) {
+				t.Errorf("host %d: sparse update for %d never arrived", rt.Host.Rank, target)
+			}
+		}
+	})
+}
+
+// TestFusedSyncMatchesExchange: the fused reduce path produces the same
+// master values as the standard path.
+func TestFusedSyncMatchesExchange(t *testing.T) {
+	g := graph.Kron(6, 4, 5, 8)
+	const p = 3
+	results := [2][]uint64{}
+	for mode := 0; mode < 2; mode++ {
+		vals := make([]uint64, g.N)
+		runCluster(g, p, func(rt *Runtime) {
+			rt.Fused = mode == 1
+			f := rt.NewField(^uint64(0), minU64)
+			for lv := 0; lv < rt.HG.NumLocal; lv++ {
+				f.Apply(uint32(lv), uint64(rt.HG.L2G[lv])+uint64(rt.Host.Rank)*3)
+			}
+			rt.Host.Barrier()
+			f.SyncReduce()
+			rt.Host.Barrier()
+			for lv := 0; lv < rt.HG.NumMasters; lv++ {
+				vals[rt.HG.L2G[lv]] = f.Get(uint32(lv))
+			}
+		})
+		results[mode] = vals
+	}
+	for v := range results[0] {
+		if results[0][v] != results[1][v] {
+			t.Fatalf("vertex %d: exchange %d vs fused %d", v, results[0][v], results[1][v])
+		}
+	}
+}
+
+// TestUpdatedOnlyTraffic: an idle round ships (nearly) nothing.
+func TestUpdatedOnlyTraffic(t *testing.T) {
+	g := graph.Complete(16)
+	const p = 4
+	runCluster(g, p, func(rt *Runtime) {
+		f := rt.NewField(^uint64(0), minU64)
+		// Round 1: everything updated.
+		for lv := 0; lv < rt.HG.NumLocal; lv++ {
+			f.Apply(uint32(lv), uint64(lv))
+		}
+		rt.Host.Barrier()
+		f.Sync()
+		sent1 := rt.Host.Layer.Tracker().Max()
+		// Round 2: nothing updated (mirrors were reset, masters cleared).
+		f.ResetUpdated()
+		rt.Host.Barrier()
+		before := rt.Host.Layer.Tracker().Max()
+		f.Sync()
+		after := rt.Host.Layer.Tracker().Max()
+		if after > before && after-before > sent1/2 {
+			t.Errorf("idle sync shipped heavy traffic: %d -> %d", before, after)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+// Package abelian implements a distributed vertex-program runtime in the
+// style of the paper's Abelian system (§II, §III-A): general vertex-cut
+// partitioning with master/mirror proxies, BSP rounds of compute followed
+// by field synchronization, partition-aware selection of reduce/broadcast,
+// updated-only value shipping with bitmap metadata, and parallel
+// gather/scatter on the compute threads.
+//
+// Applications (internal/apps) are written directly against Runtime and
+// Field, the way Abelian programs use its sync structures.
+package abelian
+
+import (
+	"time"
+
+	"lcigraph/internal/cluster"
+	"lcigraph/internal/partition"
+	"lcigraph/internal/trace"
+)
+
+// Runtime is one host's Abelian runtime instance.
+type Runtime struct {
+	Host *cluster.Host
+	HG   *partition.HostGraph
+	Pol  partition.Policy
+
+	// Fused enables the tighter LCI integration of §VI (future work):
+	// gather buffers are injected from the compute threads as they
+	// complete. Ignored for layers without thread-direct sends.
+	Fused bool
+
+	nextTag uint32
+	fields  []*Field
+
+	// Per-round instrumentation (Fig. 6): wall time in compute vs
+	// non-overlapped communication.
+	ComputeTime time.Duration
+	CommTime    time.Duration
+	Rounds      int
+
+	// Trace, if set, receives one record per round (RecordRound).
+	Trace       *trace.Trace
+	lastCompute time.Duration
+	lastComm    time.Duration
+}
+
+// New builds a runtime for host h over its partition.
+func New(h *cluster.Host, hg *partition.HostGraph, pol partition.Policy) *Runtime {
+	return &Runtime{Host: h, HG: hg, Pol: pol}
+}
+
+// timeCompute runs fn and accounts its wall time as computation.
+func (rt *Runtime) timeCompute(fn func()) {
+	start := time.Now()
+	fn()
+	rt.ComputeTime += time.Since(start)
+}
+
+// timeComm runs fn and accounts its wall time as (non-overlapped)
+// communication.
+func (rt *Runtime) timeComm(fn func()) {
+	start := time.Now()
+	fn()
+	rt.CommTime += time.Since(start)
+}
+
+// Compute runs fn on the host's compute threads, timed as computation.
+// fn receives the worker pool for parallel loops.
+func (rt *Runtime) Compute(fn func()) { rt.timeCompute(fn) }
+
+// RecordRound emits one trace record covering the compute and comm time
+// accumulated since the previous record. No-op without a Trace.
+func (rt *Runtime) RecordRound() {
+	if rt.Trace == nil {
+		return
+	}
+	rt.Trace.Append(trace.Round{
+		Host:    rt.Host.Rank,
+		Round:   rt.Rounds,
+		Compute: rt.ComputeTime - rt.lastCompute,
+		Comm:    rt.CommTime - rt.lastComm,
+	})
+	rt.lastCompute = rt.ComputeTime
+	rt.lastComm = rt.CommTime
+}
+
+// EndRound closes a BSP round: it synchronizes the given fields (reduce,
+// then broadcast where the policy requires it), counts the round, and
+// returns the global number of activations for quiescence detection.
+func (rt *Runtime) EndRound(localActivations int64, fields ...*Field) int64 {
+	for _, f := range fields {
+		f.Sync()
+	}
+	rt.Rounds++
+	start := time.Now()
+	total := rt.Host.AllreduceSum(localActivations)
+	rt.CommTime += time.Since(start)
+	return total
+}

@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"lcigraph/internal/abelian"
+	"lcigraph/internal/cluster"
+	"lcigraph/internal/comm"
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/gemini"
+	"lcigraph/internal/graph"
+	"lcigraph/internal/memtrack"
+	"lcigraph/internal/partition"
+)
+
+// runAbelianApp executes body on an LCI-backed Abelian cluster over g and
+// collects master values into a global array.
+func runAbelianApp(t *testing.T, g *graph.Graph, p int,
+	body func(rt *abelian.Runtime) *abelian.Field) []uint64 {
+	t.Helper()
+	pt := partition.Build(g, p, partition.VertexCut)
+	fab := fabric.New(p, fabric.TestProfile())
+	out := make([]uint64, g.N)
+	cluster.Run(p, 2, func(r int) comm.Layer {
+		return comm.NewLCILayer(fab.Endpoint(r), lci.Options{})
+	}, func(h *cluster.Host) {
+		rt := abelian.New(h, pt.Hosts[h.Rank], partition.VertexCut)
+		f := body(rt)
+		for m := 0; m < rt.HG.NumMasters; m++ {
+			out[rt.HG.L2G[m]] = f.Get(uint32(m))
+		}
+	})
+	return out
+}
+
+func equalU64(t *testing.T, got, want []uint64, label string) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: vertex %d = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestAbelianAppsDirect(t *testing.T) {
+	g := graph.Kron(6, 5, 2, 16)
+	const p = 3
+
+	bfs := runAbelianApp(t, g, p, func(rt *abelian.Runtime) *abelian.Field {
+		f, rounds := BFS(rt, 3)
+		if rounds == 0 {
+			t.Error("bfs: zero rounds")
+		}
+		return f
+	})
+	equalU64(t, bfs, OracleBFS(g, 3), "bfs")
+
+	sssp := runAbelianApp(t, g, p, func(rt *abelian.Runtime) *abelian.Field {
+		f, _ := SSSP(rt, 3)
+		return f
+	})
+	equalU64(t, sssp, OracleSSSP(g, 3), "sssp")
+
+	delta := runAbelianApp(t, g, p, func(rt *abelian.Runtime) *abelian.Field {
+		f, _ := SSSPDelta(rt, 3, 8)
+		return f
+	})
+	equalU64(t, delta, OracleSSSP(g, 3), "sssp-delta")
+
+	cc := runAbelianApp(t, g, p, func(rt *abelian.Runtime) *abelian.Field {
+		f, _ := CC(rt)
+		return f
+	})
+	equalU64(t, cc, OracleCC(g), "cc")
+
+	dir := runAbelianApp(t, g, p, func(rt *abelian.Runtime) *abelian.Field {
+		f, rounds, pulls := BFSDirectionOpt(rt, 3)
+		if pulls == 0 {
+			t.Log("bfs-dir: no pull rounds on this input (frontier threshold)")
+		}
+		if rounds == 0 {
+			t.Error("bfs-dir: zero rounds")
+		}
+		return f
+	})
+	equalU64(t, dir, OracleBFS(g, 3), "bfs-dir")
+}
+
+func TestAbelianPageRankDirect(t *testing.T) {
+	g := graph.Kron(6, 5, 2, 0)
+	const p, iters = 3, 6
+	pt := partition.Build(g, p, partition.VertexCut)
+	fab := fabric.New(p, fabric.TestProfile())
+	ranks := make([]float64, g.N)
+	cluster.Run(p, 2, func(r int) comm.Layer {
+		return comm.NewLCILayer(fab.Endpoint(r), lci.Options{})
+	}, func(h *cluster.Host) {
+		rt := abelian.New(h, pt.Hosts[h.Rank], partition.VertexCut)
+		f := PageRank(rt, iters)
+		for m := 0; m < rt.HG.NumMasters; m++ {
+			ranks[rt.HG.L2G[m]] = math.Float64frombits(f.Get(uint32(m)))
+		}
+	})
+	want := OraclePageRank(g, iters)
+	if d := MaxRankDelta(want, ranks); d > 1e-9 {
+		t.Fatalf("pagerank delta %.3e", d)
+	}
+}
+
+func TestGeminiAppsDirect(t *testing.T) {
+	g := graph.Kron(6, 5, 7, 16)
+	const p = 2
+	pt := partition.Build(g, p, partition.EdgeCutByDst)
+	fab := fabric.New(p, fabric.TestProfile())
+	dist := make([]uint64, g.N)
+	adaptiveDist := make([]uint64, g.N)
+	cluster.Run(p, 2, func(r int) comm.Layer { return nop{} }, func(h *cluster.Host) {
+		s := comm.NewLCIStream(fab.Endpoint(h.Rank), lci.Options{})
+		e := gemini.New(h, pt.Hosts[h.Rank], s, Inf, minU64)
+		if r := GeminiBFS(e, 1); r == 0 {
+			t.Error("gemini bfs: zero rounds")
+		}
+		for m := 0; m < e.HG.NumMasters; m++ {
+			dist[e.HG.L2G[m]] = e.Get(uint32(m))
+		}
+		h.Barrier()
+		s.Stop()
+	})
+	equalU64(t, dist, OracleBFS(g, 1), "gemini bfs")
+
+	fab2 := fabric.New(p, fabric.TestProfile())
+	cluster.Run(p, 2, func(r int) comm.Layer { return nop{} }, func(h *cluster.Host) {
+		s := comm.NewLCIStream(fab2.Endpoint(h.Rank), lci.Options{})
+		e := gemini.New(h, pt.Hosts[h.Rank], s, Inf, minU64)
+		GeminiSSSPAdaptive(e, 1)
+		for m := 0; m < e.HG.NumMasters; m++ {
+			adaptiveDist[e.HG.L2G[m]] = e.Get(uint32(m))
+		}
+		h.Barrier()
+		s.Stop()
+	})
+	equalU64(t, adaptiveDist, OracleSSSP(g, 1), "gemini adaptive sssp")
+}
+
+type nop struct{}
+
+func (nop) Name() string { return "nop" }
+func (nop) Exchange(uint32, [][]byte, []bool, []int, func(int, []byte)) {
+	panic("unused")
+}
+func (nop) AllocBuf(n int) []byte      { return make([]byte, n) }
+func (nop) Tracker() *memtrack.Tracker { return nil }
+func (nop) Stop()                      {}

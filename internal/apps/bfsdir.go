@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"time"
+
+	"lcigraph/internal/abelian"
+	"lcigraph/internal/bitset"
+)
+
+// BFSDirectionOpt is a direction-optimizing BFS on the Abelian runtime
+// (Beamer-style push/pull switching, the optimization the Galois/Abelian
+// BFS actually applies): rounds with a small frontier push along out-edges
+// as usual; rounds with a large frontier instead pull — every unreached
+// proxy scans its local in-edges (the partition's CSC view) for a reached
+// source. Both modes synchronize through the same field machinery, so the
+// result is identical to plain BFS.
+//
+// It returns the distance field, the number of rounds, and how many of
+// them ran in pull mode.
+func BFSDirectionOpt(rt *abelian.Runtime, source uint32) (*abelian.Field, int, int) {
+	hg := rt.HG
+	dist := rt.NewField(Inf, minU64)
+
+	cur := bitset.New(hg.NumLocal)
+	next := bitset.New(hg.NumLocal)
+	dist.OnChange = func(lv uint32) { next.Set(int(lv)) }
+	defer func() { dist.OnChange = nil }()
+
+	if lv, ok := hg.G2L(source); ok {
+		dist.SetLocal(lv, 0)
+		cur.Set(int(lv))
+	}
+
+	// Switch to pull when the global frontier exceeds 1/pullFrac of the
+	// graph.
+	const pullFrac = 16
+	globalN := int64(hg.GlobalN)
+
+	rounds, pulls := 0, 0
+	for {
+		rounds++
+		t0 := time.Now()
+		frontier := rt.Host.AllreduceSum(int64(cur.Count()))
+		rt.CommTime += time.Since(t0)
+
+		if frontier*pullFrac >= globalN {
+			pulls++
+			rt.Compute(func() {
+				in := hg.LocalIn()
+				rt.Host.Pool.ForRange(hg.NumLocal, func(lo, hi int) {
+					for v := lo; v < hi; v++ {
+						if dist.Get(uint32(v)) != Inf {
+							continue
+						}
+						best := uint64(Inf)
+						for _, u := range in.Neighbors(v) {
+							if du := dist.Get(u); du != Inf && du+1 < best {
+								best = du + 1
+							}
+						}
+						if best != Inf {
+							if dist.Apply(uint32(v), best) {
+								next.Set(v)
+							}
+						}
+					}
+				})
+			})
+		} else {
+			rt.Compute(func() {
+				rt.Host.Pool.ForRange(hg.NumLocal, func(lo, hi int) {
+					cur.ForEachRange(lo, hi, func(u int) {
+						du := dist.Get(uint32(u))
+						if du == Inf {
+							return
+						}
+						for _, v := range hg.Local.Neighbors(u) {
+							if dist.Apply(v, du+1) {
+								next.Set(int(v))
+							}
+						}
+					})
+				})
+			})
+		}
+
+		dist.Sync()
+		rt.Rounds++
+		rt.RecordRound()
+		local := int64(next.Count())
+		t1 := time.Now()
+		global := rt.Host.AllreduceSum(local)
+		rt.CommTime += time.Since(t1)
+		if global == 0 {
+			return dist, rounds, pulls
+		}
+		cur, next = next, cur
+		next.Reset()
+	}
+}

@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"container/heap"
+	"math"
+
+	"lcigraph/internal/graph"
+)
+
+// Single-host reference implementations. The distributed runs of every
+// communication layer are verified against these in the test suite.
+
+// OracleBFS returns hop distances from source (Inf when unreachable).
+func OracleBFS(g *graph.Graph, source uint32) []uint64 {
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	queue := []uint32{source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] == Inf {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	v uint32
+	d uint64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].d < q[j].d }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+
+// OracleSSSP returns weighted shortest-path distances from source
+// (Dijkstra; weights must be non-negative).
+func OracleSSSP(g *graph.Graph, source uint32) []uint64 {
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[source] = 0
+	q := &pq{{v: source, d: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		ws := g.NeighborWeights(int(it.v))
+		for i, v := range g.Neighbors(int(it.v)) {
+			w := uint64(1)
+			if ws != nil {
+				w = uint64(ws[i])
+			}
+			if nd := it.d + w; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(q, pqItem{v: v, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// OracleCC returns, per vertex, the minimum global id reachable in its
+// (undirected) component, treating each directed edge as bidirectional —
+// matching the label-propagation semantics on symmetric inputs.
+func OracleCC(g *graph.Graph) []uint64 {
+	parent := make([]uint32, g.N)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b uint32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			union(uint32(v), u)
+		}
+	}
+	out := make([]uint64, g.N)
+	for v := range out {
+		out[v] = uint64(find(uint32(v)))
+	}
+	return out
+}
+
+// OraclePageRank runs iters synchronous power iterations with the standard
+// damping factor, matching the distributed push formulation (dangling
+// vertices contribute nothing, as in the push version).
+func OraclePageRank(g *graph.Graph, iters int) []float64 {
+	n := float64(g.N)
+	rank := make([]float64, g.N)
+	next := make([]float64, g.N)
+	for i := range rank {
+		rank[i] = 1.0 / n
+	}
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < g.N; u++ {
+			d := g.Degree(u)
+			if d == 0 {
+				continue
+			}
+			c := rank[u] / float64(d)
+			for _, v := range g.Neighbors(u) {
+				next[v] += c
+			}
+		}
+		for i := range next {
+			next[i] = (1-PageRankDamping)/n + PageRankDamping*next[i]
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// MaxRankDelta returns the largest absolute difference between two rank
+// vectors (test tolerance helper).
+func MaxRankDelta(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,111 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lcigraph/internal/graph"
+)
+
+func TestOracleBFSPath(t *testing.T) {
+	g := graph.Path(6)
+	d := OracleBFS(g, 0)
+	for i := 0; i < 6; i++ {
+		if d[i] != uint64(i) {
+			t.Fatalf("dist[%d] = %d", i, d[i])
+		}
+	}
+	d2 := OracleBFS(g, 3)
+	if d2[2] != Inf || d2[5] != 2 {
+		t.Fatalf("dist from 3: %v", d2[:6])
+	}
+}
+
+func TestOracleSSSPWeights(t *testing.T) {
+	// 0 →(1) 1 →(1) 2, and 0 →(5) 2: shortest path is via 1.
+	g := graph.FromEdges(3, []graph.Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 1}, {Src: 0, Dst: 2, W: 5},
+	})
+	d := OracleSSSP(g, 0)
+	if d[2] != 2 {
+		t.Fatalf("dist[2] = %d, want 2", d[2])
+	}
+}
+
+// TestOracleSSSPMatchesBFSOnUnitWeights: with all weights 1, sssp == bfs.
+func TestOracleSSSPMatchesBFSOnUnitWeights(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.RMAT(6, 4, seed, 0) // unweighted ⇒ weight 1 in oracle
+		b := OracleBFS(g, 0)
+		s := OracleSSSP(g, 0)
+		for i := range b {
+			if b[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleCCComponents(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}.
+	g := graph.FromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 4},
+	})
+	c := OracleCC(g)
+	if c[0] != 0 || c[1] != 0 || c[2] != 0 {
+		t.Fatalf("component A: %v", c)
+	}
+	if c[3] != 3 || c[4] != 3 {
+		t.Fatalf("component B: %v", c)
+	}
+}
+
+func TestOraclePageRankProperties(t *testing.T) {
+	g := graph.Kron(7, 6, 3, 0)
+	r := OraclePageRank(g, 20)
+	sum := 0.0
+	for _, x := range r {
+		if x < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += x
+	}
+	// Push formulation loses dangling mass, so sum ≤ 1 + ε but must stay
+	// well above the teleport floor.
+	if sum > 1.0001 || sum < (1-PageRankDamping) {
+		t.Fatalf("rank sum = %f", sum)
+	}
+	// A ring's ranks are uniform.
+	ring := graph.Ring(10)
+	rr := OraclePageRank(ring, 50)
+	for i := 1; i < 10; i++ {
+		if math.Abs(rr[i]-rr[0]) > 1e-12 {
+			t.Fatalf("ring ranks not uniform: %v", rr)
+		}
+	}
+}
+
+func TestReduceHelpers(t *testing.T) {
+	if minU64(3, 5) != 3 || minU64(5, 3) != 3 {
+		t.Fatal("minU64 broken")
+	}
+	a := math.Float64bits(1.5)
+	b := math.Float64bits(2.25)
+	if math.Float64frombits(addF64(a, b)) != 3.75 {
+		t.Fatal("addF64 broken")
+	}
+}
+
+func TestMaxRankDelta(t *testing.T) {
+	if d := MaxRankDelta([]float64{1, 2, 3}, []float64{1, 2.5, 3}); d != 0.5 {
+		t.Fatalf("delta = %f", d)
+	}
+	if d := MaxRankDelta(nil, nil); d != 0 {
+		t.Fatalf("empty delta = %f", d)
+	}
+}

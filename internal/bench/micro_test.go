@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/mpi"
+)
+
+func TestMicroLatencySmoke(t *testing.T) {
+	for _, iface := range Ifaces() {
+		lat := MicroLatency(iface, 8, 50, fabric.TestProfile(), mpi.TestImpl())
+		if lat <= 0 || lat > time.Second {
+			t.Fatalf("%s latency = %v", iface, lat)
+		}
+	}
+}
+
+func TestMicroRateSmoke(t *testing.T) {
+	for _, iface := range Ifaces() {
+		for _, threads := range []int{1, 2} {
+			rate := MicroRate(iface, threads, 200, 8, fabric.TestProfile(), mpi.TestImpl())
+			if rate <= 0 {
+				t.Fatalf("%s rate with %d threads = %f", iface, threads, rate)
+			}
+		}
+	}
+}
+
+// TestFig1Shape checks the paper's headline ordering on the realistic
+// profiles: LCI queue latency ≤ no-probe ≤ probe (probe pays an extra call
+// and matching pass per message). Minimum of several runs to shed
+// scheduler noise on small machines.
+func TestFig1Shape(t *testing.T) {
+	const iters = 500
+	prof, impl := fabric.OmniPath(), mpi.IntelMPI()
+	minLat := func(iface string) time.Duration {
+		best := time.Hour
+		for i := 0; i < 5; i++ {
+			if l := MicroLatency(iface, 8, iters, prof, impl); l < best {
+				best = l
+			}
+		}
+		return best
+	}
+	queue := minLat(IfaceQueue)
+	probe := minLat(IfaceProbe)
+	noprobe := minLat(IfaceNoProbe)
+	t.Logf("8B latency: queue=%v noprobe=%v probe=%v", queue, noprobe, probe)
+	if queue > probe {
+		t.Errorf("LCI queue latency %v exceeds MPI probe latency %v", queue, probe)
+	}
+	if noprobe > probe*105/100 {
+		t.Errorf("no-probe latency %v exceeds probe latency %v (probe must pay extra)", noprobe, probe)
+	}
+}
+
+func TestTable3Renders(t *testing.T) {
+	s := Table3()
+	if len(s) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,156 @@
+// Package bitset provides a fixed-size concurrent bitset.
+//
+// The graph runtimes use bitsets to track which proxies were updated in a
+// round: compute threads set bits concurrently during the operator phase, and
+// the gather phase reads them to serialize only updated labels (the paper's
+// "synchronizing only the updated labels" optimization in Abelian).
+package bitset
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Bitset is a fixed-capacity set of bit indices [0, Len).
+//
+// Set, Clear and Test are safe for concurrent use. Bulk operations (Reset,
+// Count, ForEach, Words) are safe to run concurrently with setters but see
+// a racy snapshot; callers in the BSP runtimes sequence them with phase
+// barriers.
+type Bitset struct {
+	n     int
+	words []atomic.Uint64
+}
+
+// New returns a bitset able to hold n bits, all clear.
+func New(n int) *Bitset {
+	return &Bitset{n: n, words: make([]atomic.Uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i. It reports whether the bit was previously clear (i.e. this
+// call changed it), which lets callers maintain "newly activated" counts.
+func (b *Bitset) Set(i int) bool {
+	w, m := i/wordBits, uint64(1)<<(i%wordBits)
+	for {
+		old := b.words[w].Load()
+		if old&m != 0 {
+			return false
+		}
+		if b.words[w].CompareAndSwap(old, old|m) {
+			return true
+		}
+	}
+}
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) {
+	w, m := i/wordBits, uint64(1)<<(i%wordBits)
+	for {
+		old := b.words[w].Load()
+		if old&m == 0 {
+			return
+		}
+		if b.words[w].CompareAndSwap(old, old&^m) {
+			return
+		}
+	}
+}
+
+// Test reports whether bit i is set.
+func (b *Bitset) Test(i int) bool {
+	return b.words[i/wordBits].Load()&(uint64(1)<<(i%wordBits)) != 0
+}
+
+// Reset clears all bits.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i].Store(0)
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	n := 0
+	for i := range b.words {
+		n += bits.OnesCount64(b.words[i].Load())
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (b *Bitset) Any() bool {
+	for i := range b.words {
+		if b.words[i].Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for w := range b.words {
+		word := b.words[w].Load()
+		base := w * wordBits
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			fn(base + t)
+			word &^= 1 << t
+		}
+	}
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b *Bitset) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	n := 0
+	for i := lo; i < hi; {
+		w := i / wordBits
+		word := b.words[w].Load()
+		// Mask off bits below i and at/above hi within this word.
+		word &= ^uint64(0) << (i % wordBits)
+		end := (w + 1) * wordBits
+		if end > hi {
+			word &= (uint64(1) << (hi % wordBits)) - 1
+		}
+		n += bits.OnesCount64(word)
+		i = end
+	}
+	return n
+}
+
+// ForEachRange calls fn for every set bit i with lo <= i < hi, ascending.
+func (b *Bitset) ForEachRange(lo, hi int, fn func(i int)) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	for i := lo; i < hi; {
+		w := i / wordBits
+		word := b.words[w].Load()
+		word &= ^uint64(0) << (i % wordBits)
+		end := (w + 1) * wordBits
+		if end > hi {
+			word &= (uint64(1) << (hi % wordBits)) - 1
+		}
+		base := w * wordBits
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			fn(base + t)
+			word &^= 1 << t
+		}
+		i = end
+	}
+}

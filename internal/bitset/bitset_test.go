@@ -1,0 +1,166 @@
+package bitset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		if !b.Set(i) {
+			t.Fatalf("Set(%d) reported already-set", i)
+		}
+		if b.Set(i) {
+			t.Fatalf("second Set(%d) reported newly-set", i)
+		}
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	b.Clear(64) // idempotent
+	if b.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", b.Count())
+	}
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("bits remain after Reset")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	b := New(200)
+	want := []int{3, 64, 65, 100, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+// TestQuickAgainstMap cross-checks the bitset against a map model over random
+// operation sequences.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 300
+		b := New(n)
+		model := map[int]bool{}
+		for _, op := range ops {
+			i := int(op) % n
+			switch op % 3 {
+			case 0:
+				b.Set(i)
+				model[i] = true
+			case 1:
+				b.Clear(i)
+				delete(model, i)
+			case 2:
+				if b.Test(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		ok := true
+		b.ForEach(func(i int) {
+			if !model[i] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeOps(t *testing.T) {
+	b := New(256)
+	set := []int{0, 5, 63, 64, 70, 127, 128, 200, 255}
+	for _, i := range set {
+		b.Set(i)
+	}
+	for _, tc := range []struct{ lo, hi, want int }{
+		{0, 256, 9}, {0, 0, 0}, {0, 1, 1}, {1, 5, 0}, {5, 6, 1},
+		{64, 128, 3}, {63, 65, 2}, {128, 256, 3}, {201, 255, 0},
+		{-5, 1000, 9},
+	} {
+		if got := b.CountRange(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("CountRange(%d,%d) = %d, want %d", tc.lo, tc.hi, got, tc.want)
+		}
+		n := 0
+		b.ForEachRange(tc.lo, tc.hi, func(i int) {
+			if i < tc.lo || i >= tc.hi || !b.Test(i) {
+				t.Errorf("ForEachRange(%d,%d) visited bad index %d", tc.lo, tc.hi, i)
+			}
+			n++
+		})
+		if n != tc.want {
+			t.Errorf("ForEachRange(%d,%d) visited %d, want %d", tc.lo, tc.hi, n, tc.want)
+		}
+	}
+}
+
+// TestConcurrentSet checks that N goroutines setting disjoint random bits
+// lose nothing, and that exactly one Set per bit reports "newly set".
+func TestConcurrentSet(t *testing.T) {
+	const n = 1 << 14
+	b := New(n)
+	idx := rand.New(rand.NewSource(1)).Perm(n)
+	var newly sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Goroutines overlap on every index: each bit is attempted 8×.
+			for _, i := range idx {
+				if b.Set(i) {
+					if _, dup := newly.LoadOrStore(i, g); dup {
+						t.Errorf("bit %d newly-set twice", i)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Count() != n {
+		t.Fatalf("Count = %d, want %d", b.Count(), n)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	bs := New(1 << 20)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			bs.Set(i & (1<<20 - 1))
+			i += 997
+		}
+	})
+}

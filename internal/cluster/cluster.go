@@ -1,0 +1,132 @@
+// Package cluster runs SPMD jobs: P hosts in one process, each with its own
+// communication layer and compute-thread pool, standing in for the paper's
+// multi-host runs (DESIGN.md §2).
+//
+// Barrier and Allreduce are provided by the job runner with identical
+// (process-local) cost for every communication layer, so layer comparisons
+// reflect only the data-synchronization paths the paper instruments.
+package cluster
+
+import (
+	"sync"
+
+	"lcigraph/internal/comm"
+	"lcigraph/internal/parallel"
+)
+
+// Host is one simulated host's context inside a job.
+type Host struct {
+	Rank, P int
+	Layer   comm.Layer
+	Pool    *parallel.Pool
+
+	job *job
+}
+
+type job struct {
+	bar  *Barrier
+	vals []int64
+}
+
+// Run executes body on p hosts concurrently, each with threads compute
+// workers and the layer built by mkLayer, and tears everything down when
+// all bodies return.
+func Run(p, threads int, mkLayer func(rank int) comm.Layer, body func(h *Host)) {
+	j := &job{bar: NewBarrier(p), vals: make([]int64, p)}
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := &Host{
+				Rank:  r,
+				P:     p,
+				Layer: mkLayer(r),
+				Pool:  parallel.NewPool(threads),
+				job:   j,
+			}
+			body(h)
+			h.Barrier() // quiesce before teardown
+			h.Layer.Stop()
+			h.Pool.Close()
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Barrier blocks until every host in the job reaches it.
+func (h *Host) Barrier() { h.job.bar.Wait() }
+
+// Allreduce combines every host's v with op (associative, commutative) and
+// returns the result on all hosts. It is used for quiescence detection
+// (global active-vertex counts) at the end of each BSP round.
+func (h *Host) Allreduce(v int64, op func(a, b int64) int64) int64 {
+	h.job.vals[h.Rank] = v
+	h.job.bar.Wait()
+	acc := h.job.vals[0]
+	for r := 1; r < h.P; r++ {
+		acc = op(acc, h.job.vals[r])
+	}
+	h.job.bar.Wait() // nobody overwrites vals until all have read
+	return acc
+}
+
+// AllreduceSum is Allreduce with addition.
+func (h *Host) AllreduceSum(v int64) int64 {
+	return h.Allreduce(v, func(a, b int64) int64 { return a + b })
+}
+
+// AllreduceMax is Allreduce with max.
+func (h *Host) AllreduceMax(v int64) int64 {
+	return h.Allreduce(v, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllreduceMin is Allreduce with min.
+func (h *Host) AllreduceMin(v int64) int64 {
+	return h.Allreduce(v, func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// Barrier is a reusable sense-reversing barrier for a fixed participant
+// count.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until n goroutines have called Wait in this generation.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"lcigraph/internal/comm"
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+)
+
+func lciLayers(p int) func(int) comm.Layer {
+	fab := fabric.New(p, fabric.TestProfile())
+	return func(r int) comm.Layer {
+		return comm.NewLCILayer(fab.Endpoint(r), lci.Options{})
+	}
+}
+
+func TestRunAllHostsExecute(t *testing.T) {
+	const p = 5
+	var ran [p]atomic.Bool
+	Run(p, 2, lciLayers(p), func(h *Host) {
+		if h.P != p || h.Rank < 0 || h.Rank >= p {
+			t.Errorf("bad host identity %d/%d", h.Rank, h.P)
+		}
+		if h.Pool.Workers() != 2 {
+			t.Errorf("pool workers = %d", h.Pool.Workers())
+		}
+		ran[h.Rank].Store(true)
+	})
+	for r := range ran {
+		if !ran[r].Load() {
+			t.Fatalf("host %d never ran", r)
+		}
+	}
+}
+
+func TestBarrierSeparatesPhases(t *testing.T) {
+	const p = 4
+	const rounds = 50
+	var phase atomic.Int64
+	Run(p, 1, lciLayers(p), func(h *Host) {
+		for r := 0; r < rounds; r++ {
+			cur := phase.Load() / p
+			if cur != int64(r) {
+				t.Errorf("host %d sees phase %d in round %d", h.Rank, cur, r)
+				return
+			}
+			phase.Add(1)
+			h.Barrier()
+			h.Barrier() // second barrier so the read above is stable
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	const p = 6
+	Run(p, 1, lciLayers(p), func(h *Host) {
+		sum := h.AllreduceSum(int64(h.Rank + 1))
+		if sum != p*(p+1)/2 {
+			t.Errorf("host %d: sum = %d", h.Rank, sum)
+		}
+		max := h.AllreduceMax(int64(h.Rank * 10))
+		if max != (p-1)*10 {
+			t.Errorf("host %d: max = %d", h.Rank, max)
+		}
+		// Repeated allreduces with changing values don't cross-talk.
+		for r := int64(0); r < 20; r++ {
+			got := h.AllreduceSum(r)
+			if got != r*p {
+				t.Errorf("round %d: got %d", r, got)
+				return
+			}
+		}
+	})
+}
+
+func TestBarrierReuse(t *testing.T) {
+	b := NewBarrier(3)
+	done := make(chan int, 3)
+	for g := 0; g < 3; g++ {
+		go func(g int) {
+			for i := 0; i < 100; i++ {
+				b.Wait()
+			}
+			done <- g
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		<-done
+	}
+}

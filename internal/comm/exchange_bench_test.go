@@ -1,0 +1,54 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchExchange measures one all-to-all Exchange round across P hosts with
+// fixed payload sizes — the isolated cost of each layer's software path.
+func benchExchange(b *testing.B, kind string, hosts, size int) {
+	layers, stop := makeLayers(b, kind, hosts)
+	defer stop()
+	recvMax := make([]int, hosts)
+	for i := range recvMax {
+		recvMax[i] = size
+	}
+	expect := make([]bool, hosts)
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			exp := make([]bool, hosts)
+			copy(exp, expect)
+			for p := range exp {
+				exp[p] = p != h
+			}
+			for i := 0; i < b.N; i++ {
+				out := make([][]byte, hosts)
+				for p := 0; p < hosts; p++ {
+					if p == h {
+						continue
+					}
+					out[p] = layers[h].AllocBuf(size)
+				}
+				layers[h].Exchange(33, out, exp, recvMax, func(int, []byte) {})
+			}
+		}(h)
+	}
+	wg.Wait()
+}
+
+func BenchmarkExchange(b *testing.B) {
+	for _, kind := range kinds() {
+		for _, size := range []int{256, 4096, 32768} {
+			b.Run(fmt.Sprintf("%s/%dB", kind, size), func(b *testing.B) {
+				benchExchange(b, kind, 4, size)
+			})
+		}
+	}
+}

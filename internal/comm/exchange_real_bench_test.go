@@ -1,0 +1,85 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/mpi"
+)
+
+// makeRealLayers builds layers over the realistic omnipath/IntelMPI
+// profiles (the configuration the integrated experiments use).
+func makeRealLayers(t testing.TB, kind string, p int) ([]Layer, func()) {
+	t.Helper()
+	fab := fabric.New(p, fabric.OmniPath())
+	layers := make([]Layer, p)
+	switch kind {
+	case "lci":
+		for r := 0; r < p; r++ {
+			layers[r] = NewLCILayer(fab.Endpoint(r), lci.Options{PoolPackets: 64 * p, Workers: 3})
+		}
+	case "mpi-probe":
+		w := mpi.NewWorldOn(fab, mpi.IntelMPI(), mpi.ThreadFunneled)
+		for r := 0; r < p; r++ {
+			layers[r] = NewProbeLayer(w.Comm(r))
+		}
+	case "mpi-rma":
+		w := mpi.NewWorldOn(fab, mpi.IntelMPI(), mpi.ThreadMultiple)
+		for r := 0; r < p; r++ {
+			layers[r] = NewRMALayer(w.Comm(r))
+		}
+	}
+	return layers, func() {
+		var wg sync.WaitGroup
+		for _, l := range layers {
+			wg.Add(1)
+			go func(l Layer) { defer wg.Done(); l.Stop() }(l)
+		}
+		wg.Wait()
+	}
+}
+
+func benchExchangeReal(b *testing.B, kind string, hosts, size int) {
+	layers, stop := makeRealLayers(b, kind, hosts)
+	defer stop()
+	recvMax := make([]int, hosts)
+	for i := range recvMax {
+		recvMax[i] = size
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			exp := make([]bool, hosts)
+			for p := range exp {
+				exp[p] = p != h
+			}
+			for i := 0; i < b.N; i++ {
+				out := make([][]byte, hosts)
+				for p := 0; p < hosts; p++ {
+					if p == h {
+						continue
+					}
+					out[p] = layers[h].AllocBuf(size)
+				}
+				layers[h].Exchange(33, out, exp, recvMax, func(int, []byte) {})
+			}
+		}(h)
+	}
+	wg.Wait()
+}
+
+func BenchmarkExchangeReal(b *testing.B) {
+	for _, kind := range kinds() {
+		for _, size := range []int{256, 2560, 16384} {
+			b.Run(fmt.Sprintf("%s/%dB", kind, size), func(b *testing.B) {
+				benchExchangeReal(b, kind, 4, size)
+			})
+		}
+	}
+}

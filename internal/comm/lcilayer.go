@@ -1,0 +1,247 @@
+package comm
+
+import (
+	"runtime"
+	"sync"
+
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/memtrack"
+)
+
+// LCILayer is the §III-D communication layer: the calling thread uses
+// SEND-ENQ and RECV-DEQ directly; a communication-server goroutine runs the
+// LCI progress loop. Buffers recycle through the packet pool (eager) and a
+// tracked allocator (rendezvous), which is why its footprint stays small in
+// Fig. 5.
+type LCILayer struct {
+	ep      *lci.Endpoint
+	worker  int
+	rank    int
+	tracker memtrack.Tracker
+
+	epochs epochs
+	stash  stash
+
+	// Incomplete receive requests (rendezvous in flight), and send
+	// requests whose gather buffers are not yet reusable. sendMu guards
+	// pendingSend because fused sends append from compute threads.
+	pendingRecv []*lci.Request
+	sendMu      sync.Mutex
+	pendingSend []sendInFlight
+
+	// workers maps compute-thread indices to pool worker ids for fused
+	// (thread-direct) sends.
+	workers [maxStreamThreads]int
+
+	stop chan struct{}
+}
+
+type sendInFlight struct {
+	req *lci.Request
+	buf []byte
+}
+
+// trackedAlloc adapts the layer's memtracker as LCI's rendezvous allocator.
+type trackedAlloc struct{ t *memtrack.Tracker }
+
+func (a trackedAlloc) Alloc(n int) []byte { a.t.Alloc(n); return make([]byte, n) }
+func (a trackedAlloc) Free(b []byte)      { a.t.Free(len(b)) }
+
+// NewLCILayer builds the LCI layer over a fabric endpoint and starts its
+// communication server.
+func NewLCILayer(fep *fabric.Endpoint, opt lci.Options) *LCILayer {
+	l := &LCILayer{
+		rank:   fep.Rank(),
+		epochs: epochs{},
+		stash:  stash{},
+		stop:   make(chan struct{}),
+	}
+	opt.Allocator = trackedAlloc{&l.tracker}
+	l.ep = lci.NewEndpoint(fep, opt)
+	l.worker = l.ep.Pool().RegisterWorker()
+	for i := range l.workers {
+		l.workers[i] = l.ep.Pool().RegisterWorker()
+	}
+	go l.ep.Serve(l.stop)
+	return l
+}
+
+// Name implements Layer.
+func (l *LCILayer) Name() string { return "lci" }
+
+// Tracker implements Layer.
+func (l *LCILayer) Tracker() *memtrack.Tracker { return &l.tracker }
+
+// AllocBuf implements Layer.
+func (l *LCILayer) AllocBuf(n int) []byte {
+	l.tracker.Alloc(n)
+	return make([]byte, n)
+}
+
+// Stop implements Layer.
+func (l *LCILayer) Stop() {
+	l.drainSends()
+	close(l.stop)
+}
+
+// poll drains RECV-DEQ once and checks pending completions; newly completed
+// messages land in the stash. Returns true if anything moved.
+func (l *LCILayer) poll() bool {
+	worked := false
+	for {
+		r, ok := l.ep.RecvDeq()
+		if !ok {
+			break
+		}
+		worked = true
+		if r.Done() {
+			l.stashRequest(r, false)
+		} else {
+			l.pendingRecv = append(l.pendingRecv, r)
+		}
+	}
+	// The paper's layer "maintains a list of incomplete requests ... by
+	// simply checking the boolean-type status of each request".
+	keep := l.pendingRecv[:0]
+	for _, r := range l.pendingRecv {
+		if r.Done() {
+			l.stashRequest(r, true)
+			worked = true
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	l.pendingRecv = keep
+
+	l.sendMu.Lock()
+	keepS := l.pendingSend[:0]
+	for _, s := range l.pendingSend {
+		if s.req.Done() {
+			l.tracker.Free(len(s.buf))
+			worked = true
+		} else {
+			keepS = append(keepS, s)
+		}
+	}
+	l.pendingSend = keepS
+	l.sendMu.Unlock()
+	return worked
+}
+
+// stashRequest converts a completed receive request into a stash entry.
+// rendezvous buffers were allocated by the tracked allocator; eager
+// payloads live in transient wire buffers, charged while held.
+func (l *LCILayer) stashRequest(r *lci.Request, rendezvous bool) {
+	if !rendezvous {
+		l.tracker.Alloc(len(r.Data))
+	}
+	data := r.Data
+	n := len(data)
+	l.stash.put(Message{
+		Peer:    r.Rank,
+		Tag:     r.Tag,
+		Data:    data,
+		release: func() { l.tracker.Free(n) },
+	})
+}
+
+// Exchange implements Layer.
+func (l *LCILayer) Exchange(tag uint32, out [][]byte, expect []bool, recvMax []int,
+	onRecv func(peer int, data []byte)) {
+
+	eff := l.epochs.next(tag)
+
+	for p, buf := range out {
+		if p == l.rank || buf == nil {
+			continue
+		}
+		l.sendOne(l.worker, p, eff, buf, true)
+	}
+
+	want := countExpected(expect, l.rank)
+	got := 0
+	for got < want {
+		if m, ok := l.stash.take(eff); ok {
+			onRecv(m.Peer, m.Data)
+			m.Release()
+			got++
+			continue
+		}
+		if !l.poll() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// sendOne retries SendEnq until accepted, tracking the in-flight buffer.
+// mayPoll lets the Exchange caller progress receives while retrying; fused
+// senders (arbitrary compute threads) must not touch the receive state.
+func (l *LCILayer) sendOne(worker, peer int, eff uint32, buf []byte, mayPoll bool) {
+	for {
+		r, ok := l.ep.SendEnq(worker, peer, eff, buf)
+		if ok {
+			if r.Done() {
+				l.tracker.Free(len(buf))
+			} else {
+				l.sendMu.Lock()
+				l.pendingSend = append(l.pendingSend, sendInFlight{req: r, buf: buf})
+				l.sendMu.Unlock()
+			}
+			return
+		}
+		// Pool exhausted: retriable, never fatal.
+		if !mayPoll || !l.poll() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// BeginFused opens a fused exchange for tag: compute threads may then call
+// SendFused for individual peers as their gathers complete — the paper's
+// future-work direction of integrating LCI with the runtime so completed
+// buffers enter the network without waiting for the full gather phase
+// (§VI; Fig. 2's "completed buffers are enqueued").
+func (l *LCILayer) BeginFused(tag uint32) uint32 { return l.epochs.next(tag) }
+
+// SendFused sends one peer's payload from any compute thread. thread
+// selects the packet-pool locality shard.
+func (l *LCILayer) SendFused(thread, peer int, eff uint32, buf []byte) {
+	if peer == l.rank || buf == nil {
+		return
+	}
+	l.sendOne(l.workers[thread%maxStreamThreads], peer, eff, buf, false)
+}
+
+// FinishFused completes the fused exchange: it receives (in arrival order)
+// every expected message for eff, exactly like the tail of Exchange.
+func (l *LCILayer) FinishFused(eff uint32, expect []bool, onRecv func(peer int, data []byte)) {
+	want := countExpected(expect, l.rank)
+	got := 0
+	for got < want {
+		if m, ok := l.stash.take(eff); ok {
+			onRecv(m.Peer, m.Data)
+			m.Release()
+			got++
+			continue
+		}
+		if !l.poll() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// drainSends waits for in-flight sends before shutdown.
+func (l *LCILayer) drainSends() {
+	for {
+		l.sendMu.Lock()
+		n := len(l.pendingSend)
+		l.sendMu.Unlock()
+		if n == 0 && len(l.pendingRecv) == 0 {
+			return
+		}
+		if !l.poll() {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package comm
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// TestRMAMultiTagInterleaved: two tags exchanged alternately across many
+// rounds exercise window reuse, lazy creation order, and epoch pipelining.
+func TestRMAMultiTagInterleaved(t *testing.T) {
+	const P = 3
+	const rounds = 12
+	layers, stop := makeLayers(t, "mpi-rma", P)
+	defer stop()
+	recvMax := []int{16, 16, 16}
+
+	var wg sync.WaitGroup
+	for h := 0; h < P; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, tag := range []uint32{20, 21} {
+					out := make([][]byte, P)
+					expect := make([]bool, P)
+					for p := 0; p < P; p++ {
+						if p == h {
+							continue
+						}
+						buf := layers[h].AllocBuf(8)
+						binary.LittleEndian.PutUint32(buf, uint32(h))
+						binary.LittleEndian.PutUint32(buf[4:], tag*1000+uint32(r))
+						out[p] = buf
+						expect[p] = true
+					}
+					layers[h].Exchange(tag, out, expect, recvMax,
+						func(peer int, data []byte) {
+							if binary.LittleEndian.Uint32(data) != uint32(peer) {
+								t.Errorf("host %d tag %d: sender mismatch", h, tag)
+							}
+							if binary.LittleEndian.Uint32(data[4:]) != tag*1000+uint32(r) {
+								t.Errorf("host %d tag %d round %d: stale payload", h, tag, r)
+							}
+						})
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+}
+
+// TestRMAFootprintIsUpperBound: the RMA tracker grows by the window sizes
+// (upper bound), not actual traffic, and never shrinks.
+func TestRMAFootprintIsUpperBound(t *testing.T) {
+	const P = 2
+	layers, stop := makeLayers(t, "mpi-rma", P)
+	defer stop()
+	recvMax := []int{1 << 16, 1 << 16} // big windows
+
+	var wg sync.WaitGroup
+	for h := 0; h < P; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			out := make([][]byte, P)
+			buf := layers[h].AllocBuf(4) // tiny actual traffic
+			out[1-h] = buf
+			expect := make([]bool, P)
+			expect[1-h] = true
+			layers[h].Exchange(40, out, expect, recvMax, func(int, []byte) {})
+		}(h)
+	}
+	wg.Wait()
+	for h := 0; h < P; h++ {
+		if m := layers[h].Tracker().Max(); m < 1<<16 {
+			t.Fatalf("host %d footprint %d below window upper bound", h, m)
+		}
+		cur := layers[h].Tracker().Current()
+		if cur < 1<<16 {
+			t.Fatalf("host %d windows were freed (cur=%d)", h, cur)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package comm
+
+import (
+	"runtime"
+	"sync"
+
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/memtrack"
+	"lcigraph/internal/mpi"
+)
+
+// Stream is the communication shape Gemini uses (§IV-B1): many compute
+// threads concurrently send variable-size batches to arbitrary peers, and a
+// receiving loop takes messages as they arrive. With MPI this forces
+// MPI_THREAD_MULTIPLE plus frequent MPI_Iprobe; with LCI each thread calls
+// SEND-ENQ directly and the receive loop uses RECV-DEQ.
+type Stream interface {
+	Name() string
+	// SendMsg sends data to peer with tag; safe from any compute thread.
+	// The stream owns data (allocated with AllocBuf) afterwards.
+	SendMsg(thread, peer int, tag uint32, data []byte)
+	// RecvMsg returns one incoming message, if any. Single consumer.
+	RecvMsg() (Message, bool)
+	// AllocBuf returns a tracked buffer.
+	AllocBuf(n int) []byte
+	Tracker() *memtrack.Tracker
+	Stop()
+}
+
+// ---- LCI stream ----
+
+// LCIStream sends straight from compute threads through the LCI Queue
+// interface — the paper's "simple modifications to the Gemini runtime such
+// that each sending/receiving thread uses LCI Queue instead of MPI".
+const maxStreamThreads = 64
+
+type LCIStream struct {
+	ep      *lci.Endpoint
+	tracker memtrack.Tracker
+
+	workers [maxStreamThreads]int // thread id → pool worker id (lock-free)
+
+	mu          sync.Mutex
+	pendSend    []sendInFlight
+	pendingRecv []*lci.Request
+
+	stop chan struct{}
+}
+
+// NewLCIStream builds an LCI stream over a fabric endpoint and starts its
+// communication server.
+func NewLCIStream(fep *fabric.Endpoint, opt lci.Options) *LCIStream {
+	s := &LCIStream{stop: make(chan struct{})}
+	opt.Allocator = trackedAlloc{&s.tracker}
+	s.ep = lci.NewEndpoint(fep, opt)
+	for i := range s.workers {
+		s.workers[i] = s.ep.Pool().RegisterWorker()
+	}
+	go s.ep.Serve(s.stop)
+	return s
+}
+
+// Name implements Stream.
+func (s *LCIStream) Name() string { return "lci" }
+
+// Tracker implements Stream.
+func (s *LCIStream) Tracker() *memtrack.Tracker { return &s.tracker }
+
+// AllocBuf implements Stream.
+func (s *LCIStream) AllocBuf(n int) []byte {
+	s.tracker.Alloc(n)
+	return make([]byte, n)
+}
+
+// Stop implements Stream.
+func (s *LCIStream) Stop() {
+	for {
+		s.mu.Lock()
+		drained := len(s.pendSend) == 0
+		s.mu.Unlock()
+		if drained {
+			break
+		}
+		s.reapSends()
+		runtime.Gosched()
+	}
+	close(s.stop)
+}
+
+// SendMsg implements Stream.
+func (s *LCIStream) SendMsg(thread, peer int, tag uint32, data []byte) {
+	w := s.workers[thread%maxStreamThreads]
+	for {
+		r, ok := s.ep.SendEnq(w, peer, tag, data)
+		if ok {
+			if r.Done() {
+				s.tracker.Free(len(data))
+			} else {
+				s.mu.Lock()
+				s.pendSend = append(s.pendSend, sendInFlight{req: r, buf: data})
+				s.mu.Unlock()
+			}
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+func (s *LCIStream) reapSends() {
+	s.mu.Lock()
+	keep := s.pendSend[:0]
+	for _, p := range s.pendSend {
+		if p.req.Done() {
+			s.tracker.Free(len(p.buf))
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	s.pendSend = keep
+	s.mu.Unlock()
+}
+
+// RecvMsg implements Stream.
+func (s *LCIStream) RecvMsg() (Message, bool) {
+	s.reapSends()
+	if r, ok := s.ep.RecvDeq(); ok {
+		if r.Done() {
+			return s.toMessage(r, false), true
+		}
+		s.pendingRecv = append(s.pendingRecv, r)
+	}
+	for i, r := range s.pendingRecv {
+		if r.Done() {
+			s.pendingRecv = append(s.pendingRecv[:i], s.pendingRecv[i+1:]...)
+			return s.toMessage(r, true), true
+		}
+	}
+	return Message{}, false
+}
+
+func (s *LCIStream) toMessage(r *lci.Request, rendezvous bool) Message {
+	if !rendezvous {
+		s.tracker.Alloc(len(r.Data))
+	}
+	n := len(r.Data)
+	return Message{
+		Peer:    r.Rank,
+		Tag:     r.Tag,
+		Data:    r.Data,
+		release: func() { s.tracker.Free(n) },
+	}
+}
+
+// ---- MPI stream ----
+
+// MPIStream is Gemini's baseline shape: every compute thread calls MPI_Isend
+// directly under MPI_THREAD_MULTIPLE (serialized by the library's global
+// lock), and the receive loop discovers messages with MPI_Iprobe +
+// MPI_Irecv, retiring them with MPI_Test.
+type MPIStream struct {
+	c       *mpi.Comm
+	tracker memtrack.Tracker
+
+	mu       sync.Mutex
+	pendSend []pendingMPISend
+
+	pendRecv []pendingRecv
+}
+
+type pendingMPISend struct {
+	req *mpi.Request
+	buf []byte
+}
+
+// NewMPIStream builds the MPI stream over comm c (ThreadMultiple mode).
+func NewMPIStream(c *mpi.Comm) *MPIStream {
+	return &MPIStream{c: c}
+}
+
+// Name implements Stream.
+func (s *MPIStream) Name() string { return "mpi-probe" }
+
+// Tracker implements Stream.
+func (s *MPIStream) Tracker() *memtrack.Tracker { return &s.tracker }
+
+// AllocBuf implements Stream.
+func (s *MPIStream) AllocBuf(n int) []byte {
+	s.tracker.Alloc(n)
+	return make([]byte, n)
+}
+
+// Stop implements Stream.
+func (s *MPIStream) Stop() {
+	for {
+		s.mu.Lock()
+		drained := len(s.pendSend) == 0
+		s.mu.Unlock()
+		if drained {
+			return
+		}
+		s.reapSends()
+		runtime.Gosched()
+	}
+}
+
+// SendMsg implements Stream.
+func (s *MPIStream) SendMsg(thread, peer int, tag uint32, data []byte) {
+	req, err := s.c.Isend(data, peer, int(tag))
+	if err != nil {
+		panic("mpi stream: " + err.Error())
+	}
+	done, err := s.c.Test(req)
+	if err != nil {
+		panic("mpi stream: " + err.Error())
+	}
+	if done {
+		s.tracker.Free(len(data))
+		return
+	}
+	s.mu.Lock()
+	s.pendSend = append(s.pendSend, pendingMPISend{req: req, buf: data})
+	s.mu.Unlock()
+}
+
+func (s *MPIStream) reapSends() {
+	s.mu.Lock()
+	keep := s.pendSend[:0]
+	for _, p := range s.pendSend {
+		done, err := s.c.Test(p.req)
+		if err != nil {
+			s.mu.Unlock()
+			panic("mpi stream: " + err.Error())
+		}
+		if done {
+			s.tracker.Free(len(p.buf))
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	s.pendSend = keep
+	s.mu.Unlock()
+}
+
+// RecvMsg implements Stream.
+func (s *MPIStream) RecvMsg() (Message, bool) {
+	s.reapSends()
+	// Probe for anything new (the frequent MPI_Iprobe of Gemini's recv
+	// thread).
+	if st, ok := s.c.Iprobe(mpi.AnySource, mpi.AnyTag); ok {
+		buf := s.AllocBuf(st.Count)
+		req, err := s.c.Irecv(buf, st.Source, st.Tag)
+		if err != nil {
+			panic("mpi stream: " + err.Error())
+		}
+		s.pendRecv = append(s.pendRecv, pendingRecv{req: req, buf: buf, src: st.Source})
+	}
+	for i, r := range s.pendRecv {
+		done, err := s.c.Test(r.req)
+		if err != nil {
+			panic("mpi stream: " + err.Error())
+		}
+		if done {
+			s.pendRecv = append(s.pendRecv[:i], s.pendRecv[i+1:]...)
+			n := len(r.buf)
+			return Message{
+				Peer:    r.req.Status().Source,
+				Tag:     uint32(r.req.Status().Tag),
+				Data:    r.buf[:r.req.Status().Count],
+				release: func() { s.tracker.Free(n) },
+			}, true
+		}
+	}
+	return Message{}, false
+}

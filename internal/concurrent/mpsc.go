@@ -1,0 +1,71 @@
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MPSC is an unbounded multi-producer single-consumer FIFO queue, the shape
+// the buffered MPI layer of the paper uses to funnel send requests from many
+// compute threads into the one dedicated communication thread ("Enq"/"Deq"
+// in Fig. 2 of the paper).
+//
+// It is an intrusive Vyukov-style linked queue: producers contend only on a
+// single atomic swap of the tail pointer; the consumer walks the list without
+// atomics on the hot path.
+type MPSC[T any] struct {
+	head atomic.Pointer[mpscNode[T]] // consumer side (stub node)
+	tail atomic.Pointer[mpscNode[T]] // producer side
+	pool sync.Pool
+}
+
+type mpscNode[T any] struct {
+	next atomic.Pointer[mpscNode[T]]
+	val  T
+}
+
+// NewMPSC returns an empty MPSC queue.
+func NewMPSC[T any]() *MPSC[T] {
+	q := &MPSC[T]{}
+	stub := &mpscNode[T]{}
+	q.head.Store(stub)
+	q.tail.Store(stub)
+	q.pool.New = func() any { return new(mpscNode[T]) }
+	return q
+}
+
+// Push appends v. It may be called from any goroutine and never fails.
+func (q *MPSC[T]) Push(v T) {
+	n := q.pool.Get().(*mpscNode[T])
+	n.val = v
+	n.next.Store(nil)
+	prev := q.tail.Swap(n)
+	prev.next.Store(n)
+}
+
+// Pop removes the oldest element. It must only be called from the single
+// consumer goroutine. It returns false when the queue is (momentarily) empty.
+//
+// Note the standard MPSC caveat: between a producer's tail swap and its next
+// store, the element is invisible; Pop then reports empty even though a Push
+// has begun. The consumer loop in the communication thread simply retries on
+// its next iteration.
+func (q *MPSC[T]) Pop() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	next := head.next.Load()
+	if next == nil {
+		return zero, false
+	}
+	q.head.Store(next)
+	v := next.val
+	next.val = zero // release references held by the (now stub) node
+	head.next.Store(nil)
+	q.pool.Put(head)
+	return v, true
+}
+
+// Empty reports whether the queue appears empty to the consumer.
+func (q *MPSC[T]) Empty() bool {
+	return q.head.Load().next.Load() == nil
+}

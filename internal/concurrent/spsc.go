@@ -1,0 +1,64 @@
+package concurrent
+
+import "sync/atomic"
+
+// SPSC is a bounded single-producer single-consumer ring queue. It is the
+// cheapest queue in the package (one atomic load + one atomic store per
+// operation) and is used for per-peer reorder/ack channels inside the fabric
+// where endpoints are single-threaded by construction.
+type SPSC[T any] struct {
+	_    pad
+	head atomic.Uint64 // consumer position
+	_    pad
+	tail atomic.Uint64 // producer position
+	_    pad
+	mask uint64
+	buf  []T
+}
+
+// NewSPSC returns an SPSC queue with capacity rounded up to a power of two.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &SPSC[T]{mask: n - 1, buf: make([]T, n)}
+}
+
+// Cap returns the queue capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Push appends v; it returns false when full. Producer-side only.
+func (q *SPSC[T]) Push(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() >= uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// Pop removes the oldest element; it returns false when empty. Consumer-side
+// only.
+func (q *SPSC[T]) Pop() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return zero, false
+	}
+	v := q.buf[head&q.mask]
+	q.buf[head&q.mask] = zero
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Len returns the current number of elements (racy under concurrency, exact
+// when quiescent).
+func (q *SPSC[T]) Len() int {
+	t, h := q.tail.Load(), q.head.Load()
+	if t < h {
+		return 0
+	}
+	return int(t - h)
+}

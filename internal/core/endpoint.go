@@ -1,0 +1,339 @@
+package lci
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lcigraph/internal/concurrent"
+	"lcigraph/internal/fabric"
+)
+
+// Allocator provides the receive-side buffers for rendezvous messages (the
+// paper's "allocator can be any thread-safe memory manager; in our case it
+// is Abelian's allocator"). Implementations must be safe for concurrent use.
+type Allocator interface {
+	Alloc(n int) []byte
+	Free(b []byte)
+}
+
+// heapAllocator is the default allocator: plain Go allocations.
+type heapAllocator struct{}
+
+func (heapAllocator) Alloc(n int) []byte { return make([]byte, n) }
+func (heapAllocator) Free([]byte)        {}
+
+// DefaultAllocator returns the plain heap allocator.
+func DefaultAllocator() Allocator { return heapAllocator{} }
+
+// Options configures an Endpoint.
+type Options struct {
+	// PoolPackets is the packet-pool size; it caps the injection rate.
+	PoolPackets int
+	// QueueDepth bounds the incoming-packet queue Q.
+	QueueDepth int
+	// MaxOutstanding bounds concurrent rendezvous sends and receives each.
+	MaxOutstanding int
+	// Workers sizes the pool's locality shards.
+	Workers int
+	// Allocator provides rendezvous receive buffers.
+	Allocator Allocator
+}
+
+func (o *Options) fill() {
+	if o.PoolPackets <= 0 {
+		o.PoolPackets = 256
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.MaxOutstanding <= 0 {
+		o.MaxOutstanding = 1024
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Allocator == nil {
+		o.Allocator = heapAllocator{}
+	}
+}
+
+// sendPending tracks an RTS that awaits its RTR.
+type sendPending struct {
+	req *Request
+	src []byte
+	pkt *Packet
+}
+
+// recvPending tracks a rendezvous receive that awaits its RDMA put (or,
+// on RDMA-less transports, its stream of FRG fragments).
+type recvPending struct {
+	req  *Request
+	rkey uint32
+	got  int // fragment bytes received so far (fragmented mode)
+}
+
+// slotTable is a fixed-size id-indexed table with a concurrent freelist,
+// used to ship request identities across the wire.
+type slotTable[T any] struct {
+	slots []T
+	free  *concurrent.MPMC[uint32]
+}
+
+func newSlotTable[T any](n int) *slotTable[T] {
+	t := &slotTable[T]{free: concurrent.NewMPMC[uint32](n)}
+	t.slots = make([]T, t.free.Cap())
+	for i := range t.slots {
+		t.free.Enqueue(uint32(i))
+	}
+	return t
+}
+
+func (t *slotTable[T]) alloc(v T) (uint32, bool) {
+	id, ok := t.free.Dequeue()
+	if !ok {
+		return 0, false
+	}
+	t.slots[id] = v
+	return id, true
+}
+
+func (t *slotTable[T]) get(id uint32) T { return t.slots[id] }
+
+func (t *slotTable[T]) release(id uint32) {
+	var zero T
+	t.slots[id] = zero
+	t.free.Enqueue(id)
+}
+
+// outKind discriminates deferred network operations parked on the outbox.
+type outKind uint8
+
+const (
+	outPacket outKind = iota + 1 // retry fabric.Send of a pool packet
+	outCtrl                      // retry fabric.Send of a packet-less control frame
+	outPut                       // retry fabric.Put of a rendezvous payload
+)
+
+type outItem struct {
+	kind   outKind
+	dst    int
+	header uint64
+	meta   uint64
+	pkt    *Packet // outPacket
+	// outPut:
+	rkey   uint32
+	src    []byte
+	imm    uint64
+	sendID uint32
+}
+
+// Endpoint is one host's LCI instance over a fabric endpoint.
+//
+// SendEnq and RecvDeq may be called from any compute thread. Progress (or
+// Serve) must be driven by exactly one communication-server goroutine.
+type Endpoint struct {
+	fep   *fabric.Endpoint
+	pool  *Pool
+	q     *concurrent.MPMC[*fabric.Frame] // Q: global concurrent incoming queue
+	out   *concurrent.MPSC[outItem]       // deferred ops, flushed by the server
+	sends *slotTable[sendPending]
+	recvs *slotTable[*recvPending]
+	alloc Allocator
+
+	eagerLimit   int
+	serverWorker int
+	stash        *fabric.Frame // polled frame awaiting space in Q
+
+	// frags are in-progress fragmented rendezvous sends (RDMA-less
+	// transports only), drained by the server.
+	frags []*fragJob
+
+	statEager      atomic.Int64
+	statRendezvous atomic.Int64
+	statSendFails  atomic.Int64
+	statRecvs      atomic.Int64
+}
+
+// Stats are endpoint-level counters for observability and tests.
+type Stats struct {
+	EagerSends      int64 // SEND-ENQ accepted on the eager path
+	RendezvousSends int64 // SEND-ENQ accepted on the rendezvous path
+	SendFailures    int64 // retriable SEND-ENQ failures (pool/table full)
+	Receives        int64 // messages handed out by RECV-DEQ
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		EagerSends:      e.statEager.Load(),
+		RendezvousSends: e.statRendezvous.Load(),
+		SendFailures:    e.statSendFails.Load(),
+		Receives:        e.statRecvs.Load(),
+	}
+}
+
+// fragJob is one rendezvous payload being streamed as FRG fragments.
+type fragJob struct {
+	dst    int
+	recvID uint32
+	sendID uint32
+	src    []byte
+	off    int
+}
+
+// NewEndpoint builds an LCI endpoint over fep.
+func NewEndpoint(fep *fabric.Endpoint, opt Options) *Endpoint {
+	opt.fill()
+	eager := fep.EagerLimit()
+	e := &Endpoint{
+		fep:        fep,
+		pool:       NewPool(opt.PoolPackets, eager, opt.Workers),
+		q:          concurrent.NewMPMC[*fabric.Frame](opt.QueueDepth),
+		out:        concurrent.NewMPSC[outItem](),
+		sends:      newSlotTable[sendPending](opt.MaxOutstanding),
+		recvs:      newSlotTable[*recvPending](opt.MaxOutstanding),
+		alloc:      opt.Allocator,
+		eagerLimit: eager,
+	}
+	e.serverWorker = e.pool.RegisterWorker()
+	return e
+}
+
+// Rank returns the host rank.
+func (e *Endpoint) Rank() int { return e.fep.Rank() }
+
+// EagerLimit returns the eager/rendezvous protocol threshold in bytes.
+func (e *Endpoint) EagerLimit() int { return e.eagerLimit }
+
+// Pool exposes the packet pool (for worker registration and stats).
+func (e *Endpoint) Pool() *Pool { return e.pool }
+
+// SendEnq initiates a send of buf to dst with the given tag (Algorithm 1).
+// worker is the caller's pool worker id from Pool().RegisterWorker().
+//
+// On success it returns a request whose Done() becomes true when buf may be
+// reused (immediately for eager sends — the payload is staged into a pool
+// packet — and after the RDMA put for rendezvous sends).
+//
+// It returns ok == false when the packet pool (or, for large messages, the
+// outstanding-send table) is exhausted; the caller should progress its
+// pending work and retry — the failure is never fatal.
+func (e *Endpoint) SendEnq(worker, dst int, tag uint32, buf []byte) (*Request, bool) {
+	pkt := e.pool.Alloc(worker)
+	if pkt == nil {
+		e.statSendFails.Add(1)
+		return nil, false
+	}
+	r := &Request{Rank: dst, Tag: tag, Size: len(buf)}
+	if len(buf) <= e.eagerLimit {
+		// Eager: stage into the packet; the request completes now because
+		// the user's buffer is already copied out.
+		pkt.n = copy(pkt.buf, buf)
+		pkt.ptype = EGR
+		pkt.dst = dst
+		pkt.header = packHeader(EGR, tag)
+		pkt.meta = 0
+		r.markDone()
+		e.statEager.Add(1)
+		if err := e.fep.Send(dst, pkt.header, pkt.meta, pkt.payload()); err != nil {
+			if err != fabric.ErrResource {
+				panic(fmt.Sprintf("lci: eager send: %v", err))
+			}
+			e.out.Push(outItem{kind: outPacket, dst: dst, pkt: pkt})
+			return r, true
+		}
+		e.pool.Free(worker, pkt)
+		return r, true
+	}
+
+	// Rendezvous: ship an RTS carrying our request id and the size.
+	sid, ok := e.sends.alloc(sendPending{req: r, src: buf, pkt: pkt})
+	if !ok {
+		e.pool.Free(worker, pkt)
+		e.statSendFails.Add(1)
+		return nil, false
+	}
+	e.statRendezvous.Add(1)
+	pkt.ptype = RTS
+	pkt.dst = dst
+	pkt.header = packHeader(RTS, tag)
+	pkt.meta = packMeta(sid, uint32(len(buf)))
+	pkt.src = buf
+	pkt.req = r
+	if err := e.fep.Send(dst, pkt.header, pkt.meta, nil); err != nil {
+		if err != fabric.ErrResource {
+			e.sends.release(sid)
+			e.pool.Free(worker, pkt)
+			panic(fmt.Sprintf("lci: rts send: %v", err))
+		}
+		e.out.Push(outItem{kind: outPacket, dst: dst, pkt: pkt})
+	}
+	return r, true
+}
+
+// RecvDeq returns the next incoming message in first-packet order
+// (Algorithm 2). There is no source or tag matching.
+//
+// For eager messages the returned request is already Done and Data holds the
+// payload. For rendezvous messages RecvDeq allocates the target buffer,
+// answers RTR, and returns a Pending request whose Data fills in place; the
+// request completes when the RDMA put lands.
+//
+// ok == false means nothing is pending right now.
+func (e *Endpoint) RecvDeq() (*Request, bool) {
+	f, ok := e.q.Dequeue()
+	if !ok {
+		return nil, false
+	}
+	e.statRecvs.Add(1)
+	tag := headerTag(f.Header)
+	switch headerType(f.Header) {
+	case EGR:
+		r := &Request{Data: f.Data, Size: len(f.Data), Rank: f.Src, Tag: tag}
+		r.markDone()
+		return r, true
+	case RTS:
+		sid, size := metaHi(f.Meta), int(metaLo(f.Meta))
+		buf := e.alloc.Alloc(size)
+		r := &Request{Data: buf, Size: size, Rank: f.Src, Tag: tag}
+		pend := &recvPending{req: r}
+		rid, ok := e.recvs.alloc(pend)
+		if !ok {
+			// Outstanding-receive table full: put the message back and let
+			// the caller retry once completions drain.
+			e.alloc.Free(buf)
+			for !e.q.Enqueue(f) {
+				// Q was full of newer messages; spin — the server cannot
+				// refill Q faster than we drain it here.
+			}
+			return nil, false
+		}
+		var rkey uint32
+		if e.fep.HasRDMA() {
+			var err error
+			rkey, err = e.fep.RegisterRegion(buf)
+			if err != nil {
+				e.recvs.release(rid)
+				e.alloc.Free(buf)
+				for !e.q.Enqueue(f) {
+				}
+				return nil, false
+			}
+			pend.rkey = rkey
+		}
+		header := packHeader(RTR, rid)
+		meta := packMeta(sid, rkey)
+		if err := e.fep.Send(f.Src, header, meta, nil); err != nil {
+			if err != fabric.ErrResource {
+				panic(fmt.Sprintf("lci: rtr send: %v", err))
+			}
+			e.out.Push(outItem{kind: outCtrl, dst: f.Src, header: header, meta: meta})
+		}
+		return r, true
+	default:
+		panic(fmt.Sprintf("lci: unexpected packet type %d in queue", headerType(f.Header)))
+	}
+}
+
+// PendingIncoming returns a racy estimate of messages waiting in Q.
+func (e *Endpoint) PendingIncoming() int { return e.q.Len() }

@@ -1,0 +1,57 @@
+package lci_test
+
+import (
+	"fmt"
+	"runtime"
+
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+)
+
+// Example demonstrates the Queue interface end to end: an eager send, a
+// rendezvous send, first-packet receiving, and flag-polled completion.
+func Example() {
+	fab := fabric.New(2, fabric.TestProfile())
+	sender := lci.NewEndpoint(fab.Endpoint(0), lci.Options{})
+	receiver := lci.NewEndpoint(fab.Endpoint(1), lci.Options{})
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go sender.Serve(stop)   // communication server, Algorithm 3
+	go receiver.Serve(stop) // one per host
+
+	worker := sender.Pool().RegisterWorker()
+
+	// SEND-ENQ may fail when the packet pool is exhausted; retry, never
+	// crash (Algorithm 1).
+	send := func(tag uint32, payload []byte) *lci.Request {
+		for {
+			if r, ok := sender.SendEnq(worker, 1, tag, payload); ok {
+				return r
+			}
+			runtime.Gosched()
+		}
+	}
+	small := send(1, []byte("eager"))
+	large := send(2, make([]byte, 8<<10)) // above the eager limit → rendezvous
+
+	// RECV-DEQ returns messages in first-packet order; completion is a
+	// single flag check (Algorithm 2).
+	for got := 0; got < 2; {
+		r, ok := receiver.RecvDeq()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		r.Wait(nil)
+		fmt.Printf("received tag=%d size=%d\n", r.Tag, r.Size)
+		got++
+	}
+	small.Wait(nil)
+	large.Wait(nil)
+	fmt.Println("all sends complete")
+	// Output:
+	// received tag=1 size=5
+	// received tag=2 size=8192
+	// all sends complete
+}

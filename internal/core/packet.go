@@ -1,0 +1,80 @@
+package lci
+
+// PacketType is the LCI wire packet discriminator (Algorithm 3's cases).
+type PacketType uint8
+
+const (
+	// EGR is an eager data packet: the payload travels in the packet.
+	EGR PacketType = iota + 1
+	// RTS (ready-to-send) opens a rendezvous: it carries the message size
+	// and the sender's request id.
+	RTS
+	// RTR (ready-to-recv) answers an RTS: it carries the receiver's
+	// registered rkey and request id back to the sender.
+	RTR
+	// FRG is a rendezvous payload fragment, used instead of an RDMA put on
+	// transports without remote-write support (fabric.ErrNoRDMA): header
+	// tag = receiver request id, meta = byte offset, data = chunk.
+	FRG
+	// rdmaDone is not an on-wire packet type: RDMA completions arrive as
+	// fabric.KindPutDone frames whose immediate word is the receiver's
+	// request id.
+)
+
+// Wire header layout (fabric.Frame.Header):
+//
+//	bits 56..63  packet type
+//	bits 24..55  tag (32 bits)
+//	bits  0..23  reserved
+//
+// fabric.Frame.Meta per type:
+//
+//	EGR: unused
+//	RTS: senderReqID(32) << 32 | size(32)
+//	RTR: senderReqID(32) << 32 | rkey(32); header tag field = recvReqID
+func packHeader(t PacketType, tag uint32) uint64 {
+	return uint64(t)<<56 | uint64(tag)<<24
+}
+
+func headerType(h uint64) PacketType { return PacketType(h >> 56) }
+func headerTag(h uint64) uint32      { return uint32(h >> 24) }
+
+func packMeta(hi, lo uint32) uint64 { return uint64(hi)<<32 | uint64(lo) }
+func metaHi(m uint64) uint32        { return uint32(m >> 32) }
+func metaLo(m uint64) uint32        { return uint32(m) }
+
+// Packet is a fixed-size send buffer from the global pool. A packet in
+// flight owns either an eager payload copy (EGR) or a reference to the
+// caller's source buffer (RTS) until the rendezvous completes.
+type Packet struct {
+	buf  []byte // eager staging buffer, len == eager limit
+	n    int    // used bytes of buf
+	home int    // pool shard the packet prefers to return to (locality)
+
+	// In-flight state, set by SendEnq and read by the server.
+	ptype  PacketType
+	dst    int
+	header uint64
+	meta   uint64
+	src    []byte   // rendezvous source buffer (RTS)
+	req    *Request // owning request (RTS)
+}
+
+// payload returns the bytes this packet would put on the wire.
+func (p *Packet) payload() []byte {
+	if p.ptype == EGR {
+		return p.buf[:p.n]
+	}
+	return nil
+}
+
+// reset clears in-flight state before the packet returns to the pool.
+func (p *Packet) reset() {
+	p.n = 0
+	p.ptype = 0
+	p.dst = 0
+	p.header = 0
+	p.meta = 0
+	p.src = nil
+	p.req = nil
+}

@@ -1,0 +1,118 @@
+package lci
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lcigraph/internal/concurrent"
+)
+
+// Pool is the global concurrent packet pool of Algorithm 1 ("P").
+//
+// It is locality-aware in the style the paper cites: each worker thread
+// (identified by a small integer it obtains from RegisterWorker) has a
+// private shard it allocates from and frees to first, falling back to a
+// shared fetch-and-add MPMC freelist. A packet remembers its home shard so
+// packets tend to stay hot in the cache of the thread that uses them.
+//
+// The pool is bounded: Alloc fails when every packet is in flight, which is
+// LCI's injection-rate cap and the source of SendEnq's retriable failure.
+type Pool struct {
+	shared    *concurrent.MPMC[*Packet]
+	shards    []poolShard
+	nextShard atomic.Int32
+	capacity  int
+	bufSize   int
+}
+
+const shardCache = 8 // max packets parked per worker shard
+
+type poolShard struct {
+	_     [64]byte
+	mu    sync.Mutex
+	local []*Packet
+	_     [64]byte
+}
+
+// NewPool creates a pool of n packets whose staging buffers hold bufSize
+// bytes each, with per-worker shards for up to workers threads.
+func NewPool(n, bufSize, workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		shared:   concurrent.NewMPMC[*Packet](n),
+		shards:   make([]poolShard, workers),
+		capacity: n,
+		bufSize:  bufSize,
+	}
+	for i := 0; i < n; i++ {
+		pkt := &Packet{buf: make([]byte, bufSize), home: i % workers}
+		p.shared.Enqueue(pkt)
+	}
+	return p
+}
+
+// Capacity returns the total number of packets.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// BufSize returns the per-packet staging-buffer size (the eager limit).
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// RegisterWorker hands out a worker id for locality-aware alloc/free. Ids
+// wrap around when more workers register than shards exist.
+func (p *Pool) RegisterWorker() int {
+	return int(p.nextShard.Add(1)-1) % len(p.shards)
+}
+
+// Alloc takes a packet, preferring the worker's shard. It returns nil when
+// the pool is exhausted (the caller retries later — never fatal).
+func (p *Pool) Alloc(worker int) *Packet {
+	s := &p.shards[worker%len(p.shards)]
+	s.mu.Lock()
+	if n := len(s.local); n > 0 {
+		pkt := s.local[n-1]
+		s.local = s.local[:n-1]
+		s.mu.Unlock()
+		return pkt
+	}
+	s.mu.Unlock()
+	pkt, _ := p.shared.Dequeue()
+	return pkt
+}
+
+// Free returns a packet. If the packet's home shard matches the worker's
+// and has room, it is cached locally; otherwise it goes to the shared list.
+func (p *Pool) Free(worker int, pkt *Packet) {
+	pkt.reset()
+	s := &p.shards[worker%len(p.shards)]
+	s.mu.Lock()
+	if len(s.local) < shardCache {
+		s.local = append(s.local, pkt)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	if !p.shared.Enqueue(pkt) {
+		// Cannot happen unless more packets are freed than allocated;
+		// dropping would leak capacity, so panic loudly in development.
+		panic("lci: packet pool overflow (double free?)")
+	}
+}
+
+// Available returns a racy estimate of idle packets (shared list only).
+func (p *Pool) Available() int { return p.shared.Len() }
+
+// FreeCount returns the number of idle packets including those cached in
+// worker shards. It is exact only when the pool is quiescent; use it for
+// conservation checks in tests and shutdown assertions.
+func (p *Pool) FreeCount() int {
+	n := p.shared.Len()
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		n += len(s.local)
+		s.mu.Unlock()
+	}
+	return n
+}

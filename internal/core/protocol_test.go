@@ -1,0 +1,209 @@
+package lci
+
+import (
+	"hash/crc32"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lcigraph/internal/fabric"
+)
+
+// msgSig identifies a message's content independent of arrival order.
+type msgSig struct {
+	tag  uint32
+	size int
+	sum  uint32
+}
+
+// TestQuickDeliveryMultiset: for random message mixes (sizes straddling the
+// eager limit, random tags), the receiver observes exactly the sent
+// multiset, bit-for-bit.
+func TestQuickDeliveryMultiset(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		fab := fabric.New(2, fabric.TestProfile())
+		a := NewEndpoint(fab.Endpoint(0), Options{})
+		b := NewEndpoint(fab.Endpoint(1), Options{})
+		stop := make(chan struct{})
+		defer close(stop)
+		go a.Serve(stop)
+		go b.Serve(stop)
+		w := a.Pool().RegisterWorker()
+
+		rng := rand.New(rand.NewSource(seed))
+		want := map[msgSig]int{}
+		var reqs []*Request
+		for i := 0; i < n; i++ {
+			size := rng.Intn(3 * a.EagerLimit())
+			buf := make([]byte, size)
+			rng.Read(buf)
+			tag := rng.Uint32()
+			want[msgSig{tag, size, crc32.ChecksumIEEE(buf)}]++
+			var r *Request
+			for {
+				var ok bool
+				r, ok = a.SendEnq(w, 1, tag, buf)
+				if ok {
+					break
+				}
+				runtime.Gosched()
+			}
+			reqs = append(reqs, r)
+		}
+
+		got := map[msgSig]int{}
+		var pending []*Request
+		received := 0
+		for received < n {
+			if r, ok := b.RecvDeq(); ok {
+				pending = append(pending, r)
+			}
+			keep := pending[:0]
+			for _, r := range pending {
+				if r.Done() {
+					got[msgSig{r.Tag, r.Size, crc32.ChecksumIEEE(r.Data)}]++
+					received++
+				} else {
+					keep = append(keep, r)
+				}
+			}
+			pending = keep
+			runtime.Gosched()
+		}
+		for _, r := range reqs {
+			r.Wait(nil)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBidirectionalStormTinyResources: both directions blast messages
+// through a starved fabric (tiny rings) and a tiny packet pool. The
+// retriable-failure design must neither deadlock nor lose anything.
+func TestBidirectionalStormTinyResources(t *testing.T) {
+	prof := fabric.TestProfile()
+	prof.RingDepth = 4
+	fab := fabric.New(2, prof)
+	opt := Options{PoolPackets: 6, QueueDepth: 8, MaxOutstanding: 8, Workers: 2}
+	eps := []*Endpoint{
+		NewEndpoint(fab.Endpoint(0), opt),
+		NewEndpoint(fab.Endpoint(1), opt),
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	for _, e := range eps {
+		go e.Serve(stop)
+	}
+
+	const perSide = 400
+	var wg sync.WaitGroup
+	for side := 0; side < 2; side++ {
+		wg.Add(1)
+		go func(side int) {
+			defer wg.Done()
+			e := eps[side]
+			w := e.Pool().RegisterWorker()
+			sent, received := 0, 0
+			var pending []*Request
+			buf := make([]byte, 100)
+			for sent < perSide || received < perSide {
+				if sent < perSide {
+					if _, ok := e.SendEnq(w, 1-side, uint32(side), buf); ok {
+						sent++
+					}
+				}
+				if r, ok := e.RecvDeq(); ok {
+					pending = append(pending, r)
+				}
+				keep := pending[:0]
+				for _, r := range pending {
+					if r.Done() {
+						received++
+					} else {
+						keep = append(keep, r)
+					}
+				}
+				pending = keep
+				runtime.Gosched()
+			}
+		}(side)
+	}
+	wg.Wait()
+}
+
+// TestRendezvousManyConcurrent: a batch of large messages all in flight at
+// once exercises the outstanding tables and put completion paths.
+func TestRendezvousManyConcurrent(t *testing.T) {
+	fab := fabric.New(2, fabric.TestProfile())
+	a := NewEndpoint(fab.Endpoint(0), Options{MaxOutstanding: 64})
+	b := NewEndpoint(fab.Endpoint(1), Options{MaxOutstanding: 64})
+	stop := make(chan struct{})
+	defer close(stop)
+	go a.Serve(stop)
+	go b.Serve(stop)
+	w := a.Pool().RegisterWorker()
+
+	const n = 30
+	size := a.EagerLimit() * 2
+	bufs := make([][]byte, n)
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		bufs[i] = make([]byte, size)
+		for j := range bufs[i] {
+			bufs[i][j] = byte(i)
+		}
+		for {
+			r, ok := a.SendEnq(w, 1, uint32(i), bufs[i])
+			if ok {
+				reqs = append(reqs, r)
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	seen := make([]bool, n)
+	var pending []*Request
+	done := 0
+	for done < n {
+		if r, ok := b.RecvDeq(); ok {
+			pending = append(pending, r)
+		}
+		keep := pending[:0]
+		for _, r := range pending {
+			if !r.Done() {
+				keep = append(keep, r)
+				continue
+			}
+			i := int(r.Tag)
+			if seen[i] {
+				t.Fatalf("message %d delivered twice", i)
+			}
+			seen[i] = true
+			for _, by := range r.Data {
+				if by != byte(i) {
+					t.Fatalf("message %d corrupted", i)
+				}
+			}
+			done++
+		}
+		pending = keep
+		runtime.Gosched()
+	}
+	for _, r := range reqs {
+		r.Wait(nil)
+	}
+}

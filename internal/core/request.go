@@ -1,0 +1,51 @@
+package lci
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Status is a request's completion state.
+type Status uint32
+
+const (
+	// Pending means the communication is still in progress.
+	Pending Status = iota
+	// DoneStatus means the communication finished; for receives, Data is
+	// valid.
+	DoneStatus
+)
+
+// Request records one ongoing communication (the paper's "request handle").
+//
+// Completion is observed by polling Done(): a single atomic load, set by the
+// communication server. There is no completion function that polls the
+// network — that asymmetry with MPI_Test is one of the paper's key points.
+type Request struct {
+	status atomic.Uint32
+
+	// Filled for receives (by RecvDeq / the server):
+	Data []byte // received payload; valid once Done() for receives
+	Size int    // payload size in bytes
+	Rank int    // peer rank
+	Tag  uint32 // message tag (carried, never matched)
+}
+
+// Done reports whether the communication has completed.
+func (r *Request) Done() bool { return r.status.Load() == uint32(DoneStatus) }
+
+// markDone is called by the server (or by SendEnq for eager sends).
+func (r *Request) markDone() { r.status.Store(uint32(DoneStatus)) }
+
+// Wait polls until the request completes, calling relax between polls
+// (runtime.Gosched if relax is nil, so waiting never starves the server on
+// few-core machines). It is a convenience for tests and examples; the
+// runtimes poll request lists themselves, as the paper describes.
+func (r *Request) Wait(relax func()) {
+	if relax == nil {
+		relax = runtime.Gosched
+	}
+	for !r.Done() {
+		relax()
+	}
+}

@@ -1,0 +1,242 @@
+package lci
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lcigraph/internal/fabric"
+)
+
+// idleBackoff yields for short idle streaks and parks briefly for long
+// ones, so idle progress loops do not monopolize low-core schedulers. It
+// returns the updated idle counter (0 when work was done).
+func idleBackoff(idle int, worked bool) int {
+	if worked {
+		return 0
+	}
+	idle++
+	if idle < 64 {
+		runtime.Gosched()
+	} else {
+		time.Sleep(20 * time.Microsecond)
+	}
+	return idle
+}
+
+// progressBatch bounds the frames handled per Progress call so one call
+// cannot monopolize the server when the ring is deep.
+const progressBatch = 64
+
+// Progress runs one communication-server step (Algorithm 3): flush deferred
+// operations, then poll the network and dispatch per-packet-type callbacks.
+// It returns true if any work was done. It must be called from a single
+// goroutine (the dedicated communication server).
+func (e *Endpoint) Progress() bool {
+	worked := e.flushOutbox()
+	if e.pumpFragments() {
+		worked = true
+	}
+
+	for i := 0; i < progressBatch; i++ {
+		// First re-offer a stashed frame; if Q is still full, polling more
+		// would force us to drop, so stall (back-pressure propagates to
+		// senders through the fabric ring).
+		if e.stash != nil {
+			if !e.q.Enqueue(e.stash) {
+				break
+			}
+			e.stash = nil
+			worked = true
+		}
+		f := e.fep.Poll()
+		if f == nil {
+			break
+		}
+		worked = true
+		switch {
+		case f.Kind == fabric.KindPutDone:
+			e.completePut(f)
+		default:
+			switch headerType(f.Header) {
+			case EGR, RTS:
+				if !e.q.Enqueue(f) {
+					e.stash = f
+				}
+			case RTR:
+				e.handleRTR(f)
+			case FRG:
+				e.handleFragment(f)
+			default:
+				panic(fmt.Sprintf("lci: unknown packet type %d", headerType(f.Header)))
+			}
+		}
+	}
+	return worked
+}
+
+// flushOutbox retries operations the fabric refused earlier. It processes at
+// most the number of items present on entry, so re-pushed items do not spin.
+func (e *Endpoint) flushOutbox() bool {
+	worked := false
+	// MPSC has no O(1) length; bound by attempting until a full wrap of
+	// failures. In practice the outbox is short.
+	for tries := 0; tries < progressBatch; tries++ {
+		it, ok := e.out.Pop()
+		if !ok {
+			return worked
+		}
+		var err error
+		switch it.kind {
+		case outPacket:
+			err = e.fep.Send(it.pkt.dst, it.pkt.header, it.pkt.meta, it.pkt.payload())
+			if err == nil {
+				if it.pkt.ptype == EGR {
+					e.pool.Free(e.serverWorker, it.pkt)
+				}
+				// RTS packets stay allocated until the rendezvous completes.
+				worked = true
+				continue
+			}
+		case outCtrl:
+			err = e.fep.Send(it.dst, it.header, it.meta, nil)
+			if err == nil {
+				worked = true
+				continue
+			}
+		case outPut:
+			err = e.fep.Put(it.dst, it.rkey, 0, it.src, it.imm)
+			if err == nil {
+				e.finishSend(it.sendID)
+				worked = true
+				continue
+			}
+		}
+		if err != fabric.ErrResource {
+			panic(fmt.Sprintf("lci: outbox flush: %v", err))
+		}
+		// Still no resources: park it again and stop flushing this round.
+		e.out.Push(it)
+		return worked
+	}
+	return worked
+}
+
+// handleRTR is the RTR callback: the receiver is ready, so issue the RDMA
+// put straight from the user's source buffer — or, on an RDMA-less
+// transport, start streaming FRG fragments.
+func (e *Endpoint) handleRTR(f *fabric.Frame) {
+	sid, rkey := metaHi(f.Meta), metaLo(f.Meta)
+	recvID := headerTag(f.Header)
+	p := e.sends.get(sid)
+	if p.req == nil {
+		panic("lci: RTR for unknown send request")
+	}
+	if !e.fep.HasRDMA() {
+		e.frags = append(e.frags, &fragJob{dst: f.Src, recvID: recvID, sendID: sid, src: p.src})
+		return
+	}
+	if err := e.fep.Put(f.Src, rkey, 0, p.src, uint64(recvID)); err != nil {
+		if err != fabric.ErrResource {
+			panic(fmt.Sprintf("lci: put: %v", err))
+		}
+		e.out.Push(outItem{kind: outPut, dst: f.Src, rkey: rkey, src: p.src, imm: uint64(recvID), sendID: sid})
+		return
+	}
+	e.finishSend(sid)
+}
+
+// pumpFragments advances in-progress fragmented sends, respecting
+// back-pressure. A job completes the sender request once its last chunk is
+// accepted (the fabric copies payloads on injection).
+func (e *Endpoint) pumpFragments() bool {
+	if len(e.frags) == 0 {
+		return false
+	}
+	worked := false
+	keep := e.frags[:0]
+	for _, j := range e.frags {
+		for j.off < len(j.src) {
+			chunk := j.src[j.off:]
+			if len(chunk) > e.eagerLimit {
+				chunk = chunk[:e.eagerLimit]
+			}
+			err := e.fep.Send(j.dst, packHeader(FRG, j.recvID), uint64(j.off), chunk)
+			if err == fabric.ErrResource {
+				break
+			}
+			if err != nil {
+				panic(fmt.Sprintf("lci: fragment send: %v", err))
+			}
+			j.off += len(chunk)
+			worked = true
+		}
+		if j.off < len(j.src) {
+			keep = append(keep, j)
+		} else {
+			e.finishSend(j.sendID)
+		}
+	}
+	e.frags = keep
+	return worked
+}
+
+// handleFragment is the FRG callback on the receive side: copy the chunk
+// into the pending rendezvous buffer and complete on the last byte.
+func (e *Endpoint) handleFragment(f *fabric.Frame) {
+	rid := headerTag(f.Header)
+	p := e.recvs.get(rid)
+	if p == nil || p.req == nil {
+		panic("lci: fragment for unknown recv request")
+	}
+	off := int(f.Meta)
+	copy(p.req.Data[off:], f.Data)
+	p.got += len(f.Data)
+	if p.got >= p.req.Size {
+		p.req.markDone()
+		e.recvs.release(rid)
+	}
+}
+
+// finishSend completes a rendezvous send after its put landed.
+func (e *Endpoint) finishSend(sid uint32) {
+	p := e.sends.get(sid)
+	p.req.markDone()
+	e.pool.Free(e.serverWorker, p.pkt)
+	e.sends.release(sid)
+}
+
+// completePut is the RDMA-completion callback: the receiver's buffer is now
+// filled; finish the receive request.
+func (e *Endpoint) completePut(f *fabric.Frame) {
+	rid := uint32(f.Header)
+	p := e.recvs.get(rid)
+	if p == nil || p.req == nil {
+		panic("lci: put completion for unknown recv request")
+	}
+	e.fep.DeregisterRegion(p.rkey)
+	p.req.markDone()
+	e.recvs.release(rid)
+}
+
+// Serve drives Progress in a loop until stop is closed. It yields (and,
+// after long idle streaks, briefly sleeps) so co-located hosts make
+// progress; a real deployment pins the server thread and spins.
+func (e *Endpoint) Serve(stop <-chan struct{}) {
+	idle := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		idle = idleBackoff(idle, e.Progress())
+	}
+}
+
+// Drain progresses until the outbox is empty and no frames are pending, for
+// orderly shutdown in tests.
+func (e *Endpoint) Drain() {
+	for e.Progress() {
+	}
+}

@@ -1,0 +1,382 @@
+// Package fabric simulates the cluster interconnect the paper's runtimes sit
+// on: one NIC endpoint per host, a reliable network between them, bounded
+// hardware receive resources, an eager send verb, an RDMA put verb into
+// registered memory regions, and a poll verb that drains the receive ring.
+//
+// It is the substitution for the Omni-Path (psm2) and InfiniBand (ibverbs)
+// adapters of Stampede2/Stampede1: see DESIGN.md §2. Both the MPI baseline
+// (internal/mpi) and LCI (internal/core) drive exactly these verbs, so
+// performance differences between the stacks come from their software paths,
+// not from the fabric.
+//
+// Back-pressure is modelled the way the paper needs it to be: when a
+// destination's receive ring is full, Send and Put fail with ErrResource.
+// LCI surfaces that to its caller as a retriable failure; a naive MPI layer
+// turns it into buffer exhaustion (see internal/mpi).
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcigraph/internal/concurrent"
+)
+
+// ErrResource indicates the network could not accept the operation right now
+// (destination ring full / injection limit). The operation had no effect and
+// may be retried.
+var ErrResource = errors.New("fabric: network resources exhausted (retry)")
+
+// ErrBadRKey indicates an RDMA put referenced an unknown or out-of-bounds
+// registered region.
+var ErrBadRKey = errors.New("fabric: invalid rkey or out-of-bounds put")
+
+// ErrNoRDMA indicates the fabric profile has no RDMA write capability
+// (e.g. a sockets provider); upper layers must fall back to fragmented
+// sends.
+var ErrNoRDMA = errors.New("fabric: profile has no RDMA support")
+
+// FrameKind discriminates what Poll returned.
+type FrameKind uint8
+
+const (
+	// KindSend is an eager message frame carrying data.
+	KindSend FrameKind = iota
+	// KindPutDone is the completion notification of an RDMA put targeting
+	// this endpoint's memory: the data is already in the registered region;
+	// the frame carries only the immediate word.
+	KindPutDone
+)
+
+// Frame is one unit of delivery from the network to an endpoint.
+// Header and Meta are opaque 64-bit words for the upper layer (message type,
+// tag, request ids...); the fabric never interprets them.
+type Frame struct {
+	Kind   FrameKind
+	Src    int
+	Header uint64
+	Meta   uint64
+	Data   []byte // eager payload (KindSend); nil for KindPutDone
+}
+
+// Profile describes a NIC / interconnect model. The per-operation overheads
+// are charged as busy-wait time on the calling thread, modelling the
+// injection and delivery costs of a real adapter; they are deliberately small
+// relative to the software-stack costs under study.
+type Profile struct {
+	Name       string
+	RingDepth  int           // per-endpoint receive ring depth (HW resource)
+	EagerLimit int           // maximum bytes carried by a single Send frame
+	SendCost   time.Duration // per-Send injection overhead
+	PutCost    time.Duration // per-Put injection overhead
+	ByteCost   time.Duration // additional cost per 1KiB transferred
+	MaxRegions int           // registered-region table size
+	// DisableRDMA models transports without remote-write capability (the
+	// libfabric sockets provider class): Put fails with ErrNoRDMA and the
+	// communication runtimes fall back to fragmented eager sends.
+	DisableRDMA bool
+	// Jitter, when positive, adds a pseudo-random extra delay of up to
+	// this duration to a fraction of operations — failure/variance
+	// injection for robustness tests (congested or noisy networks).
+	Jitter time.Duration
+}
+
+// OmniPath models the Stampede2 Intel Omni-Path fabric (psm2): deep rings,
+// low per-message overhead (Table III row 1).
+func OmniPath() Profile {
+	return Profile{
+		Name:       "omnipath",
+		RingDepth:  1024,
+		EagerLimit: 8 << 10,
+		SendCost:   200 * time.Nanosecond,
+		PutCost:    300 * time.Nanosecond,
+		// The per-byte cost is scaled to the simulator's (goroutine-
+		// scheduling) hop latency, not to real wall-clock bandwidth, so
+		// that large transfers are bandwidth-dominated just as on the real
+		// NIC; see DESIGN.md §2.
+		ByteCost:   1200 * time.Nanosecond,
+		MaxRegions: 4096,
+	}
+}
+
+// InfiniBand models the Stampede1 Mellanox FDR InfiniBand fabric (ibverbs,
+// RC): shallower rings, slightly higher per-message cost, lower bandwidth
+// (Table III row 2).
+func InfiniBand() Profile {
+	return Profile{
+		Name:       "infiniband",
+		RingDepth:  512,
+		EagerLimit: 4 << 10,
+		SendCost:   350 * time.Nanosecond,
+		PutCost:    450 * time.Nanosecond,
+		ByteCost:   2100 * time.Nanosecond, // ~0.57× the Omni-Path rate
+		MaxRegions: 4096,
+	}
+}
+
+// Sockets models a commodity transport with no RDMA (the libfabric sockets
+// provider / TCP class): the portability target of §VI — LCI "requires
+// only a few primitive network operations", so it must run here too.
+func Sockets() Profile {
+	return Profile{
+		Name:        "sockets",
+		RingDepth:   256,
+		EagerLimit:  4 << 10,
+		SendCost:    900 * time.Nanosecond,
+		PutCost:     0,
+		ByteCost:    3500 * time.Nanosecond,
+		MaxRegions:  128,
+		DisableRDMA: true,
+	}
+}
+
+// TestProfile is a fast zero-overhead profile for unit tests.
+func TestProfile() Profile {
+	return Profile{
+		Name:       "test",
+		RingDepth:  64,
+		EagerLimit: 1 << 10,
+		MaxRegions: 128,
+	}
+}
+
+// Stats are per-endpoint operation counters.
+type Stats struct {
+	SendFrames  int64
+	SendBytes   int64
+	Puts        int64
+	PutBytes    int64
+	Polls       int64
+	PollHits    int64
+	SendRetries int64 // ErrResource returns from Send
+	PutRetries  int64 // ErrResource returns from Put
+}
+
+// Fabric is an in-process interconnect between n endpoints.
+type Fabric struct {
+	prof Profile
+	eps  []*Endpoint
+}
+
+// New creates a fabric with n endpoints using profile prof.
+func New(n int, prof Profile) *Fabric {
+	if prof.RingDepth <= 0 {
+		prof.RingDepth = 64
+	}
+	if prof.EagerLimit <= 0 {
+		prof.EagerLimit = 1 << 10
+	}
+	if prof.MaxRegions <= 0 {
+		prof.MaxRegions = 128
+	}
+	f := &Fabric{prof: prof, eps: make([]*Endpoint, n)}
+	for i := range f.eps {
+		f.eps[i] = &Endpoint{
+			fab:  f,
+			rank: i,
+			ring: concurrent.NewMPMC[*Frame](prof.RingDepth),
+		}
+	}
+	return f
+}
+
+// Size returns the number of endpoints.
+func (f *Fabric) Size() int { return len(f.eps) }
+
+// Profile returns the fabric's NIC profile.
+func (f *Fabric) Profile() Profile { return f.prof }
+
+// Endpoint returns the endpoint for host rank.
+func (f *Fabric) Endpoint(rank int) *Endpoint { return f.eps[rank] }
+
+// region is a registered memory window on an endpoint.
+type region struct {
+	buf   []byte
+	valid bool
+}
+
+// Endpoint is one host's NIC. Send and Put may be called from any goroutine
+// of the owning host; Poll is normally called by a single progress thread
+// (it is nevertheless thread-safe).
+type Endpoint struct {
+	fab  *Fabric
+	rank int
+	ring *concurrent.MPMC[*Frame]
+
+	mu      sync.Mutex
+	regions []region
+	free    []uint32
+
+	sendFrames  atomic.Int64
+	sendBytes   atomic.Int64
+	puts        atomic.Int64
+	putBytes    atomic.Int64
+	polls       atomic.Int64
+	pollHits    atomic.Int64
+	sendRetries atomic.Int64
+	putRetries  atomic.Int64
+	jitterSeq   atomic.Uint64
+}
+
+// Rank returns the endpoint's host rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// EagerLimit returns the maximum payload of a single Send.
+func (e *Endpoint) EagerLimit() int { return e.fab.prof.EagerLimit }
+
+// HasRDMA reports whether the fabric supports Put.
+func (e *Endpoint) HasRDMA() bool { return !e.fab.prof.DisableRDMA }
+
+// charge busy-waits for the modelled cost of an operation moving n bytes,
+// plus injected jitter when the profile asks for it.
+func (e *Endpoint) charge(base time.Duration, n int) {
+	d := base + e.fab.prof.ByteCost*time.Duration(n)/1024
+	if j := e.fab.prof.Jitter; j > 0 {
+		// Cheap xorshift on a per-endpoint counter: ~1 in 8 operations is
+		// delayed by up to j.
+		x := uint64(e.jitterSeq.Add(0x9e3779b97f4a7c15))
+		x ^= x >> 33
+		if x&7 == 0 {
+			d += time.Duration(x % uint64(j))
+		}
+	}
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}
+
+// Send injects an eager message to dst. The payload is copied onto the wire;
+// the caller's buffer is reusable as soon as Send returns. Send fails with
+// ErrResource when dst's receive ring is full — the caller must retry (or,
+// in the naive MPI model, die).
+func (e *Endpoint) Send(dst int, header, meta uint64, data []byte) error {
+	if len(data) > e.fab.prof.EagerLimit {
+		return fmt.Errorf("fabric: send of %d bytes exceeds eager limit %d", len(data), e.fab.prof.EagerLimit)
+	}
+	if dst < 0 || dst >= len(e.fab.eps) {
+		return fmt.Errorf("fabric: bad destination rank %d", dst)
+	}
+	var wire []byte
+	if len(data) > 0 {
+		wire = make([]byte, len(data))
+		copy(wire, data)
+	}
+	f := &Frame{Kind: KindSend, Src: e.rank, Header: header, Meta: meta, Data: wire}
+	e.charge(e.fab.prof.SendCost, len(data))
+	if !e.fab.eps[dst].ring.Enqueue(f) {
+		e.sendRetries.Add(1)
+		return ErrResource
+	}
+	e.sendFrames.Add(1)
+	e.sendBytes.Add(int64(len(data)))
+	return nil
+}
+
+// RegisterRegion registers buf for remote Put access and returns its rkey.
+// The region remains valid until DeregisterRegion.
+func (e *Endpoint) RegisterRegion(buf []byte) (uint32, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.free); n > 0 {
+		k := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.regions[k] = region{buf: buf, valid: true}
+		return k, nil
+	}
+	if len(e.regions) >= e.fab.prof.MaxRegions {
+		return 0, errors.New("fabric: region table full")
+	}
+	e.regions = append(e.regions, region{buf: buf, valid: true})
+	return uint32(len(e.regions) - 1), nil
+}
+
+// DeregisterRegion releases an rkey.
+func (e *Endpoint) DeregisterRegion(rkey uint32) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if int(rkey) < len(e.regions) && e.regions[rkey].valid {
+		e.regions[rkey] = region{}
+		e.free = append(e.free, rkey)
+	}
+}
+
+// lookupRegion returns the target slice for a put.
+func (e *Endpoint) lookupRegion(rkey uint32, offset, n int) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if int(rkey) >= len(e.regions) || !e.regions[rkey].valid {
+		return nil, ErrBadRKey
+	}
+	buf := e.regions[rkey].buf
+	if offset < 0 || offset+n > len(buf) {
+		return nil, ErrBadRKey
+	}
+	return buf[offset : offset+n], nil
+}
+
+// Put performs an RDMA write of data into dst's registered region rkey at
+// offset, then delivers a KindPutDone frame carrying imm to dst. Like Send
+// it fails with ErrResource when dst's ring cannot take the completion (the
+// data is NOT written in that case, so retry is safe).
+func (e *Endpoint) Put(dst int, rkey uint32, offset int, data []byte, imm uint64) error {
+	if e.fab.prof.DisableRDMA {
+		return ErrNoRDMA
+	}
+	if dst < 0 || dst >= len(e.fab.eps) {
+		return fmt.Errorf("fabric: bad destination rank %d", dst)
+	}
+	target := e.fab.eps[dst]
+	dstBuf, err := target.lookupRegion(rkey, offset, len(data))
+	if err != nil {
+		return err
+	}
+	// Reserve the completion slot first so a full ring never leaves a
+	// half-visible write.
+	f := &Frame{Kind: KindPutDone, Src: e.rank, Header: imm, Meta: uint64(rkey)}
+	e.charge(e.fab.prof.PutCost, len(data))
+	copy(dstBuf, data)
+	if !target.ring.Enqueue(f) {
+		// Roll-back is impossible for real RDMA; but since the receiver only
+		// reads the region after seeing the completion, re-copying on retry
+		// is harmless. Report retriable failure.
+		e.putRetries.Add(1)
+		return ErrResource
+	}
+	e.puts.Add(1)
+	e.putBytes.Add(int64(len(data)))
+	return nil
+}
+
+// Poll removes and returns one incoming frame, or nil if none is pending.
+func (e *Endpoint) Poll() *Frame {
+	e.polls.Add(1)
+	f, ok := e.ring.Dequeue()
+	if !ok {
+		return nil
+	}
+	e.pollHits.Add(1)
+	return f
+}
+
+// Pending returns a racy estimate of queued incoming frames.
+func (e *Endpoint) Pending() int { return e.ring.Len() }
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		SendFrames:  e.sendFrames.Load(),
+		SendBytes:   e.sendBytes.Load(),
+		Puts:        e.puts.Load(),
+		PutBytes:    e.putBytes.Load(),
+		Polls:       e.polls.Load(),
+		PollHits:    e.pollHits.Load(),
+		SendRetries: e.sendRetries.Load(),
+		PutRetries:  e.putRetries.Load(),
+	}
+}

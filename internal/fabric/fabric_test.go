@@ -1,0 +1,327 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendPoll(t *testing.T) {
+	f := New(2, TestProfile())
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	if a.Rank() != 0 || b.Rank() != 1 || f.Size() != 2 {
+		t.Fatal("rank/size wrong")
+	}
+	if fr := b.Poll(); fr != nil {
+		t.Fatal("poll on idle endpoint returned frame")
+	}
+	payload := []byte("hello fabric")
+	if err := a.Send(1, 42, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X' // sender buffer reusable immediately; wire copy intact
+	fr := b.Poll()
+	if fr == nil {
+		t.Fatal("no frame delivered")
+	}
+	if fr.Kind != KindSend || fr.Src != 0 || fr.Header != 42 || fr.Meta != 7 {
+		t.Fatalf("frame = %+v", fr)
+	}
+	if string(fr.Data) != "hello fabric" {
+		t.Fatalf("payload = %q (wire copy corrupted)", fr.Data)
+	}
+	st := a.Stats()
+	if st.SendFrames != 1 || st.SendBytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	f := New(2, TestProfile())
+	a := f.Endpoint(0)
+	big := make([]byte, f.Profile().EagerLimit+1)
+	if err := a.Send(1, 0, 0, big); err == nil {
+		t.Fatal("oversized send accepted")
+	}
+	if err := a.Send(5, 0, 0, nil); err == nil {
+		t.Fatal("send to bad rank accepted")
+	}
+	if err := a.Send(-1, 0, 0, nil); err == nil {
+		t.Fatal("send to negative rank accepted")
+	}
+}
+
+func TestRingExhaustionBackpressure(t *testing.T) {
+	p := TestProfile()
+	p.RingDepth = 4
+	f := New(2, p)
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	sent := 0
+	for {
+		err := a.Send(1, 0, 0, []byte{1})
+		if err == ErrResource {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent++
+		if sent > 100 {
+			t.Fatal("ring never filled")
+		}
+	}
+	if sent != 4 {
+		t.Fatalf("ring accepted %d frames, want 4", sent)
+	}
+	if a.Stats().SendRetries != 1 {
+		t.Fatalf("retries = %d", a.Stats().SendRetries)
+	}
+	// Draining one slot makes room for exactly one more.
+	if fr := b.Poll(); fr == nil {
+		t.Fatal("drain failed")
+	}
+	if err := a.Send(1, 0, 0, []byte{2}); err != nil {
+		t.Fatalf("send after drain: %v", err)
+	}
+	if err := a.Send(1, 0, 0, []byte{3}); err != ErrResource {
+		t.Fatalf("expected ErrResource, got %v", err)
+	}
+}
+
+func TestPutIntoRegion(t *testing.T) {
+	f := New(2, TestProfile())
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	window := make([]byte, 64)
+	rkey, err := b.RegisterRegion(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("rdma-payload")
+	if err := a.Put(1, rkey, 8, data, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	fr := b.Poll()
+	if fr == nil || fr.Kind != KindPutDone || fr.Header != 0xdead || fr.Src != 0 {
+		t.Fatalf("completion = %+v", fr)
+	}
+	if !bytes.Equal(window[8:8+len(data)], data) {
+		t.Fatalf("region contents = %q", window[8:8+len(data)])
+	}
+	st := a.Stats()
+	if st.Puts != 1 || st.PutBytes != int64(len(data)) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	f := New(2, TestProfile())
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	window := make([]byte, 16)
+	rkey, _ := b.RegisterRegion(window)
+
+	if err := a.Put(1, rkey+100, 0, []byte{1}, 0); err != ErrBadRKey {
+		t.Fatalf("bad rkey: %v", err)
+	}
+	if err := a.Put(1, rkey, 15, []byte{1, 2}, 0); err != ErrBadRKey {
+		t.Fatalf("out-of-bounds put: %v", err)
+	}
+	if err := a.Put(1, rkey, -1, []byte{1}, 0); err != ErrBadRKey {
+		t.Fatalf("negative offset: %v", err)
+	}
+	if err := a.Put(9, rkey, 0, []byte{1}, 0); err == nil {
+		t.Fatal("put to bad rank accepted")
+	}
+	b.DeregisterRegion(rkey)
+	if err := a.Put(1, rkey, 0, []byte{1}, 0); err != ErrBadRKey {
+		t.Fatalf("put to deregistered region: %v", err)
+	}
+}
+
+func TestRegionReuse(t *testing.T) {
+	p := TestProfile()
+	f := New(1, p)
+	e := f.Endpoint(0)
+	k1, err := e.RegisterRegion(make([]byte, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.DeregisterRegion(k1)
+	k2, err := e.RegisterRegion(make([]byte, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("rkey not recycled: %d then %d", k1, k2)
+	}
+	// Table capacity is enforced.
+	var keys []uint32
+	for {
+		k, err := e.RegisterRegion(make([]byte, 1))
+		if err != nil {
+			break
+		}
+		keys = append(keys, k)
+		if len(keys) > p.MaxRegions+1 {
+			t.Fatal("region table never filled")
+		}
+	}
+	if len(keys) != p.MaxRegions-1 { // k2 still registered
+		t.Fatalf("registered %d regions before full, want %d", len(keys), p.MaxRegions-1)
+	}
+}
+
+// TestManySendersOneReceiver checks no loss/dup with concurrent senders and a
+// polling receiver under back-pressure.
+func TestManySendersOneReceiver(t *testing.T) {
+	p := TestProfile()
+	p.RingDepth = 8
+	const hosts, perHost = 4, 2000
+	f := New(hosts+1, p)
+	recv := f.Endpoint(hosts)
+
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			ep := f.Endpoint(h)
+			buf := make([]byte, 4)
+			for i := 0; i < perHost; i++ {
+				binary.LittleEndian.PutUint32(buf, uint32(i))
+				for {
+					err := ep.Send(hosts, uint64(h), 0, buf)
+					if err == nil {
+						break
+					}
+					if err != ErrResource {
+						t.Errorf("send: %v", err)
+						return
+					}
+					runtime.Gosched()
+				}
+			}
+		}(h)
+	}
+
+	seen := make([][]bool, hosts)
+	for h := range seen {
+		seen[h] = make([]bool, perHost)
+	}
+	got := 0
+	donech := make(chan struct{})
+	go func() { wg.Wait(); close(donech) }()
+	for got < hosts*perHost {
+		fr := recv.Poll()
+		if fr == nil {
+			runtime.Gosched()
+			continue
+		}
+		h := int(fr.Header)
+		i := int(binary.LittleEndian.Uint32(fr.Data))
+		if seen[h][i] {
+			t.Fatalf("duplicate frame %d/%d", h, i)
+		}
+		seen[h][i] = true
+		got++
+	}
+	<-donech
+	if fr := recv.Poll(); fr != nil {
+		t.Fatal("extra frame after all accounted for")
+	}
+}
+
+// TestPerSenderFIFO: frames from a single sending goroutine arrive in order.
+func TestPerSenderFIFO(t *testing.T) {
+	f := New(2, TestProfile())
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	const n = 500
+	go func() {
+		for i := 0; i < n; i++ {
+			for a.Send(1, uint64(i), 0, nil) == ErrResource {
+				runtime.Gosched() // retry while receiver drains
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		var fr *Frame
+		for fr == nil {
+			runtime.Gosched()
+			fr = b.Poll()
+		}
+		if fr.Header != uint64(i) {
+			t.Fatalf("out of order: got %d want %d", fr.Header, i)
+		}
+	}
+}
+
+// TestQuickPutOffsets: puts at arbitrary valid offsets land exactly there.
+func TestQuickPutOffsets(t *testing.T) {
+	f := New(2, TestProfile())
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	const wsize = 256
+	window := make([]byte, wsize)
+	rkey, _ := b.RegisterRegion(window)
+	check := func(off uint8, val uint8, n uint8) bool {
+		offset := int(off) % wsize
+		size := int(n)%16 + 1
+		if offset+size > wsize {
+			offset = wsize - size
+		}
+		data := bytes.Repeat([]byte{val}, size)
+		if err := a.Put(1, rkey, offset, data, 1); err != nil {
+			return false
+		}
+		if b.Poll() == nil {
+			return false
+		}
+		return bytes.Equal(window[offset:offset+size], data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range []Profile{OmniPath(), InfiniBand(), TestProfile()} {
+		if p.RingDepth <= 0 || p.EagerLimit <= 0 || p.MaxRegions <= 0 {
+			t.Errorf("profile %s has non-positive limits: %+v", p.Name, p)
+		}
+	}
+	if OmniPath().SendCost >= InfiniBand().SendCost {
+		t.Error("omni-path should have lower per-message cost than FDR infiniband")
+	}
+}
+
+func BenchmarkSendPoll8B(b *testing.B) {
+	f := New(2, TestProfile())
+	a, r := f.Endpoint(0), f.Endpoint(1)
+	buf := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for a.Send(1, 0, 0, buf) != nil {
+			r.Poll()
+		}
+		for r.Poll() == nil {
+		}
+	}
+}
+
+func BenchmarkPut1K(b *testing.B) {
+	f := New(2, TestProfile())
+	a, r := f.Endpoint(0), f.Endpoint(1)
+	window := make([]byte, 1<<10)
+	rkey, _ := r.RegisterRegion(window)
+	data := make([]byte, 1<<10)
+	b.SetBytes(1 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for a.Put(1, rkey, 0, data, 0) != nil {
+			r.Poll()
+		}
+		for r.Poll() == nil {
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead: arbitrary byte streams must never panic the binary reader;
+// valid round-trips must parse back identically.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := RMAT(5, 4, 1, 8).Write(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("LCGR"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input rejected is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Read returned invalid graph: %v", err)
+		}
+		var out bytes.Buffer
+		if err := g.Write(&out); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		g2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if g2.N != g.N || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round-trip changed the graph")
+		}
+	})
+}
+
+// FuzzFromEdges: arbitrary edge lists (coerced into range) always build a
+// structurally valid CSR.
+func FuzzFromEdges(f *testing.F) {
+	f.Add(uint16(16), []byte{1, 2, 3, 4, 5, 6})
+	f.Fuzz(func(t *testing.T, nRaw uint16, raw []byte) {
+		n := int(nRaw)%256 + 1
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{
+				Src: uint32(raw[i]) % uint32(n),
+				Dst: uint32(raw[i+1]) % uint32(n),
+			})
+		}
+		g := FromEdges(n, edges)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("invalid CSR from fuzz edges: %v", err)
+		}
+		if err := g.Transpose().Validate(); err != nil {
+			t.Fatalf("invalid transpose: %v", err)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Scale-free generators. Each stands in for one of the paper's inputs at a
+// reduced scale (see DESIGN.md §2):
+//
+//	RMAT  → rmat28:  directed R-MAT, strongly skewed out-degree
+//	Kron  → kron30:  Graph500-style Kronecker, symmetrized (undirected)
+//	Web   → clueweb12: web-crawl-like, E/V≈43, extremely skewed in-degree
+//
+// All generators are deterministic in (scale, seed).
+
+// RMATParams are the recursive quadrant probabilities.
+type RMATParams struct{ A, B, C, D float64 }
+
+// DefaultRMAT are the Graph500 Kronecker parameters (used for kron: the
+// symmetric b = c makes in- and out-degree distributions match).
+func DefaultRMAT() RMATParams { return RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05} }
+
+// DirectedRMAT are asymmetric parameters (b ≫ c) for the rmat input: like
+// the paper's rmat28, the maximum out-degree far exceeds the maximum
+// in-degree.
+func DirectedRMAT() RMATParams { return RMATParams{A: 0.55, B: 0.28, C: 0.07, D: 0.10} }
+
+// rmatEdge samples one edge in a 2^scale × 2^scale adjacency matrix.
+func rmatEdge(rng *rand.Rand, scale int, p RMATParams) (uint32, uint32) {
+	var src, dst uint32
+	for i := 0; i < scale; i++ {
+		r := rng.Float64()
+		// Add a little noise per level to avoid degenerate staircases.
+		a := p.A + 0.05*(rng.Float64()-0.5)
+		b := p.B
+		c := p.C
+		switch {
+		case r < a:
+			// top-left: nothing
+		case r < a+b:
+			dst |= 1 << i
+		case r < a+b+c:
+			src |= 1 << i
+		default:
+			src |= 1 << i
+			dst |= 1 << i
+		}
+	}
+	return src, dst
+}
+
+// RMAT generates a directed R-MAT graph with 2^scale vertices and
+// edgeFactor·2^scale edges, weighted 1..maxW (0 ⇒ unweighted), using the
+// asymmetric DirectedRMAT parameters.
+func RMAT(scale, edgeFactor int, seed int64, maxW uint32) *Graph {
+	n := 1 << scale
+	m := n * edgeFactor
+	rng := rand.New(rand.NewSource(seed))
+	p := DirectedRMAT()
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		s, d := rmatEdge(rng, scale, p)
+		e := Edge{Src: s, Dst: d}
+		if maxW > 0 {
+			e.W = 1 + uint32(rng.Intn(int(maxW)))
+		}
+		edges = append(edges, e)
+	}
+	return FromEdges(n, edges)
+}
+
+// Kron generates an undirected (symmetrized) Kronecker graph in the
+// Graph500 style: 2^scale vertices, edgeFactor·2^scale undirected edges
+// stored as both directions.
+func Kron(scale, edgeFactor int, seed int64, maxW uint32) *Graph {
+	n := 1 << scale
+	m := n * edgeFactor
+	rng := rand.New(rand.NewSource(seed))
+	p := DefaultRMAT()
+	edges := make([]Edge, 0, 2*m)
+	for i := 0; i < m; i++ {
+		s, d := rmatEdge(rng, scale, p)
+		var w uint32
+		if maxW > 0 {
+			w = 1 + uint32(rng.Intn(int(maxW)))
+		}
+		edges = append(edges, Edge{Src: s, Dst: d, W: w}, Edge{Src: d, Dst: s, W: w})
+	}
+	return FromEdges(n, edges)
+}
+
+// zipf draws vertex ids with a power-law bias toward low ids.
+type zipf struct {
+	z *rand.Zipf
+	n uint64
+}
+
+func newZipf(rng *rand.Rand, s float64, n int) *zipf {
+	return &zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1)), n: uint64(n)}
+}
+
+func (z *zipf) draw() uint32 { return uint32(z.z.Uint64()) }
+
+// Web generates a web-crawl-like directed graph: out-degrees are
+// lognormal-ish and bounded, destinations are Zipf-distributed so a few
+// "hub" pages collect an enormous in-degree (clueweb12's max in-degree is
+// ~7.7% of |V|). Vertices: 2^scale; average degree ≈ edgeFactor.
+func Web(scale, edgeFactor int, seed int64, maxW uint32) *Graph {
+	n := 1 << scale
+	rng := rand.New(rand.NewSource(seed))
+	dsts := newZipf(rng, 1.35, n)
+	edges := make([]Edge, 0, n*edgeFactor)
+	for v := 0; v < n; v++ {
+		// Lognormal out-degree with mean ≈ edgeFactor, capped.
+		mu := math.Log(float64(edgeFactor)) - 0.5
+		d := int(math.Exp(rng.NormFloat64()*1.0 + mu))
+		if d > 16*edgeFactor {
+			d = 16 * edgeFactor
+		}
+		for i := 0; i < d; i++ {
+			// Mix Zipf hubs with local links, like real crawls.
+			var dst uint32
+			if rng.Float64() < 0.7 {
+				dst = dsts.draw()
+			} else {
+				dst = uint32(rng.Intn(n))
+			}
+			e := Edge{Src: uint32(v), Dst: dst}
+			if maxW > 0 {
+				e.W = 1 + uint32(rng.Intn(int(maxW)))
+			}
+			edges = append(edges, e)
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// Path returns a simple directed path 0→1→…→n-1 (tests).
+func Path(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, Edge{Src: uint32(v), Dst: uint32(v + 1)})
+	}
+	return FromEdges(n, edges)
+}
+
+// Ring returns a directed cycle over n vertices (tests).
+func Ring(n int) *Graph {
+	edges := make([]Edge, 0, n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, Edge{Src: uint32(v), Dst: uint32((v + 1) % n)})
+	}
+	return FromEdges(n, edges)
+}
+
+// Complete returns the complete directed graph on n vertices (tests).
+func Complete(n int) *Graph {
+	var edges []Edge
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				edges = append(edges, Edge{Src: uint32(s), Dst: uint32(d)})
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// Named builds one of the paper-substitute inputs by name: "rmat", "kron"
+// or "web", at the given scale.
+func Named(name string, scale int, seed int64) *Graph {
+	switch name {
+	case "rmat":
+		return RMAT(scale, 16, seed, 64)
+	case "kron":
+		return Kron(scale, 8, seed, 64)
+	case "web":
+		return Web(scale, 43, seed, 64)
+	default:
+		panic("graph: unknown input " + name)
+	}
+}
+
+// Inputs lists the Table I input names in paper order.
+func Inputs() []string { return []string{"web", "kron", "rmat"} }

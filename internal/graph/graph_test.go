@@ -1,0 +1,262 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := FromEdges(4, []Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 2, Dst: 3},
+		{Src: 1, Dst: 1}, // self-loop dropped
+		{Src: 3, Dst: 0},
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4 (self-loop dropped)", g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 0 || g.Degree(2) != 1 || g.Degree(3) != 1 {
+		t.Fatalf("degrees = %d %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2), g.Degree(3))
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors(0) = %v (must be sorted)", nb)
+	}
+}
+
+func TestWeightsPreserved(t *testing.T) {
+	g := FromEdges(3, []Edge{
+		{Src: 0, Dst: 2, W: 7}, {Src: 0, Dst: 1, W: 3},
+	})
+	nb, ws := g.Neighbors(0), g.NeighborWeights(0)
+	if nb[0] != 1 || ws[0] != 3 || nb[1] != 2 || ws[1] != 7 {
+		t.Fatalf("sorted adjacency lost weight pairing: %v %v", nb, ws)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := RMAT(8, 8, 42, 16)
+	tt := g.Transpose().Transpose()
+	if tt.N != g.N || tt.NumEdges() != g.NumEdges() {
+		t.Fatalf("transpose changed size: %d/%d vs %d/%d", tt.N, tt.NumEdges(), g.N, g.NumEdges())
+	}
+	for v := 0; v < g.N; v++ {
+		a, b := g.Neighbors(v), tt.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency changed", v)
+			}
+		}
+	}
+}
+
+func TestTransposeDegreeSum(t *testing.T) {
+	g := Web(8, 8, 1, 0)
+	tr := g.Transpose()
+	if tr.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", tr.NumEdges(), g.NumEdges())
+	}
+	// In-degree of v in g == out-degree of v in transpose.
+	din := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			din[u]++
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		if tr.Degree(v) != din[v] {
+			t.Fatalf("vertex %d: transpose degree %d, in-degree %d", v, tr.Degree(v), din[v])
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range Inputs() {
+		a, b := Named(name, 8, 7), Named(name, 8, 7)
+		if a.N != b.N || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: nondeterministic size", name)
+		}
+		for v := 0; v < a.N; v++ {
+			na, nb := a.Neighbors(v), b.Neighbors(v)
+			for i := range na {
+				if na[i] != nb[i] {
+					t.Fatalf("%s: nondeterministic adjacency at %d", name, v)
+				}
+			}
+		}
+		c := Named(name, 8, 8)
+		if c.NumEdges() == a.NumEdges() {
+			// Different seeds almost surely differ in at least edge count
+			// for web; for rmat/kron counts match but edges differ.
+			same := true
+			for v := 0; v < a.N && same; v++ {
+				na, nc := a.Neighbors(v), c.Neighbors(v)
+				if len(na) != len(nc) {
+					same = false
+					break
+				}
+				for i := range na {
+					if na[i] != nc[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				t.Fatalf("%s: seed ignored", name)
+			}
+		}
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	const scale = 10
+	rmat := Analyze("rmat", Named("rmat", scale, 1))
+	kron := Analyze("kron", Named("kron", scale, 1))
+	web := Analyze("web", Named("web", scale, 1))
+
+	if rmat.V != 1<<scale || kron.V != 1<<scale || web.V != 1<<scale {
+		t.Fatal("wrong vertex counts")
+	}
+	// Table I shapes: web has E/V ≈ 43 and max in-degree a large fraction
+	// of V; rmat is skewed with max out-degree >> average; kron is
+	// symmetric-ish.
+	if web.AvgDegree < 20 || web.AvgDegree > 80 {
+		t.Errorf("web E/V = %.1f, want ≈43", web.AvgDegree)
+	}
+	if web.MaxDin < web.V/50 {
+		t.Errorf("web max in-degree %d not hub-like (V=%d)", web.MaxDin, web.V)
+	}
+	if rmat.MaxDout < 8*int(rmat.AvgDegree) {
+		t.Errorf("rmat max out-degree %d not skewed (avg %.1f)", rmat.MaxDout, rmat.AvgDegree)
+	}
+	ratio := float64(kron.MaxDout) / float64(kron.MaxDin)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("kron in/out max degrees should be similar (undirected): %d vs %d",
+			kron.MaxDout, kron.MaxDin)
+	}
+}
+
+func TestPathRingComplete(t *testing.T) {
+	p := Path(5)
+	if p.NumEdges() != 4 || p.Degree(4) != 0 {
+		t.Fatalf("path: %d edges, deg(4)=%d", p.NumEdges(), p.Degree(4))
+	}
+	r := Ring(5)
+	if r.NumEdges() != 5 || r.Neighbors(4)[0] != 0 {
+		t.Fatal("ring wrong")
+	}
+	c := Complete(4)
+	if c.NumEdges() != 12 {
+		t.Fatalf("complete: %d edges", c.NumEdges())
+	}
+	for _, g := range []*Graph{p, r, c} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	for _, g := range []*Graph{
+		RMAT(8, 8, 3, 16),
+		Web(7, 10, 5, 0),
+		Path(10),
+		FromEdges(1, nil),
+	} {
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != g.N || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("size mismatch after round trip")
+		}
+		for v := 0; v < g.N; v++ {
+			a, b := g.Neighbors(v), got.Neighbors(v)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatal("adjacency mismatch after round trip")
+				}
+			}
+			wa, wb := g.NeighborWeights(v), got.NeighborWeights(v)
+			if (wa == nil) != (wb == nil) {
+				t.Fatal("weights presence mismatch")
+			}
+			for i := range wa {
+				if wa[i] != wb[i] {
+					t.Fatal("weights mismatch after round trip")
+				}
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// TestQuickFromEdgesInvariants: CSR structure is valid for arbitrary edge
+// lists and the edge multiset (minus self-loops) is preserved.
+func TestQuickFromEdgesInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 64
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{Src: uint32(raw[i]) % n, Dst: uint32(raw[i+1]) % n})
+		}
+		g := FromEdges(n, edges)
+		if g.Validate() != nil {
+			return false
+		}
+		want := map[uint64]int{}
+		kept := 0
+		for _, e := range edges {
+			if e.Src != e.Dst {
+				want[uint64(e.Src)<<32|uint64(e.Dst)]++
+				kept++
+			}
+		}
+		if int(g.NumEdges()) != kept {
+			return false
+		}
+		got := map[uint64]int{}
+		for v := 0; v < n; v++ {
+			for _, d := range g.Neighbors(v) {
+				got[uint64(v)<<32|uint64(d)]++
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerateRMAT14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(14, 16, int64(i), 0)
+	}
+}

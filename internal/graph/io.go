@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary graph format: a small header followed by the CSR arrays, little
+// endian. Used by cmd/graph-gen to persist inputs between runs.
+//
+//	magic "LCGR" | version u32 | n u64 | m u64 | weighted u32
+//	offsets [n+1]u64 | edges [m]u32 | weights [m]u32 (if weighted)
+const (
+	magic   = "LCGR"
+	version = 1
+)
+
+// Write serializes g to w.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	hdr := []uint64{version, uint64(g.N), uint64(len(g.Edges))}
+	weighted := uint64(0)
+	if g.Weights != nil {
+		weighted = 1
+	}
+	hdr = append(hdr, weighted)
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, o := range g.Offsets {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(o)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Edges); err != nil {
+		return err
+	}
+	if g.Weights != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	m4 := make([]byte, 4)
+	if _, err := io.ReadFull(br, m4); err != nil {
+		return nil, err
+	}
+	if string(m4) != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", m4)
+	}
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	if hdr[0] != version {
+		return nil, fmt.Errorf("graph: unsupported version %d", hdr[0])
+	}
+	n, m, weighted := int(hdr[1]), int(hdr[2]), hdr[3] == 1
+	g := &Graph{N: n, Offsets: make([]int64, n+1), Edges: make([]uint32, m)}
+	for i := range g.Offsets {
+		var o uint64
+		if err := binary.Read(br, binary.LittleEndian, &o); err != nil {
+			return nil, err
+		}
+		g.Offsets[i] = int64(o)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Edges); err != nil {
+		return nil, err
+	}
+	if weighted {
+		g.Weights = make([]uint32, m)
+		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

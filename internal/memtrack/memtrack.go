@@ -1,0 +1,79 @@
+// Package memtrack instruments communication-buffer allocations.
+//
+// The paper's Fig. 5 reports, per host, the maximum size of the working set
+// of communication buffers (allocations minus frees, tracked over the run,
+// excluding MPI-internal memory). Each simulated host owns a Tracker; the
+// communication layers report every buffer they allocate and release, so the
+// experiment harness can read back max/min footprints across hosts.
+package memtrack
+
+import "sync/atomic"
+
+// Tracker counts live communication-buffer bytes on one host.
+// The zero value is ready to use. All methods are safe for concurrent use.
+type Tracker struct {
+	cur    atomic.Int64
+	max    atomic.Int64
+	allocs atomic.Int64
+	frees  atomic.Int64
+}
+
+// Alloc records an allocation of n bytes.
+func (t *Tracker) Alloc(n int) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.allocs.Add(1)
+	cur := t.cur.Add(int64(n))
+	for {
+		max := t.max.Load()
+		if cur <= max || t.max.CompareAndSwap(max, cur) {
+			return
+		}
+	}
+}
+
+// Free records the release of n bytes previously reported via Alloc.
+func (t *Tracker) Free(n int) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.frees.Add(1)
+	t.cur.Add(int64(-n))
+}
+
+// Current returns the live byte count.
+func (t *Tracker) Current() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.cur.Load()
+}
+
+// Max returns the maximum live byte count observed (the working-set
+// footprint Fig. 5 reports).
+func (t *Tracker) Max() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.max.Load()
+}
+
+// Counts returns total numbers of Alloc and Free calls.
+func (t *Tracker) Counts() (allocs, frees int64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.allocs.Load(), t.frees.Load()
+}
+
+// Reset zeroes all counters.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.cur.Store(0)
+	t.max.Store(0)
+	t.allocs.Store(0)
+	t.frees.Store(0)
+}

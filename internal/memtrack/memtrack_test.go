@@ -1,0 +1,101 @@
+package memtrack
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	var tr Tracker
+	tr.Alloc(100)
+	tr.Alloc(50)
+	if tr.Current() != 150 || tr.Max() != 150 {
+		t.Fatalf("cur=%d max=%d", tr.Current(), tr.Max())
+	}
+	tr.Free(100)
+	if tr.Current() != 50 || tr.Max() != 150 {
+		t.Fatalf("cur=%d max=%d after free", tr.Current(), tr.Max())
+	}
+	tr.Alloc(60)
+	if tr.Max() != 150 {
+		t.Fatalf("max moved to %d without new high-water", tr.Max())
+	}
+	tr.Alloc(1000)
+	if tr.Max() != 1110 {
+		t.Fatalf("max=%d want 1110", tr.Max())
+	}
+	a, f := tr.Counts()
+	if a != 4 || f != 1 {
+		t.Fatalf("counts = %d,%d", a, f)
+	}
+	tr.Reset()
+	if tr.Current() != 0 || tr.Max() != 0 {
+		t.Fatal("reset did not zero")
+	}
+}
+
+func TestNilAndZeroSafe(t *testing.T) {
+	var nilTr *Tracker
+	nilTr.Alloc(10) // must not panic
+	nilTr.Free(10)
+	if nilTr.Current() != 0 || nilTr.Max() != 0 {
+		t.Fatal("nil tracker returned nonzero")
+	}
+	var tr Tracker
+	tr.Alloc(0)
+	tr.Free(0)
+	if a, f := tr.Counts(); a != 0 || f != 0 {
+		t.Fatal("zero-size ops were counted")
+	}
+}
+
+// TestQuickMaxInvariant: max is the running maximum of the prefix sums.
+func TestQuickMaxInvariant(t *testing.T) {
+	f := func(deltas []int16) bool {
+		var tr Tracker
+		var cur, max int64
+		for _, d := range deltas {
+			n := int(d)
+			if n >= 0 {
+				tr.Alloc(n)
+				cur += int64(n)
+			} else {
+				tr.Free(-n)
+				cur -= int64(-n)
+			}
+			if cur > max {
+				max = cur
+			}
+		}
+		return tr.Current() == cur && tr.Max() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMax: with concurrent alloc/free pairs the final current is 0
+// and max is at least the largest single allocation and at most the sum.
+func TestConcurrentMax(t *testing.T) {
+	var tr Tracker
+	const g, per, size = 8, 1000, 64
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				tr.Alloc(size)
+				tr.Free(size)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Current() != 0 {
+		t.Fatalf("current = %d, want 0", tr.Current())
+	}
+	if tr.Max() < size || tr.Max() > g*size {
+		t.Fatalf("max = %d, want in [%d,%d]", tr.Max(), size, g*size)
+	}
+}

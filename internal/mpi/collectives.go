@@ -1,0 +1,193 @@
+package mpi
+
+import "encoding/binary"
+
+// Collectives built over the point-to-point layer, as small MPI programs
+// (and the paper's frameworks, when they need global coordination) would
+// use them. All ranks must call the same collective in the same order;
+// each collective consumes a dedicated tag band so concurrent user traffic
+// cannot be matched by mistake.
+
+// Collective tag band: the top of the 24-bit tag space, keyed by a per-
+// communicator collective sequence number so successive collectives do not
+// interfere.
+const collTagBase = maxTag - (1 << 16)
+
+func (c *Comm) nextCollTag() int {
+	c.lock()
+	t := collTagBase + int(c.collSeq%(1<<15))
+	c.collSeq++
+	c.unlock()
+	return t
+}
+
+// Barrier blocks until every rank has entered it (dissemination barrier,
+// ⌈log2 P⌉ rounds).
+func (c *Comm) Barrier() error {
+	tag := c.nextCollTag()
+	P := c.Size()
+	me := c.rank
+	var tiny [1]byte
+	for dist := 1; dist < P; dist <<= 1 {
+		to := (me + dist) % P
+		from := (me - dist + P) % P
+		req, err := c.Isend(tiny[:], to, tag)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Recv(make([]byte, 1), from, tag); err != nil {
+			return err
+		}
+		if err := c.Wait(req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes buf from root to all ranks (binomial tree). Every rank
+// passes a buffer of identical length.
+func (c *Comm) Bcast(buf []byte, root int) error {
+	tag := c.nextCollTag()
+	P := c.Size()
+	// Translate so root is virtual rank 0.
+	vrank := (c.rank - root + P) % P
+
+	mask := 1
+	for mask < P {
+		mask <<= 1
+	}
+	// Receive once from the parent (unless root), then forward down.
+	if vrank != 0 {
+		// Parent clears the lowest set bit.
+		parent := vrank &^ (vrank & -vrank)
+		if _, err := c.Recv(buf, (parent+root)%P, tag); err != nil {
+			return err
+		}
+	}
+	// Children: set bits above the lowest set bit of vrank.
+	low := vrank & -vrank
+	if vrank == 0 {
+		low = mask
+	}
+	for bit := low >> 1; bit > 0; bit >>= 1 {
+		child := vrank | bit
+		if child < P && child != vrank {
+			if err := c.Send(buf, (child+root)%P, tag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AllreduceU64 combines every rank's value with op (associative and
+// commutative) and returns the result on all ranks (recursive doubling
+// over the power-of-two subset, with pre/post exchange for stragglers).
+func (c *Comm) AllreduceU64(v uint64, op func(a, b uint64) uint64) (uint64, error) {
+	tag := c.nextCollTag()
+	P := c.Size()
+	me := c.rank
+
+	send := func(x uint64, to int) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], x)
+		return c.Send(b[:], to, tag)
+	}
+	recv := func(from int) (uint64, error) {
+		var b [8]byte
+		if _, err := c.Recv(b[:], from, tag); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+
+	// Largest power of two ≤ P.
+	pof2 := 1
+	for pof2*2 <= P {
+		pof2 *= 2
+	}
+	rem := P - pof2
+
+	acc := v
+	switch {
+	case me < 2*rem && me%2 == 1:
+		// Odd stragglers fold into their even neighbour and sit out.
+		if err := send(acc, me-1); err != nil {
+			return 0, err
+		}
+	case me < 2*rem:
+		x, err := recv(me + 1)
+		if err != nil {
+			return 0, err
+		}
+		acc = op(acc, x)
+	}
+
+	inGroup := me >= 2*rem || me%2 == 0
+	if inGroup {
+		newRank := me
+		if me < 2*rem {
+			newRank = me / 2
+		} else {
+			newRank = me - rem
+		}
+		for dist := 1; dist < pof2; dist <<= 1 {
+			peerNew := newRank ^ dist
+			peer := peerNew + rem
+			if peerNew < rem {
+				peer = peerNew * 2
+			}
+			req, err := c.Isend(u64bytes(acc), peer, tag)
+			if err != nil {
+				return 0, err
+			}
+			x, err := recv(peer)
+			if err != nil {
+				return 0, err
+			}
+			if err := c.Wait(req); err != nil {
+				return 0, err
+			}
+			acc = op(acc, x)
+		}
+	}
+
+	// Hand results back to the stragglers.
+	switch {
+	case me < 2*rem && me%2 == 1:
+		return recv(me - 1)
+	case me < 2*rem:
+		if err := send(acc, me+1); err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+func u64bytes(x uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, x)
+	return b
+}
+
+// Gather collects fixed-size contributions from all ranks at root; out is
+// only valid at root (P × len(chunk) bytes, rank-ordered).
+func (c *Comm) Gather(chunk []byte, root int) ([]byte, error) {
+	tag := c.nextCollTag()
+	P := c.Size()
+	if c.rank != root {
+		return nil, c.Send(chunk, root, tag)
+	}
+	out := make([]byte, P*len(chunk))
+	copy(out[c.rank*len(chunk):], chunk)
+	for i := 0; i < P-1; i++ {
+		buf := make([]byte, len(chunk))
+		st, err := c.Recv(buf, AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[st.Source*len(chunk):], buf[:st.Count])
+	}
+	return out, nil
+}

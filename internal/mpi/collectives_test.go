@@ -1,0 +1,178 @@
+package mpi
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// runRanks executes body on every rank of a fresh test world concurrently.
+func runRanks(t *testing.T, p int, body func(c *Comm)) {
+	t.Helper()
+	w := testWorld(p, ThreadMultiple)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			body(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8} {
+		var entered sync.Map
+		runRanks(t, p, func(c *Comm) {
+			for round := 0; round < 5; round++ {
+				entered.Store(c.Rank()*100+round, true)
+				if err := c.Barrier(); err != nil {
+					t.Errorf("barrier: %v", err)
+					return
+				}
+				// After the barrier, every rank's mark for this round must
+				// be visible.
+				for r := 0; r < p; r++ {
+					if _, ok := entered.Load(r*100 + round); !ok {
+						t.Errorf("P=%d round %d: rank %d missing after barrier", p, round, r)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7} {
+		for root := 0; root < p; root++ {
+			payload := []byte{byte(root), 0xAB, byte(p)}
+			runRanks(t, p, func(c *Comm) {
+				buf := make([]byte, len(payload))
+				if c.Rank() == root {
+					copy(buf, payload)
+				}
+				if err := c.Bcast(buf, root); err != nil {
+					t.Errorf("bcast: %v", err)
+					return
+				}
+				if !bytes.Equal(buf, payload) {
+					t.Errorf("P=%d root=%d rank=%d: got %v", p, root, c.Rank(), buf)
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceSumAllSizes(t *testing.T) {
+	add := func(a, b uint64) uint64 { return a + b }
+	for _, p := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		want := uint64(0)
+		for r := 0; r < p; r++ {
+			want += uint64(r + 1)
+		}
+		runRanks(t, p, func(c *Comm) {
+			got, err := c.AllreduceU64(uint64(c.Rank()+1), add)
+			if err != nil {
+				t.Errorf("allreduce: %v", err)
+				return
+			}
+			if got != want {
+				t.Errorf("P=%d rank %d: sum = %d, want %d", p, c.Rank(), got, want)
+			}
+		})
+	}
+}
+
+// TestQuickAllreduceMax: property over random vectors and non-power-of-two
+// sizes.
+func TestQuickAllreduceMax(t *testing.T) {
+	maxOp := func(a, b uint64) uint64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	f := func(vals []uint64) bool {
+		p := len(vals)
+		if p == 0 || p > 6 {
+			return true
+		}
+		var want uint64
+		for _, v := range vals {
+			if v > want {
+				want = v
+			}
+		}
+		okAll := true
+		var mu sync.Mutex
+		runRanks(t, p, func(c *Comm) {
+			got, err := c.AllreduceU64(vals[c.Rank()], maxOp)
+			if err != nil || got != want {
+				mu.Lock()
+				okAll = false
+				mu.Unlock()
+			}
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const p = 5
+	runRanks(t, p, func(c *Comm) {
+		chunk := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
+		out, err := c.Gather(chunk, 2)
+		if err != nil {
+			t.Errorf("gather: %v", err)
+			return
+		}
+		if c.Rank() != 2 {
+			if out != nil {
+				t.Errorf("non-root got data")
+			}
+			return
+		}
+		for r := 0; r < p; r++ {
+			if out[r*2] != byte(r) || out[r*2+1] != byte(r*2) {
+				t.Errorf("root: chunk %d = %v", r, out[r*2:r*2+2])
+			}
+		}
+	})
+}
+
+// TestCollectivesInterleavedWithP2P: collective tag band must not steal
+// user messages.
+func TestCollectivesInterleavedWithP2P(t *testing.T) {
+	const p = 4
+	runRanks(t, p, func(c *Comm) {
+		peer := (c.Rank() + 1) % p
+		prev := (c.Rank() + p - 1) % p
+		req, err := c.Isend([]byte{byte(c.Rank())}, peer, 7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Barrier(); err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 1)
+		st, err := c.Recv(buf, prev, 7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if st.Count != 1 || buf[0] != byte(prev) {
+			t.Errorf("p2p message corrupted by collective: %v", buf)
+		}
+		if err := c.Wait(req); err != nil {
+			t.Error(err)
+		}
+	})
+}

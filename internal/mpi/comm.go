@@ -1,0 +1,646 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lcigraph/internal/fabric"
+)
+
+// Wildcards for Irecv/Iprobe matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ThreadMode selects the threading guarantee, mirroring MPI's init modes.
+type ThreadMode int
+
+const (
+	// ThreadFunneled: only one thread per host issues MPI calls; the
+	// library takes no locks.
+	ThreadFunneled ThreadMode = iota
+	// ThreadMultiple: any thread may call; every call takes the library's
+	// global lock, as deployed implementations effectively do (the paper's
+	// §III-B cites the substantial performance loss this causes).
+	ThreadMultiple
+)
+
+// Sticky fatal errors (§III-B: "the MPI standard does not require
+// implementations to handle resource exhaustion errors and in current MPI
+// implementations the program crashes when these happen").
+var (
+	// ErrExhausted reports internal buffer exhaustion; the communicator is
+	// dead afterwards.
+	ErrExhausted = errors.New("mpi: internal buffers exhausted (unrecoverable)")
+	// ErrTruncate reports a message longer than the posted receive buffer.
+	ErrTruncate = errors.New("mpi: message truncated (receive buffer too small)")
+)
+
+// Status describes a matched or probed message.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int // payload bytes
+}
+
+// Request is a nonblocking-operation handle. Completion must be observed
+// through Comm.Test or Comm.Wait (which, unlike LCI's flag, perform a
+// progress call).
+type Request struct {
+	done   bool
+	isRecv bool
+	buf    []byte
+	src    int // requested source (may be AnySource) for receives
+	tag    int
+	status Status
+	err    error
+}
+
+// Status returns the completion status; valid once Test/Wait report done.
+func (r *Request) Status() Status { return r.status }
+
+// Err returns the request-level error, if any (e.g. truncation).
+func (r *Request) Err() error { return r.err }
+
+// unexp is an element of the unexpected-message queue.
+type unexp struct {
+	src  int
+	tag  int
+	data []byte // eager payload (nil for rendezvous)
+	rts  bool
+	sid  uint32 // sender's rendezvous id
+	size int
+}
+
+// rvRecv tracks a rendezvous receive awaiting its RDMA put (or fragment
+// stream on RDMA-less transports).
+type rvRecv struct {
+	req  *Request
+	rkey uint32
+	n    int
+	got  int
+}
+
+// outOp is a deferred network operation awaiting fabric resources.
+type outOp struct {
+	isPut  bool
+	dst    int
+	header uint64
+	meta   uint64
+	data   []byte
+	// put fields
+	rkey uint32
+	off  int
+	imm  uint64
+	// completion bookkeeping
+	sendReq *Request // two-sided rendezvous send to complete after put
+	win     *Win     // RMA put accounting
+}
+
+// Comm is one host's communicator (the world communicator; the paper's
+// layers need no others).
+type Comm struct {
+	world *World
+	rank  int
+	impl  Impl
+	mode  ThreadMode
+	fep   *fabric.Endpoint
+
+	mu sync.Mutex // the global lock (ThreadMultiple only)
+
+	sendSeq []uint32 // per-destination next sequence number
+	nextSeq []uint32 // per-source next expected sequence
+	ooo     map[uint64]*fabric.Frame
+
+	posted     []*Request
+	unexpected []unexp
+	unexpBytes int
+
+	pendingOut []outOp
+	frags      []*mpiFrag
+
+	nextID    uint32
+	sendTable map[uint32]*Request
+	recvTable map[uint32]*rvRecv
+
+	wins    map[uint16]*Win
+	nextWin uint16
+
+	collSeq uint32 // collective sequence number (tag-band selector)
+
+	fatal error
+}
+
+// World is the set of communicators over one fabric (MPI_COMM_WORLD).
+type World struct {
+	fab   *fabric.Fabric
+	impl  Impl
+	comms []*Comm
+
+	// winExchg implements the collective rkey allgather of WinCreate
+	// in-process (window-creation time is excluded from the paper's
+	// measurements, so this shortcut does not distort results).
+	winMu    sync.Mutex
+	winExchg map[string]*winGather
+}
+
+// NewWorld creates n communicators over a fresh fabric with the given NIC
+// profile, implementation profile and thread mode.
+func NewWorld(n int, prof fabric.Profile, impl Impl, mode ThreadMode) *World {
+	return NewWorldOn(fabric.New(n, prof), impl, mode)
+}
+
+// NewWorldOn creates communicators over an existing fabric.
+func NewWorldOn(fab *fabric.Fabric, impl Impl, mode ThreadMode) *World {
+	if impl.EagerLimit > fab.Profile().EagerLimit {
+		impl.EagerLimit = fab.Profile().EagerLimit
+	}
+	w := &World{fab: fab, impl: impl, winExchg: map[string]*winGather{}}
+	n := fab.Size()
+	for r := 0; r < n; r++ {
+		w.comms = append(w.comms, &Comm{
+			world:     w,
+			rank:      r,
+			impl:      impl,
+			mode:      mode,
+			fep:       fab.Endpoint(r),
+			sendSeq:   make([]uint32, n),
+			nextSeq:   make([]uint32, n),
+			ooo:       map[uint64]*fabric.Frame{},
+			sendTable: map[uint32]*Request{},
+			recvTable: map[uint32]*rvRecv{},
+			wins:      map[uint16]*Win{},
+		})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.comms) }
+
+// Comm returns rank r's communicator.
+func (w *World) Comm(r int) *Comm { return w.comms[r] }
+
+// Fabric returns the underlying fabric (for stats).
+func (w *World) Fabric() *fabric.Fabric { return w.fab }
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return len(c.world.comms) }
+
+// Impl returns the implementation profile.
+func (c *Comm) Impl() Impl { return c.impl }
+
+func (c *Comm) lock() {
+	if c.mode == ThreadMultiple {
+		c.mu.Lock()
+	}
+}
+
+func (c *Comm) unlock() {
+	if c.mode == ThreadMultiple {
+		c.mu.Unlock()
+	}
+}
+
+// ---- wire encoding ----
+
+type frameKind uint8
+
+const (
+	kEager frameKind = iota + 1
+	kRTS
+	kCTS
+	kRMAPost
+	kRMAComplete
+	// Software emulation kinds for RDMA-less transports: rendezvous and
+	// RMA payloads travel as fragments, and each emulated put ends with an
+	// explicit fin so the target's PSCW accounting still works.
+	kFrag
+	kRMAFrag
+	kRMAPutFin
+)
+
+// header: kind(8) << 56 | tagOrID(24) << 32 | seq(32)
+func packHdr(k frameKind, tagOrID uint32, seq uint32) uint64 {
+	return uint64(k)<<56 | uint64(tagOrID&0xffffff)<<32 | uint64(seq)
+}
+
+func hdrKind(h uint64) frameKind { return frameKind(h >> 56) }
+func hdrTag(h uint64) uint32     { return uint32(h>>32) & 0xffffff }
+func hdrSeq(h uint64) uint32     { return uint32(h) }
+
+// put immediates: bit 63 set = two-sided rendezvous completion (low 32 bits
+// carry the receiver's rendezvous id); clear = RMA put (low 16 bits carry
+// the window id).
+const immP2P = uint64(1) << 63
+
+// maxTag is the largest usable tag value (24 header bits).
+const maxTag = 1<<24 - 1
+
+// fatalf records a sticky fatal error.
+func (c *Comm) fatalf(format string, args ...any) error {
+	if c.fatal == nil {
+		c.fatal = fmt.Errorf(format, args...)
+	}
+	return c.fatal
+}
+
+// Err returns the communicator's sticky fatal error, if any.
+func (c *Comm) Err() error {
+	c.lock()
+	defer c.unlock()
+	return c.fatal
+}
+
+// ---- progress engine ----
+
+const progressBatch = 64
+
+// mpiFrag is one software-emulated large transfer in progress.
+type mpiFrag struct {
+	dst     int
+	recvID  uint32 // two-sided completion id (kFrag)
+	isRMA   bool
+	winID   uint16
+	base    int // absolute target offset (RMA)
+	src     []byte
+	off     int
+	sendReq *Request
+	win     *Win
+}
+
+// pumpFrags advances software-emulated transfers under back-pressure.
+func (c *Comm) pumpFrags() {
+	if len(c.frags) == 0 {
+		return
+	}
+	keep := c.frags[:0]
+	for _, j := range c.frags {
+		limit := c.impl.EagerLimit
+		stalled := false
+		for j.off < len(j.src) {
+			chunk := j.src[j.off:]
+			if len(chunk) > limit {
+				chunk = chunk[:limit]
+			}
+			var header, meta uint64
+			if j.isRMA {
+				header = packHdr(kRMAFrag, uint32(j.winID), 0)
+				meta = uint64(j.base + j.off)
+			} else {
+				header = packHdr(kFrag, j.recvID, 0)
+				meta = uint64(j.off)
+			}
+			if err := c.fep.Send(j.dst, header, meta, chunk); err != nil {
+				if err != fabric.ErrResource {
+					c.fatalf("mpi: fragment send: %v", err)
+					return
+				}
+				stalled = true
+				break
+			}
+			j.off += len(chunk)
+		}
+		if stalled || j.off < len(j.src) {
+			keep = append(keep, j)
+			continue
+		}
+		if j.isRMA {
+			// Fin tells the target one emulated put has fully landed.
+			c.sendOrDefer(outOp{dst: j.dst, header: packHdr(kRMAPutFin, uint32(j.winID), 0)})
+			c.finishPut(outOp{win: j.win})
+		} else {
+			c.finishPut(outOp{sendReq: j.sendReq})
+		}
+	}
+	c.frags = keep
+}
+
+// progress pumps the network. Callers must hold the lock (in multiple mode).
+// Every entry charges the per-call overhead once via its public caller.
+func (c *Comm) progress() {
+	if c.fatal != nil {
+		return
+	}
+	c.flushPending()
+	c.pumpFrags()
+	for i := 0; i < progressBatch; i++ {
+		f := c.fep.Poll()
+		if f == nil {
+			return
+		}
+		if f.Kind == fabric.KindPutDone {
+			c.handlePutDone(f)
+			continue
+		}
+		switch hdrKind(f.Header) {
+		case kEager, kRTS:
+			c.handleOrdered(f)
+		case kCTS:
+			c.handleCTS(f)
+		case kRMAPost:
+			c.handleRMAPost(f)
+		case kRMAComplete:
+			c.handleRMAComplete(f)
+		case kFrag:
+			c.handleFrag(f)
+		case kRMAFrag:
+			c.handleRMAFrag(f)
+		case kRMAPutFin:
+			c.handleRMAPutFin(f)
+		default:
+			c.fatalf("mpi: unknown frame kind %d", hdrKind(f.Header))
+			return
+		}
+	}
+}
+
+// handleOrdered enforces MPI's non-overtaking guarantee: matchable frames
+// from one source are handled strictly in sequence order, buffering early
+// arrivals.
+func (c *Comm) handleOrdered(f *fabric.Frame) {
+	if c.impl.UnsafeNoOrdering {
+		c.handleMatchable(f)
+		return
+	}
+	src := f.Src
+	seq := hdrSeq(f.Header)
+	if seq != c.nextSeq[src] {
+		c.ooo[uint64(src)<<32|uint64(seq)] = f
+		return
+	}
+	c.handleMatchable(f)
+	c.nextSeq[src]++
+	for {
+		key := uint64(src)<<32 | uint64(c.nextSeq[src])
+		nf, ok := c.ooo[key]
+		if !ok {
+			return
+		}
+		delete(c.ooo, key)
+		c.handleMatchable(nf)
+		c.nextSeq[src]++
+	}
+}
+
+// matchPosted scans the posted-receive queue front to back, charging the
+// per-element matching cost, and removes and returns the first match.
+func (c *Comm) matchPosted(src, tag int) *Request {
+	for i, r := range c.posted {
+		charge(c.impl.MatchOverhead)
+		if (r.src == AnySource || r.src == src) && (r.tag == AnyTag || r.tag == tag) {
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// handleMatchable processes an in-order eager or RTS frame.
+func (c *Comm) handleMatchable(f *fabric.Frame) {
+	tag := int(hdrTag(f.Header))
+	switch hdrKind(f.Header) {
+	case kEager:
+		if r := c.matchPosted(f.Src, tag); r != nil {
+			c.completeEager(r, f.Src, tag, f.Data)
+			return
+		}
+		c.unexpBytes += len(f.Data)
+		if c.unexpBytes > c.impl.UnexpectedCap {
+			c.fatalf("%w: %d bytes of unexpected messages (cap %d)",
+				ErrExhausted, c.unexpBytes, c.impl.UnexpectedCap)
+			return
+		}
+		c.unexpected = append(c.unexpected, unexp{src: f.Src, tag: tag, data: f.Data})
+	case kRTS:
+		sid := uint32(f.Meta >> 32)
+		size := int(uint32(f.Meta))
+		if r := c.matchPosted(f.Src, tag); r != nil {
+			c.acceptRendezvous(r, f.Src, tag, sid, size)
+			return
+		}
+		c.unexpected = append(c.unexpected, unexp{src: f.Src, tag: tag, rts: true, sid: sid, size: size})
+	}
+}
+
+// completeEager finishes a matched eager receive: copy into the posted
+// buffer (the extra copy MPI cannot avoid).
+func (c *Comm) completeEager(r *Request, src, tag int, data []byte) {
+	if len(data) > len(r.buf) {
+		r.err = ErrTruncate
+		r.done = true
+		return
+	}
+	copy(r.buf, data)
+	r.status = Status{Source: src, Tag: tag, Count: len(data)}
+	r.done = true
+}
+
+// acceptRendezvous sets up the receive side of a rendezvous: register the
+// posted buffer (when the transport supports remote writes) and answer CTS.
+func (c *Comm) acceptRendezvous(r *Request, src, tag int, sid uint32, size int) {
+	if size > len(r.buf) {
+		r.err = ErrTruncate
+		r.done = true
+		// Still answer CTS into a scratch buffer so the sender completes;
+		// a real MPI would transfer and truncate. Keep it simple and
+		// honest: allocate scratch.
+		r = &Request{isRecv: true, buf: make([]byte, size), src: src, tag: tag}
+	}
+	rid := c.nextID
+	c.nextID++
+	var rkey uint32
+	if c.fep.HasRDMA() {
+		var err error
+		rkey, err = c.fep.RegisterRegion(r.buf[:size])
+		if err != nil {
+			c.fatalf("mpi: register: %v", err)
+			return
+		}
+	}
+	c.recvTable[rid] = &rvRecv{req: r, rkey: rkey, n: size}
+	r.status = Status{Source: src, Tag: tag, Count: size}
+	header := packHdr(kCTS, rid, 0)
+	meta := uint64(sid)<<32 | uint64(rkey)
+	c.sendOrDefer(outOp{dst: src, header: header, meta: meta})
+}
+
+// handleFrag copies a two-sided rendezvous fragment into the posted buffer
+// and completes the receive on the final byte.
+func (c *Comm) handleFrag(f *fabric.Frame) {
+	rid := hdrTag(f.Header)
+	rv, ok := c.recvTable[rid]
+	if !ok {
+		c.fatalf("mpi: fragment for unknown recv %d", rid)
+		return
+	}
+	off := int(f.Meta)
+	copy(rv.req.buf[off:], f.Data)
+	rv.got += len(f.Data)
+	if rv.got >= rv.n {
+		delete(c.recvTable, rid)
+		rv.req.done = true
+	}
+}
+
+// handleRMAFrag applies an emulated-put fragment into the window buffer.
+func (c *Comm) handleRMAFrag(f *fabric.Frame) {
+	w, ok := c.wins[uint16(hdrTag(f.Header))]
+	if !ok {
+		c.fatalf("mpi: rma fragment for unknown window")
+		return
+	}
+	copy(w.buf[int(f.Meta):], f.Data)
+}
+
+// handleRMAPutFin counts one completed emulated put toward the exposure
+// epoch.
+func (c *Comm) handleRMAPutFin(f *fabric.Frame) {
+	w, ok := c.wins[uint16(hdrTag(f.Header))]
+	if !ok {
+		c.fatalf("mpi: rma fin for unknown window")
+		return
+	}
+	w.putsReceived++
+}
+
+// handleCTS is the sender side of rendezvous: issue the RDMA put from the
+// user buffer.
+func (c *Comm) handleCTS(f *fabric.Frame) {
+	rid := hdrTag(f.Header)
+	sid := uint32(f.Meta >> 32)
+	rkey := uint32(f.Meta)
+	req, ok := c.sendTable[sid]
+	if !ok {
+		c.fatalf("mpi: CTS for unknown send %d", sid)
+		return
+	}
+	delete(c.sendTable, sid)
+	c.putOrDefer(outOp{isPut: true, dst: f.Src, rkey: rkey, data: req.buf,
+		imm: immP2P | uint64(rid), sendReq: req})
+}
+
+// handlePutDone dispatches put completions.
+func (c *Comm) handlePutDone(f *fabric.Frame) {
+	if f.Header&immP2P != 0 {
+		rid := uint32(f.Header)
+		rv, ok := c.recvTable[rid]
+		if !ok {
+			c.fatalf("mpi: put completion for unknown recv %d", rid)
+			return
+		}
+		delete(c.recvTable, rid)
+		c.fep.DeregisterRegion(rv.rkey)
+		rv.req.done = true
+		return
+	}
+	win, ok := c.wins[uint16(f.Header)]
+	if !ok {
+		c.fatalf("mpi: put completion for unknown window %d", uint16(f.Header))
+		return
+	}
+	win.putsReceived++
+}
+
+// sendOrDefer tries a fabric send, deferring on back-pressure. Exceeding
+// the pending-send cap is the sender-side exhaustion failure.
+func (c *Comm) sendOrDefer(op outOp) {
+	err := c.fep.Send(op.dst, op.header, op.meta, op.data)
+	if err == nil {
+		return
+	}
+	if err != fabric.ErrResource {
+		c.fatalf("mpi: send: %v", err)
+		return
+	}
+	if len(c.pendingOut) >= c.impl.PendingSendCap {
+		c.fatalf("%w: %d queued sends", ErrExhausted, len(c.pendingOut))
+		return
+	}
+	if op.data != nil {
+		// Eager sends complete immediately, so a deferred one must own a
+		// private copy of the payload (MPI's internal eager buffering).
+		op.data = append([]byte(nil), op.data...)
+	}
+	c.pendingOut = append(c.pendingOut, op)
+}
+
+// putOrDefer is sendOrDefer for RDMA puts. On RDMA-less transports the put
+// becomes a software fragment stream.
+func (c *Comm) putOrDefer(op outOp) {
+	if !c.fep.HasRDMA() {
+		j := &mpiFrag{dst: op.dst, src: op.data, sendReq: op.sendReq, win: op.win}
+		if op.win != nil {
+			j.isRMA = true
+			j.winID = op.win.id
+			j.base = op.off
+		} else {
+			j.recvID = uint32(op.imm)
+		}
+		c.frags = append(c.frags, j)
+		c.pumpFrags()
+		return
+	}
+	err := c.fep.Put(op.dst, op.rkey, op.off, op.data, op.imm)
+	if err == nil {
+		c.finishPut(op)
+		return
+	}
+	if err != fabric.ErrResource {
+		c.fatalf("mpi: put: %v", err)
+		return
+	}
+	if len(c.pendingOut) >= c.impl.PendingSendCap {
+		c.fatalf("%w: %d queued operations", ErrExhausted, len(c.pendingOut))
+		return
+	}
+	c.pendingOut = append(c.pendingOut, op)
+}
+
+func (c *Comm) finishPut(op outOp) {
+	if op.sendReq != nil {
+		op.sendReq.done = true
+	}
+	if op.win != nil {
+		op.win.putsInFlight--
+	}
+}
+
+// flushPending retries deferred operations in order, stopping at the first
+// that still lacks resources (preserving per-destination order).
+func (c *Comm) flushPending() {
+	for len(c.pendingOut) > 0 {
+		op := c.pendingOut[0]
+		var err error
+		if op.isPut {
+			err = c.fep.Put(op.dst, op.rkey, op.off, op.data, op.imm)
+			if err == nil {
+				c.finishPut(op)
+			}
+		} else {
+			err = c.fep.Send(op.dst, op.header, op.meta, op.data)
+		}
+		if err == fabric.ErrResource {
+			return
+		}
+		if err != nil {
+			c.fatalf("mpi: flush: %v", err)
+			return
+		}
+		c.pendingOut = c.pendingOut[1:]
+	}
+}
+
+// yield releases the lock around a scheduler yield so other goroutines of a
+// single-core runtime can progress.
+func (c *Comm) yield() {
+	c.unlock()
+	runtime.Gosched()
+	c.lock()
+}

@@ -1,0 +1,30 @@
+// Package mpi implements the MPI-like baseline communication library the
+// paper compares LCI against (§III-B, §III-C).
+//
+// It is not a bridge to a real MPI: it is a from-scratch implementation of
+// the MPI features Abelian's two communication layers use, over the same
+// simulated fabric LCI uses, with MPI's semantic obligations implemented for
+// real so their costs are executed rather than modelled:
+//
+//   - Tag matching with wildcard sources/tags over sequentially traversed
+//     posted-receive and unexpected-message lists ("the traversal of
+//     sequential lists" the paper cites as intrinsic to MPI's design).
+//   - Non-overtaking message ordering per sender, enforced with sequence
+//     numbers and receiver-side reorder buffering.
+//   - Eager and rendezvous point-to-point protocols with internal buffering
+//     of unexpected eager data; when the unexpected buffer exceeds the
+//     implementation's cap, the library fails with ErrExhausted — the
+//     "seg-fault or hang due to unrecoverable errors" of §III-B that the
+//     buffered application layer must avoid.
+//   - MPI_THREAD_FUNNELED vs MPI_THREAD_MULTIPLE: multiple-mode wraps every
+//     call in one global lock, as deployed implementations effectively do.
+//   - Test/Wait that perform a network progress call each time (the
+//     "expensive network poll" LCI's flag-based completion avoids).
+//   - One-sided RMA: window creation, generalized active-target
+//     synchronization (Start/Complete/Post/Wait) and Put, used by the
+//     MPI-RMA layer of §III-C.
+//
+// Named implementation profiles (IntelMPI, MVAPICH2, OpenMPI) vary the eager
+// limit, per-call and per-match overheads, and buffering capacities, standing
+// in for the distinct MPI builds of Table IV.
+package mpi

@@ -1,0 +1,285 @@
+package mpi
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lcigraph/internal/fabric"
+)
+
+// TestQuickMatchingModel: random interleavings of sends and tagged receives
+// against a model — every receive gets the oldest matching message.
+func TestQuickMatchingModel(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		w := testWorld(2, ThreadFunneled)
+		a, b := w.Comm(0), w.Comm(1)
+		rng := rand.New(rand.NewSource(seed))
+
+		// Sender: n messages with tags in a small space; payload encodes a
+		// sequence number so ordering per tag can be checked.
+		type sent struct {
+			tag int
+			seq byte
+		}
+		var log []sent
+		perTag := map[int]byte{}
+		errc := make(chan error, 1)
+		go func() {
+			for i := 0; i < n; i++ {
+				tag := rng.Intn(3)
+				seq := perTag[tag]
+				perTag[tag]++
+				log = append(log, sent{tag, seq})
+				if err := a.Send([]byte{byte(tag), seq}, 1, tag); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}()
+
+		// Receiver: receive n messages, half by wildcard, half by specific
+		// tag when one is known to exist.
+		nextPerTag := map[int]byte{}
+		for i := 0; i < n; i++ {
+			buf := make([]byte, 2)
+			st, err := b.Recv(buf, AnySource, AnyTag)
+			if err != nil {
+				return false
+			}
+			tag := int(buf[0])
+			if st.Tag != tag {
+				return false
+			}
+			// MPI non-overtaking: per (pair, tag) order must hold.
+			if buf[1] != nextPerTag[tag] {
+				return false
+			}
+			nextPerTag[tag]++
+		}
+		return <-errc == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPostedBeforeArrival: receives posted before any message exists are
+// matched on arrival (the posted-queue path, not the unexpected path).
+func TestPostedBeforeArrival(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+
+	buf1 := make([]byte, 8)
+	buf2 := make([]byte, 8)
+	r1, err := b.Irecv(buf1, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.Irecv(buf2, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Send in reverse tag order: each must land in its tagged buffer.
+	go func() {
+		a.Send([]byte("tag6"), 1, 6)
+		a.Send([]byte("tag5"), 1, 5)
+	}()
+	if err := b.Wait(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Wait(r2); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf1[:4]) != "tag5" || string(buf2[:4]) != "tag6" {
+		t.Fatalf("matching crossed: %q %q", buf1[:4], buf2[:4])
+	}
+}
+
+// TestMatchingScanOrder: with two identical-tag messages queued, the first
+// posted receive takes the first-sent message.
+func TestMatchingScanOrder(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	go func() {
+		a.Send([]byte{1}, 1, 0)
+		a.Send([]byte{2}, 1, 0)
+	}()
+	// Let both land in the unexpected queue.
+	for b.PendingUnexpected() < 2 {
+		b.Progress()
+		runtime.Gosched()
+	}
+	x := make([]byte, 1)
+	y := make([]byte, 1)
+	if _, err := b.Recv(x, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(y, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 1 || y[0] != 2 {
+		t.Fatalf("unexpected-queue scan out of order: %d then %d", x[0], y[0])
+	}
+}
+
+// TestMixedEagerRendezvousStorm stresses both protocols concurrently in
+// both directions under ThreadMultiple.
+func TestMixedEagerRendezvousStorm(t *testing.T) {
+	w := testWorld(2, ThreadMultiple)
+	lim := TestImpl().EagerLimit
+	const per = 60
+	done := make(chan error, 2)
+	for side := 0; side < 2; side++ {
+		go func(side int) {
+			c := w.Comm(side)
+			rng := rand.New(rand.NewSource(int64(side)))
+			errs := make(chan error, 1)
+			go func() {
+				for i := 0; i < per; i++ {
+					size := rng.Intn(3*lim) + 1
+					if err := c.Send(make([]byte, size), 1-side, i%8); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+			for i := 0; i < per; i++ {
+				buf := make([]byte, 3*lim+1)
+				if _, err := c.Recv(buf, AnySource, AnyTag); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- <-errs
+		}(side)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRendezvousTruncation: a rendezvous-size message into a too-small
+// posted buffer errors with ErrTruncate at the receiver while the sender
+// still completes (the scratch-transfer path).
+func TestRendezvousTruncation(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	big := make([]byte, TestImpl().EagerLimit*4)
+	errc := make(chan error, 1)
+	go func() { errc <- a.Send(big, 1, 0) }()
+	small := make([]byte, 8)
+	_, err := b.Recv(small, 0, 0)
+	if err == nil || err.Error() == "" {
+		t.Fatalf("expected truncation error, got %v", err)
+	}
+	if sendErr := <-errc; sendErr != nil {
+		t.Fatalf("sender must still complete: %v", sendErr)
+	}
+}
+
+// TestSocketsRendezvous: large two-sided transfers over the RDMA-less
+// profile use the software fragment path.
+func TestSocketsRendezvous(t *testing.T) {
+	w := NewWorld(2, fabric.Sockets(), TestImpl(), ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	big := make([]byte, TestImpl().EagerLimit*9+13)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- a.Send(big, 1, 3) }()
+	buf := make([]byte, len(big))
+	st, err := b.Recv(buf, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != len(big) {
+		t.Fatalf("count = %d", st.Count)
+	}
+	for i := range big {
+		if buf[i] != big[i] {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+}
+
+// TestSocketsRMA: emulated puts (fragments + fin) satisfy the PSCW
+// synchronization on the RDMA-less profile.
+func TestSocketsRMA(t *testing.T) {
+	w := NewWorld(2, fabric.Sockets(), TestImpl(), ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	var wa, wb *Win
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); wa, _ = a.WinCreate("s", make([]byte, 8<<10)) }()
+	go func() { defer wg.Done(); wb, _ = b.WinCreate("s", make([]byte, 8<<10)) }()
+	wg.Wait()
+
+	payload := make([]byte, 6<<10) // several fragments
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := wb.Post([]int{0}); err != nil {
+			errc <- err
+			return
+		}
+		errc <- wb.Wait()
+	}()
+	if err := wa.Start([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Put(1, 100, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	got := wb.Buf()[100 : 100+len(payload)]
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("emulated put corrupted at %d", i)
+		}
+	}
+}
+
+// TestNoOrderingAblationDelivers: with UnsafeNoOrdering the library still
+// delivers everything (order may differ).
+func TestNoOrderingAblationDelivers(t *testing.T) {
+	impl := TestImpl()
+	impl.UnsafeNoOrdering = true
+	w := NewWorld(2, fabric.TestProfile(), impl, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	const n = 50
+	go func() {
+		for i := 0; i < n; i++ {
+			a.Send([]byte{byte(i)}, 1, 0)
+		}
+	}()
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 1)
+		if _, err := b.Recv(buf, AnySource, AnyTag); err != nil {
+			t.Fatal(err)
+		}
+		if seen[buf[0]] {
+			t.Fatalf("duplicate %d", buf[0])
+		}
+		seen[buf[0]] = true
+	}
+}

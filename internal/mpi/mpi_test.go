@@ -1,0 +1,534 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"lcigraph/internal/fabric"
+)
+
+func testWorld(n int, mode ThreadMode) *World {
+	return NewWorld(n, fabric.TestProfile(), TestImpl(), mode)
+}
+
+func TestSendRecvEager(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	msg := []byte("eager hello")
+
+	errc := make(chan error, 1)
+	go func() { errc <- a.Send(msg, 1, 3) }()
+
+	buf := make([]byte, 64)
+	st, err := b.Recv(buf, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != 0 || st.Tag != 3 || st.Count != len(msg) {
+		t.Fatalf("status = %+v", st)
+	}
+	if string(buf[:st.Count]) != "eager hello" {
+		t.Fatalf("payload = %q", buf[:st.Count])
+	}
+}
+
+func TestSendRecvRendezvous(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	big := make([]byte, TestImpl().EagerLimit*5)
+	rand.New(rand.NewSource(1)).Read(big)
+
+	errc := make(chan error, 1)
+	go func() { errc <- a.Send(big, 1, 0) }()
+
+	buf := make([]byte, len(big))
+	st, err := b.Recv(buf, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != len(big) || !bytes.Equal(buf, big) {
+		t.Fatal("rendezvous payload mismatch")
+	}
+}
+
+func TestWildcardRecv(t *testing.T) {
+	w := testWorld(3, ThreadFunneled)
+	c := w.Comm(2)
+	go w.Comm(0).Send([]byte("zero"), 2, 10)
+	go w.Comm(1).Send([]byte("one!"), 2, 11)
+
+	got := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		buf := make([]byte, 16)
+		st, err := c.Recv(buf, AnySource, AnyTag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[string(buf[:st.Count])] = true
+		if st.Tag != 10+st.Source {
+			t.Fatalf("status = %+v", st)
+		}
+	}
+	if !got["zero"] || !got["one!"] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestNonOvertaking: messages between one pair with the same tag must be
+// received in send order even when matching is by wildcard.
+func TestNonOvertaking(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			buf := []byte{byte(i), byte(i >> 8)}
+			if err := a.Send(buf, 1, 7); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 2)
+		st, err := b.Recv(buf, AnySource, AnyTag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := int(buf[0]) | int(buf[1])<<8
+		if got != i {
+			t.Fatalf("message %d arrived as %d (overtaking!)", got, i)
+		}
+		_ = st
+	}
+}
+
+// TestOrderingAcrossSizes: eager and rendezvous messages from one source
+// still arrive in send order (both are matchable frames under seq order).
+func TestOrderingAcrossSizes(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	lim := TestImpl().EagerLimit
+	sizes := []int{8, lim * 3, 16, lim * 2, 4, lim * 4}
+	go func() {
+		for i, s := range sizes {
+			buf := bytes.Repeat([]byte{byte(i + 1)}, s)
+			if err := a.Send(buf, 1, i); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	for i, s := range sizes {
+		buf := make([]byte, s)
+		st, err := b.Recv(buf, 0, AnyTag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Tag != i || st.Count != s {
+			t.Fatalf("message %d: status %+v want tag %d count %d", i, st, i, s)
+		}
+		for _, by := range buf[:st.Count] {
+			if by != byte(i+1) {
+				t.Fatalf("message %d corrupted", i)
+			}
+		}
+	}
+}
+
+func TestIprobeThenRecv(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	msg := []byte("probe me")
+	go a.Send(msg, 1, 42)
+
+	var st Status
+	for {
+		var ok bool
+		st, ok = b.Iprobe(AnySource, AnyTag)
+		if ok {
+			break
+		}
+		runtime.Gosched()
+	}
+	if st.Source != 0 || st.Tag != 42 || st.Count != len(msg) {
+		t.Fatalf("probe status = %+v", st)
+	}
+	// Exact-size receive after probe — the paper's probe pattern.
+	buf := make([]byte, st.Count)
+	st2, err := b.Recv(buf, st.Source, st.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Count != len(msg) || string(buf) != "probe me" {
+		t.Fatalf("recv after probe: %+v %q", st2, buf)
+	}
+	// Probe again: nothing.
+	if _, ok := b.Iprobe(AnySource, AnyTag); ok {
+		t.Fatal("iprobe found message after it was received")
+	}
+}
+
+func TestIprobeRendezvous(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	big := make([]byte, TestImpl().EagerLimit*3)
+	done := make(chan error, 1)
+	go func() { done <- a.Send(big, 1, 1) }()
+	var st Status
+	for {
+		var ok bool
+		st, ok = b.Iprobe(0, 1)
+		if ok {
+			break
+		}
+		runtime.Gosched()
+	}
+	if st.Count != len(big) {
+		t.Fatalf("probe count = %d want %d", st.Count, len(big))
+	}
+	buf := make([]byte, st.Count)
+	if _, err := b.Recv(buf, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	go a.Send(make([]byte, 100), 1, 0)
+	buf := make([]byte, 10)
+	_, err := b.Recv(buf, 0, 0)
+	if !errors.Is(err, ErrTruncate) {
+		t.Fatalf("err = %v, want ErrTruncate", err)
+	}
+}
+
+func TestTagValidation(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	if _, err := w.Comm(0).Isend(nil, 1, -1); err == nil {
+		t.Fatal("negative tag accepted")
+	}
+	if _, err := w.Comm(0).Isend(nil, 1, maxTag+1); err == nil {
+		t.Fatal("oversized tag accepted")
+	}
+}
+
+// TestUnexpectedExhaustion: blasting eager messages at a rank that never
+// receives kills the library — the §III-B failure mode.
+func TestUnexpectedExhaustion(t *testing.T) {
+	impl := TestImpl()
+	impl.UnexpectedCap = 4 << 10
+	w := NewWorld(2, fabric.TestProfile(), impl, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+
+	payload := make([]byte, 256)
+	var fatal error
+	for i := 0; i < 1000 && fatal == nil; i++ {
+		if _, err := a.Isend(payload, 1, 0); err != nil {
+			fatal = err
+			break
+		}
+		// The receiver "progresses" (as its progress engine would) but
+		// never posts a receive, so unexpected data accumulates.
+		if err := b.Progress(); err != nil {
+			fatal = err
+		}
+	}
+	if !errors.Is(fatal, ErrExhausted) {
+		t.Fatalf("fatal = %v, want ErrExhausted", fatal)
+	}
+	// The communicator stays dead.
+	if err := b.Progress(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("revived after fatal: %v", err)
+	}
+}
+
+// TestPendingSendExhaustion: a sender whose peer never drains eventually
+// dies on sender-side resource exhaustion.
+func TestPendingSendExhaustion(t *testing.T) {
+	prof := fabric.TestProfile()
+	prof.RingDepth = 4
+	impl := TestImpl()
+	impl.PendingSendCap = 8
+	w := NewWorld(2, prof, impl, ThreadFunneled)
+	a := w.Comm(0)
+	var fatal error
+	for i := 0; i < 1000; i++ {
+		if _, err := a.Isend(make([]byte, 64), 1, 0); err != nil {
+			fatal = err
+			break
+		}
+	}
+	if !errors.Is(fatal, ErrExhausted) {
+		t.Fatalf("fatal = %v, want ErrExhausted", fatal)
+	}
+}
+
+func TestThreadMultipleConcurrentSenders(t *testing.T) {
+	w := testWorld(2, ThreadMultiple)
+	a, b := w.Comm(0), w.Comm(1)
+	const threads, per = 4, 50
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				buf := []byte{byte(g), byte(i)}
+				if err := a.Send(buf, 1, g); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	counts := make([]int, threads)
+	for i := 0; i < threads*per; i++ {
+		buf := make([]byte, 2)
+		st, err := b.Recv(buf, AnySource, AnyTag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(buf[0]) != st.Tag {
+			t.Fatalf("tag %d carried payload from thread %d", st.Tag, buf[0])
+		}
+		counts[st.Tag]++
+	}
+	wg.Wait()
+	for g, n := range counts {
+		if n != per {
+			t.Fatalf("thread %d delivered %d messages, want %d", g, n, per)
+		}
+	}
+}
+
+func TestRMAPutBasic(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+
+	var wa, wb *Win
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); wa, _ = a.WinCreate("w", make([]byte, 64)) }()
+	go func() { defer wg.Done(); wb, _ = b.WinCreate("w", make([]byte, 64)) }()
+	wg.Wait()
+	if wa == nil || wb == nil {
+		t.Fatal("window creation failed")
+	}
+
+	data := []byte("one-sided")
+	errc := make(chan error, 1)
+	go func() {
+		if err := wb.Post([]int{0}); err != nil {
+			errc <- err
+			return
+		}
+		errc <- wb.Wait()
+	}()
+
+	if err := wa.Start([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Put(1, 5, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if string(wb.Buf()[5:5+len(data)]) != "one-sided" {
+		t.Fatalf("window contents = %q", wb.Buf()[:20])
+	}
+}
+
+func TestRMAPutOutsideEpochFails(t *testing.T) {
+	w := testWorld(2, ThreadFunneled)
+	a, b := w.Comm(0), w.Comm(1)
+	var wa *Win
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); wa, _ = a.WinCreate("w", make([]byte, 8)) }()
+	go func() { defer wg.Done(); b.WinCreate("w", make([]byte, 8)) }()
+	wg.Wait()
+	if err := wa.Put(1, 0, []byte{1}); err == nil {
+		t.Fatal("put outside access epoch succeeded")
+	}
+}
+
+// TestRMAMultiRound runs several Post/Start/Put/Complete/Wait rounds among 4
+// ranks in an all-to-all pattern, as the MPI-RMA layer does per BSP round.
+func TestRMAMultiRound(t *testing.T) {
+	const P = 4
+	const rounds = 5
+	w := testWorld(P, ThreadMultiple)
+
+	wins := make([]*Win, P)
+	var wg sync.WaitGroup
+	for r := 0; r < P; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			win, err := w.Comm(r).WinCreate("x", make([]byte, P*8))
+			if err != nil {
+				t.Errorf("wincreate: %v", err)
+				return
+			}
+			wins[r] = win
+		}(r)
+	}
+	wg.Wait()
+
+	others := func(r int) []int {
+		var g []int
+		for i := 0; i < P; i++ {
+			if i != r {
+				g = append(g, i)
+			}
+		}
+		return g
+	}
+
+	for r := 0; r < P; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			win := wins[r]
+			for round := 0; round < rounds; round++ {
+				if err := win.Post(others(r)); err != nil {
+					t.Errorf("rank %d post: %v", r, err)
+					return
+				}
+				if err := win.Start(others(r)); err != nil {
+					t.Errorf("rank %d start: %v", r, err)
+					return
+				}
+				payload := make([]byte, 8)
+				payload[0] = byte(r)
+				payload[1] = byte(round)
+				for _, tgt := range others(r) {
+					if err := win.Put(tgt, r*8, payload); err != nil {
+						t.Errorf("rank %d put: %v", r, err)
+						return
+					}
+				}
+				if err := win.Complete(); err != nil {
+					t.Errorf("rank %d complete: %v", r, err)
+					return
+				}
+				if err := win.Wait(); err != nil {
+					t.Errorf("rank %d wait: %v", r, err)
+					return
+				}
+				// Every peer's slice must now hold this round's stamp.
+				for _, src := range others(r) {
+					got := win.Buf()[src*8 : src*8+2]
+					if got[0] != byte(src) || got[1] != byte(round) {
+						t.Errorf("rank %d round %d: slot %d = %v", r, round, src, got)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestImplProfilesDiffer(t *testing.T) {
+	names := map[string]bool{}
+	for _, im := range Impls() {
+		if names[im.Name] {
+			t.Fatalf("duplicate impl name %s", im.Name)
+		}
+		names[im.Name] = true
+		if im.EagerLimit <= 0 || im.UnexpectedCap <= 0 || im.PendingSendCap <= 0 {
+			t.Fatalf("impl %s has non-positive limits", im.Name)
+		}
+	}
+}
+
+// TestManyPairsAllToAll: every rank sends to every other rank concurrently
+// under ThreadMultiple; everything is delivered.
+func TestManyPairsAllToAll(t *testing.T) {
+	const P = 4
+	w := testWorld(P, ThreadMultiple)
+	var wg sync.WaitGroup
+	for r := 0; r < P; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := w.Comm(r)
+			var reqs []*Request
+			for d := 0; d < P; d++ {
+				if d == r {
+					continue
+				}
+				msg := []byte(fmt.Sprintf("from %d to %d", r, d))
+				req, err := c.Isend(msg, d, r)
+				if err != nil {
+					t.Errorf("isend: %v", err)
+					return
+				}
+				reqs = append(reqs, req)
+			}
+			for i := 0; i < P-1; i++ {
+				buf := make([]byte, 32)
+				st, err := c.Recv(buf, AnySource, AnyTag)
+				if err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+				want := fmt.Sprintf("from %d to %d", st.Source, r)
+				if string(buf[:st.Count]) != want {
+					t.Errorf("got %q want %q", buf[:st.Count], want)
+					return
+				}
+			}
+			for _, req := range reqs {
+				if err := c.Wait(req); err != nil {
+					t.Errorf("wait: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func BenchmarkPingPongEagerMPI(b *testing.B) {
+	w := testWorld(2, ThreadFunneled)
+	a, c := w.Comm(0), w.Comm(1)
+	buf := make([]byte, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rbuf := make([]byte, 8)
+		for i := 0; i < b.N; i++ {
+			c.Recv(rbuf, 0, 0)
+			c.Send(rbuf, 0, 0)
+		}
+	}()
+	rbuf := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(buf, 1, 0)
+		a.Recv(rbuf, 1, 0)
+	}
+	<-done
+}

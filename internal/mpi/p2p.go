@@ -1,0 +1,202 @@
+package mpi
+
+import "fmt"
+
+// Isend starts a nonblocking send of buf to dst with tag. Eager messages
+// (≤ the implementation's eager limit) complete immediately — the payload is
+// buffered on the wire; larger messages complete after the rendezvous put.
+//
+// The returned error is fatal (exhaustion); back-pressure is absorbed by
+// internal queuing, which is precisely the behaviour that lets naive
+// all-to-all traffic kill the library (§III-B).
+func (c *Comm) Isend(buf []byte, dst, tag int) (*Request, error) {
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.CallOverhead)
+	if tag < 0 || tag > maxTag {
+		return nil, fmt.Errorf("mpi: tag %d out of range", tag)
+	}
+	c.progress() // every MPI call drives the progress engine
+	if c.fatal != nil {
+		return nil, c.fatal
+	}
+	r := &Request{buf: buf}
+	seq := c.sendSeq[dst]
+	c.sendSeq[dst]++
+	if len(buf) <= c.impl.EagerLimit {
+		c.sendOrDefer(outOp{dst: dst, header: packHdr(kEager, uint32(tag), seq), data: buf})
+		if c.fatal != nil {
+			return nil, c.fatal
+		}
+		r.done = true
+		r.status = Status{Source: c.rank, Tag: tag, Count: len(buf)}
+		return r, nil
+	}
+	sid := c.nextID
+	c.nextID++
+	c.sendTable[sid] = r
+	meta := uint64(sid)<<32 | uint64(uint32(len(buf)))
+	c.sendOrDefer(outOp{dst: dst, header: packHdr(kRTS, uint32(tag), seq), meta: meta})
+	if c.fatal != nil {
+		return nil, c.fatal
+	}
+	return r, nil
+}
+
+// Irecv posts a nonblocking receive into buf from src (or AnySource) with
+// tag (or AnyTag). Unexpected messages are matched first, in arrival order,
+// traversing the unexpected queue sequentially.
+func (c *Comm) Irecv(buf []byte, src, tag int) (*Request, error) {
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.CallOverhead)
+	c.progress()
+	if c.fatal != nil {
+		return nil, c.fatal
+	}
+	r := &Request{isRecv: true, buf: buf, src: src, tag: tag}
+	if c.matchUnexpected(r) {
+		return r, nil
+	}
+	c.posted = append(c.posted, r)
+	return r, nil
+}
+
+// matchUnexpected scans the unexpected queue for r, charging matching cost
+// per element; on a hit it consumes the element and starts completion.
+func (c *Comm) matchUnexpected(r *Request) bool {
+	for i := range c.unexpected {
+		charge(c.impl.MatchOverhead)
+		u := &c.unexpected[i]
+		if (r.src != AnySource && r.src != u.src) || (r.tag != AnyTag && r.tag != u.tag) {
+			continue
+		}
+		uu := *u
+		c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+		if uu.rts {
+			c.acceptRendezvous(r, uu.src, uu.tag, uu.sid, uu.size)
+		} else {
+			c.unexpBytes -= len(uu.data)
+			c.completeEager(r, uu.src, uu.tag, uu.data)
+		}
+		return true
+	}
+	return false
+}
+
+// Iprobe progresses the engine and reports whether a message matching
+// (src, tag) is available, without receiving it. This is the extra call —
+// and extra matching traversal — the paper's "probe" variant pays on every
+// receive.
+func (c *Comm) Iprobe(src, tag int) (Status, bool) {
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.CallOverhead)
+	if c.fatal != nil {
+		return Status{}, false
+	}
+	c.progress()
+	for i := range c.unexpected {
+		charge(c.impl.MatchOverhead)
+		u := &c.unexpected[i]
+		if (src != AnySource && src != u.src) || (tag != AnyTag && tag != u.tag) {
+			continue
+		}
+		n := len(u.data)
+		if u.rts {
+			n = u.size
+		}
+		return Status{Source: u.src, Tag: u.tag, Count: n}, true
+	}
+	return Status{}, false
+}
+
+// Test progresses the engine and reports whether r completed. Each call
+// pays a progress pass — the expensive poll the paper contrasts with LCI's
+// flag check.
+func (c *Comm) Test(r *Request) (bool, error) {
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.CallOverhead)
+	c.progress()
+	if c.fatal != nil {
+		return false, c.fatal
+	}
+	return r.done, r.err
+}
+
+// Wait blocks (pumping progress) until r completes.
+func (c *Comm) Wait(r *Request) error {
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.CallOverhead)
+	for {
+		c.progress()
+		if c.fatal != nil {
+			return c.fatal
+		}
+		if r.done {
+			return r.err
+		}
+		c.yield()
+	}
+}
+
+// Send is a blocking convenience (Isend + Wait). Unlike a bare eager Isend
+// it also drains this rank's deferred sends, so a sender that stops calling
+// MPI afterwards cannot strand buffered messages.
+func (c *Comm) Send(buf []byte, dst, tag int) error {
+	r, err := c.Isend(buf, dst, tag)
+	if err != nil {
+		return err
+	}
+	if err := c.Wait(r); err != nil {
+		return err
+	}
+	return c.Flush()
+}
+
+// Flush pumps progress until no deferred operations remain.
+func (c *Comm) Flush() error {
+	c.lock()
+	defer c.unlock()
+	for {
+		c.progress()
+		if c.fatal != nil {
+			return c.fatal
+		}
+		if len(c.pendingOut) == 0 {
+			return nil
+		}
+		c.yield()
+	}
+}
+
+// Recv is a blocking convenience (Irecv + Wait) returning the status.
+func (c *Comm) Recv(buf []byte, src, tag int) (Status, error) {
+	r, err := c.Irecv(buf, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	if err := c.Wait(r); err != nil {
+		return r.status, err
+	}
+	return r.status, nil
+}
+
+// Progress runs one explicit progress pass (the dedicated communication
+// thread of the MPI-RMA layer polls with this, per §III-C).
+func (c *Comm) Progress() error {
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.CallOverhead)
+	c.progress()
+	return c.fatal
+}
+
+// PendingUnexpected reports queued unexpected messages (tests/stats).
+func (c *Comm) PendingUnexpected() int {
+	c.lock()
+	defer c.unlock()
+	return len(c.unexpected)
+}

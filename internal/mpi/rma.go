@@ -1,0 +1,276 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"lcigraph/internal/fabric"
+)
+
+// Win is an RMA window: a registered buffer remotely writable during
+// exposure epochs, with generalized active-target synchronization
+// (Start/Complete on the origin, Post/Wait on the target), the model the
+// MPI-RMA layer of §III-C uses instead of the too-coarse fence.
+type Win struct {
+	c    *Comm
+	id   uint16
+	buf  []byte
+	rkey uint32
+	// peerKeys[r] is rank r's window rkey, gathered at creation.
+	peerKeys []uint32
+
+	// Origin-side (access epoch) state.
+	accessGroup  []int
+	postSeen     map[int]bool
+	putsIssued   map[int]int
+	putsInFlight int
+
+	// Target-side (exposure epoch) state.
+	exposureGroup []int
+	completeSeen  int
+	putsExpected  int
+	putsReceived  int
+	exposed       bool
+}
+
+// winGather coordinates the collective rkey exchange of WinCreate.
+type winGather struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	keys  []uint32
+	got   int
+	total int
+}
+
+func (w *World) gatherWin(name string, rank int, rkey uint32) []uint32 {
+	w.winMu.Lock()
+	g, ok := w.winExchg[name]
+	if !ok {
+		g = &winGather{keys: make([]uint32, w.Size()), total: w.Size()}
+		g.cond = sync.NewCond(&g.mu)
+		w.winExchg[name] = g
+	}
+	w.winMu.Unlock()
+
+	g.mu.Lock()
+	g.keys[rank] = rkey
+	g.got++
+	if g.got == g.total {
+		g.cond.Broadcast()
+	}
+	for g.got < g.total {
+		g.cond.Wait()
+	}
+	keys := make([]uint32, len(g.keys))
+	copy(keys, g.keys)
+	g.mu.Unlock()
+	return keys
+}
+
+// WinCreate collectively creates a window over buf. Every rank must call it
+// with the same name; buffers may differ in content but all ranks must
+// create the same sequence of windows. Window-creation time is excluded
+// from the paper's RMA measurements, and the rkey exchange here is an
+// in-process shortcut for the same reason (see DESIGN.md).
+func (c *Comm) WinCreate(name string, buf []byte) (*Win, error) {
+	c.lock()
+	charge(c.impl.RMAOverhead)
+	if c.fatal != nil {
+		c.unlock()
+		return nil, c.fatal
+	}
+	var rkey uint32
+	if c.fep.HasRDMA() {
+		var err error
+		rkey, err = c.fep.RegisterRegion(buf)
+		if err != nil {
+			c.unlock()
+			return nil, fmt.Errorf("mpi: win create: %w", err)
+		}
+	}
+	id := c.nextWin
+	c.nextWin++
+	w := &Win{
+		c: c, id: id, buf: buf, rkey: rkey,
+		postSeen:   map[int]bool{},
+		putsIssued: map[int]int{},
+	}
+	c.wins[id] = w
+	c.unlock() // release during the blocking collective exchange
+
+	w.peerKeys = c.world.gatherWin(name, c.rank, rkey)
+	return w, nil
+}
+
+// Buf returns the window's local buffer.
+func (w *Win) Buf() []byte { return w.buf }
+
+// Post opens an exposure epoch for origins in group: they may now Put into
+// this window. It sends a post notification to each origin.
+func (w *Win) Post(group []int) error {
+	c := w.c
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.RMAOverhead)
+	if c.fatal != nil {
+		return c.fatal
+	}
+	if w.exposed {
+		return fmt.Errorf("mpi: window %d already exposed", w.id)
+	}
+	w.exposureGroup = append([]int(nil), group...)
+	w.completeSeen = 0
+	w.putsExpected = 0
+	w.putsReceived = 0
+	w.exposed = true
+	for _, o := range group {
+		c.sendOrDefer(outOp{dst: o, header: packHdr(kRMAPost, uint32(w.id), 0)})
+	}
+	return c.fatal
+}
+
+// Start opens an access epoch toward targets in group, blocking until each
+// target's matching Post notification arrives.
+func (w *Win) Start(group []int) error {
+	c := w.c
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.RMAOverhead)
+	w.accessGroup = append([]int(nil), group...)
+	for _, t := range group {
+		w.putsIssued[t] = 0
+	}
+	for {
+		if c.fatal != nil {
+			return c.fatal
+		}
+		ready := true
+		for _, t := range group {
+			if !w.postSeen[t] {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			for _, t := range group {
+				delete(w.postSeen, t)
+			}
+			return nil
+		}
+		c.progress()
+		c.yield()
+	}
+}
+
+// Put writes data into target's window at offset. Must be called inside an
+// access epoch that includes target.
+func (w *Win) Put(target, offset int, data []byte) error {
+	c := w.c
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.RMAOverhead)
+	if c.fatal != nil {
+		return c.fatal
+	}
+	in := false
+	for _, t := range w.accessGroup {
+		if t == target {
+			in = true
+			break
+		}
+	}
+	if !in {
+		return fmt.Errorf("mpi: put to rank %d outside access epoch", target)
+	}
+	w.putsIssued[target]++
+	w.putsInFlight++
+	c.putOrDefer(outOp{isPut: true, dst: target, rkey: w.peerKeys[target],
+		off: offset, data: data, imm: uint64(w.id), win: w})
+	return c.fatal
+}
+
+// Complete closes the access epoch: it drains local put completions, then
+// notifies each target how many puts to expect.
+func (w *Win) Complete() error {
+	c := w.c
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.RMAOverhead)
+	for w.putsInFlight > 0 {
+		if c.fatal != nil {
+			return c.fatal
+		}
+		c.progress()
+		if w.putsInFlight > 0 {
+			c.yield()
+		}
+	}
+	for _, t := range w.accessGroup {
+		meta := uint64(w.id)<<32 | uint64(uint32(w.putsIssued[t]))
+		c.sendOrDefer(outOp{dst: t, header: packHdr(kRMAComplete, uint32(w.id), 0), meta: meta})
+		delete(w.putsIssued, t)
+	}
+	w.accessGroup = nil
+	return c.fatal
+}
+
+// Wait closes the exposure epoch: it blocks until every origin completed
+// its access epoch and all announced puts have landed.
+func (w *Win) Wait() error {
+	c := w.c
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.RMAOverhead)
+	for {
+		if c.fatal != nil {
+			return c.fatal
+		}
+		if w.completeSeen == len(w.exposureGroup) && w.putsReceived == w.putsExpected {
+			w.exposed = false
+			return nil
+		}
+		c.progress()
+		c.yield()
+	}
+}
+
+// TestWait is a nonblocking Wait: it reports whether the exposure epoch
+// finished, progressing once. (MPI_Win_test.)
+func (w *Win) TestWait() (bool, error) {
+	c := w.c
+	c.lock()
+	defer c.unlock()
+	charge(c.impl.RMAOverhead)
+	c.progress()
+	if c.fatal != nil {
+		return false, c.fatal
+	}
+	if w.completeSeen == len(w.exposureGroup) && w.putsReceived == w.putsExpected {
+		w.exposed = false
+		return true, nil
+	}
+	return false, nil
+}
+
+// handleRMAPost records a post notification from a target.
+func (c *Comm) handleRMAPost(f *fabric.Frame) {
+	id := uint16(hdrTag(f.Header))
+	w, ok := c.wins[id]
+	if !ok {
+		c.fatalf("mpi: post for unknown window %d", id)
+		return
+	}
+	w.postSeen[f.Src] = true
+}
+
+// handleRMAComplete records an origin's access-epoch completion.
+func (c *Comm) handleRMAComplete(f *fabric.Frame) {
+	id := uint16(f.Meta >> 32)
+	w, ok := c.wins[id]
+	if !ok {
+		c.fatalf("mpi: complete for unknown window %d", id)
+		return
+	}
+	w.completeSeen++
+	w.putsExpected += int(uint32(f.Meta))
+}

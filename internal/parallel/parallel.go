@@ -1,0 +1,88 @@
+// Package parallel provides each simulated host's compute-thread pool.
+//
+// The paper's runtimes run one dedicated communication thread plus T
+// compute threads per host; compute threads execute the operator phase and
+// the parallel gathers/scatters. Pool reproduces that structure: a fixed
+// set of worker goroutines with a fork-join For.
+package parallel
+
+import (
+	"sync"
+)
+
+// Pool is a fixed-size fork-join worker pool. The zero value is not usable;
+// construct with NewPool. Close releases the workers.
+type Pool struct {
+	n     int
+	tasks chan task
+	wg    sync.WaitGroup
+}
+
+type task struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	done   *sync.WaitGroup
+}
+
+// NewPool starts a pool of n workers (minimum 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{n: n, tasks: make(chan task, n)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				t.fn(t.lo, t.hi)
+				t.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.n }
+
+// For runs fn(i) for every i in [0, n), split across the workers, and
+// returns when all calls finish. fn must be safe for concurrent invocation
+// on disjoint indices.
+func (p *Pool) For(n int, fn func(i int)) {
+	p.ForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForRange splits [0, n) into one contiguous chunk per worker and runs
+// fn(lo, hi) on each, returning when all finish.
+func (p *Pool) ForRange(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := p.n
+	if chunks > n {
+		chunks = n
+	}
+	var done sync.WaitGroup
+	done.Add(chunks)
+	size := (n + chunks - 1) / chunks
+	for c := 0; c < chunks; c++ {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		p.tasks <- task{lo: lo, hi: hi, fn: fn, done: &done}
+	}
+	done.Wait()
+}
+
+// Close shuts the workers down. The pool is unusable afterwards.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -1,0 +1,61 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metrics summarize a partitioning's quality: the quantities that determine
+// communication volume in §II's proxy model.
+type Metrics struct {
+	Policy Policy
+	P      int
+	// Replication is the average number of proxies per vertex (1.0 = no
+	// mirrors anywhere).
+	Replication float64
+	// MaxMirrors is the largest mirror count of any single vertex.
+	MaxMirrors int
+	// EdgeMin/EdgeMax are the smallest and largest per-host edge counts.
+	EdgeMin, EdgeMax int64
+	// SyncPairs counts (mirror, master) relationships = values moved per
+	// all-updated reduce round.
+	SyncPairs int64
+}
+
+// MeasureMetrics computes partitioning-quality metrics.
+func (pt *Partitioned) MeasureMetrics() Metrics {
+	m := Metrics{Policy: pt.Policy, P: pt.P, EdgeMin: 1 << 62}
+	var proxies int64
+	mirrorCount := make([]int, pt.GlobalN)
+	for _, hg := range pt.Hosts {
+		proxies += int64(hg.NumLocal)
+		e := hg.Local.NumEdges()
+		if e < m.EdgeMin {
+			m.EdgeMin = e
+		}
+		if e > m.EdgeMax {
+			m.EdgeMax = e
+		}
+		for l := hg.NumMasters; l < hg.NumLocal; l++ {
+			mirrorCount[hg.L2G[l]]++
+			m.SyncPairs++
+		}
+	}
+	if pt.GlobalN > 0 {
+		m.Replication = float64(proxies) / float64(pt.GlobalN)
+	}
+	for _, c := range mirrorCount {
+		if c > m.MaxMirrors {
+			m.MaxMirrors = c
+		}
+	}
+	return m
+}
+
+// String renders the metrics as one aligned line.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-13s P=%-3d repl=%.2f maxMirrors=%-4d edges[min=%d max=%d] syncPairs=%d",
+		m.Policy, m.P, m.Replication, m.MaxMirrors, m.EdgeMin, m.EdgeMax, m.SyncPairs)
+	return b.String()
+}

@@ -1,0 +1,113 @@
+// Package trace records per-round execution timelines: for each BSP round,
+// the time a host spent computing and in non-overlapped communication plus
+// wire-volume counters. The paper's Fig. 6 reports per-iteration averages
+// of exactly these series ("we measured the computation time of each
+// iteration or round on each host"); the tracer retains the full timeline
+// so the harness can report averages, maxima across hosts, or dump CSV.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Round is one host's record of one BSP round.
+type Round struct {
+	Host    int
+	Round   int
+	Compute time.Duration
+	Comm    time.Duration
+	Bytes   int64 // payload bytes shipped this round (if tracked)
+	Msgs    int64 // messages shipped this round (if tracked)
+}
+
+// Trace accumulates rounds from all hosts of a job. Safe for concurrent
+// Append from host goroutines.
+type Trace struct {
+	mu     sync.Mutex
+	rounds []Round
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Append records one round.
+func (t *Trace) Append(r Round) {
+	t.mu.Lock()
+	t.rounds = append(t.rounds, r)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded rounds.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rounds)
+}
+
+// Rounds returns a copy of all records.
+func (t *Trace) Rounds() []Round {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Round, len(t.rounds))
+	copy(out, t.rounds)
+	return out
+}
+
+// Summary is the Fig. 6 aggregation: per-round maxima across hosts,
+// summed over rounds.
+type Summary struct {
+	Rounds  int
+	Compute time.Duration // Σ_r max_h compute(h, r)
+	Comm    time.Duration // Σ_r max_h comm(h, r)
+	Bytes   int64
+	Msgs    int64
+}
+
+// Summarize computes the paper's aggregation: "we consider the maximum
+// across hosts for each iteration and take the sum of those values".
+func (t *Trace) Summarize() Summary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	type agg struct {
+		compute, comm time.Duration
+	}
+	perRound := map[int]agg{}
+	var s Summary
+	for _, r := range t.rounds {
+		a := perRound[r.Round]
+		if r.Compute > a.compute {
+			a.compute = r.Compute
+		}
+		if r.Comm > a.comm {
+			a.comm = r.Comm
+		}
+		perRound[r.Round] = a
+		s.Bytes += r.Bytes
+		s.Msgs += r.Msgs
+	}
+	for _, a := range perRound {
+		s.Compute += a.compute
+		s.Comm += a.comm
+	}
+	s.Rounds = len(perRound)
+	return s
+}
+
+// WriteCSV dumps the timeline as CSV (host,round,compute_ns,comm_ns,bytes,msgs).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := fmt.Fprintln(w, "host,round,compute_ns,comm_ns,bytes,msgs"); err != nil {
+		return err
+	}
+	for _, r := range t.rounds {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d\n",
+			r.Host, r.Round, r.Compute.Nanoseconds(), r.Comm.Nanoseconds(), r.Bytes, r.Msgs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAppendAndSummarize(t *testing.T) {
+	tr := New()
+	// Two hosts, two rounds. Fig. 6 aggregation: per-round max across
+	// hosts, summed.
+	tr.Append(Round{Host: 0, Round: 0, Compute: 10 * time.Millisecond, Comm: 5 * time.Millisecond, Bytes: 100, Msgs: 2})
+	tr.Append(Round{Host: 1, Round: 0, Compute: 7 * time.Millisecond, Comm: 9 * time.Millisecond, Bytes: 50, Msgs: 1})
+	tr.Append(Round{Host: 0, Round: 1, Compute: 1 * time.Millisecond, Comm: 2 * time.Millisecond})
+	tr.Append(Round{Host: 1, Round: 1, Compute: 3 * time.Millisecond, Comm: 1 * time.Millisecond})
+
+	s := tr.Summarize()
+	if s.Rounds != 2 {
+		t.Fatalf("rounds = %d", s.Rounds)
+	}
+	if s.Compute != 13*time.Millisecond { // max(10,7) + max(1,3)
+		t.Fatalf("compute = %v", s.Compute)
+	}
+	if s.Comm != 11*time.Millisecond { // max(5,9) + max(2,1)
+		t.Fatalf("comm = %v", s.Comm)
+	}
+	if s.Bytes != 150 || s.Msgs != 3 {
+		t.Fatalf("bytes/msgs = %d/%d", s.Bytes, s.Msgs)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for h := 0; h < 8; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			for r := 0; r < 100; r++ {
+				tr.Append(Round{Host: h, Round: r})
+			}
+		}(h)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New()
+	tr.Append(Round{Host: 1, Round: 2, Compute: time.Microsecond, Comm: 2 * time.Microsecond, Bytes: 7, Msgs: 3})
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "host,round,compute_ns,comm_ns,bytes,msgs\n1,2,1000,2000,7,3\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := New()
+	s := tr.Summarize()
+	if s.Rounds != 0 || s.Compute != 0 || s.Comm != 0 {
+		t.Fatalf("summary of empty trace: %+v", s)
+	}
+	if len(tr.Rounds()) != 0 {
+		t.Fatal("rounds of empty trace")
+	}
+}
