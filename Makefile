@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all build vet test race bench bench-datapath experiments examples clean
 
 all: build vet test
 
@@ -18,6 +18,11 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Regenerates the committed before/after report for the batched/pooled
+# data path (frame pooling + eager coalescing).
+bench-datapath:
+	go run ./cmd/experiments -datapath -datapath-out BENCH_datapath.json
 
 # Regenerates every table and figure of the paper plus the extensions.
 experiments:

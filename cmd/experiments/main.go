@@ -33,6 +33,8 @@ func main() {
 	portability := flag.Bool("portability", false, "apps across omnipath/infiniband/sockets transports")
 	alltoall := flag.Bool("alltoall", false, "all-to-all message-rate microbenchmark")
 	threadScaling := flag.Bool("thread-scaling", false, "end-to-end thread-count sweep")
+	datapath := flag.Bool("datapath", false, "batched/pooled data path: allocs and frames per message, before vs after")
+	datapathOut := flag.String("datapath-out", "", "also write the datapath report JSON to this path")
 
 	scale := flag.Int("scale", 0, "graph scale (default from suite)")
 	hostsStr := flag.String("hosts", "", "host sweep, e.g. 2,4,8")
@@ -90,10 +92,21 @@ func main() {
 	run(*threadScaling, "Thread scaling", func() string {
 		return bench.ThreadScaling(e, []int{1, 2, 4, 8})
 	})
+	run(*datapath, "Datapath", func() string {
+		r := bench.Datapath(0, 0, 0, 0)
+		if *datapathOut != "" {
+			if err := r.WriteJSON(*datapathOut); err != nil {
+				fmt.Fprintln(os.Stderr, "datapath-out:", err)
+				os.Exit(1)
+			}
+		}
+		return r.Table()
+	})
 	run(*ablations, "Ablations", func() string {
 		return bench.AblationFused(e) + "\n" + bench.AblationOrdering(e) + "\n" +
 			bench.AblationAggregation(e) + "\n" + bench.AblationAdaptive(e) + "\n" +
-			bench.AblationDirectionBFS(e) + "\n" + bench.AblationPoolLocality(4, *microIters)
+			bench.AblationDirectionBFS(e) + "\n" + bench.AblationCoalescing(e) + "\n" +
+			bench.AblationPoolLocality(4, *microIters)
 	})
 
 	if !ran {

@@ -68,6 +68,7 @@ func main() {
 		for delivered < messages {
 			if r, ok := b.RecvDeq(); ok {
 				r.Wait(nil)
+				r.Release()
 				delivered++
 			} else {
 				runtime.Gosched()

@@ -66,6 +66,7 @@ func main() {
 		// Completion is a flag check, not a function call.
 		r.Wait(nil)
 		fmt.Printf("bob received %d bytes from rank %d with tag %d\n", r.Size, r.Rank, r.Tag)
+		r.Release() // recycle the pooled wire frame
 		received++
 	}
 

@@ -75,6 +75,7 @@ func lciAllToAll(hosts, perPeer, size int, prof fabric.Profile) float64 {
 				}
 				if rq, ok := e.RecvDeq(); ok {
 					if rq.Done() {
+						rq.Release()
 						got++
 					} else {
 						pending = append(pending, rq)
@@ -83,6 +84,7 @@ func lciAllToAll(hosts, perPeer, size int, prof fabric.Profile) float64 {
 				keep := pending[:0]
 				for _, rq := range pending {
 					if rq.Done() {
+						rq.Release()
 						got++
 					} else {
 						keep = append(keep, rq)

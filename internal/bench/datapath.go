@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"lcigraph/internal/comm"
+	"lcigraph/internal/fabric"
+)
+
+// DatapathVariant measures one configuration of the small-message data path:
+// an all-to-all fused exchange of many tiny per-peer messages per epoch,
+// reporting heap allocations and wire frames per logical message.
+type DatapathVariant struct {
+	Name       string `json:"name"`
+	FramePool  bool   `json:"frame_pool"`
+	Coalescing bool   `json:"coalescing"`
+	Messages   int    `json:"messages"`
+
+	AllocsPerMsg float64 `json:"allocs_per_msg"`
+	BytesPerMsg  float64 `json:"alloc_bytes_per_msg"`
+	FramesPerMsg float64 `json:"frames_per_msg"`
+	NsPerMsg     float64 `json:"ns_per_msg"`
+
+	FramesRecycled  int64 `json:"frames_recycled"`
+	BatchPolls      int64 `json:"batch_polls"`
+	MsgsCoalesced   int64 `json:"msgs_coalesced"`
+	CoalescedFrames int64 `json:"coalesced_frames"`
+}
+
+// DatapathReport is the before/after comparison committed as
+// BENCH_datapath.json: baseline reproduces the pre-optimisation data path
+// (frame pooling off, coalescing off), optimized is the current default.
+type DatapathReport struct {
+	Hosts   int `json:"hosts"`
+	PerPeer int `json:"per_peer"`
+	MsgSize int `json:"msg_size"`
+	Epochs  int `json:"epochs"`
+
+	Baseline  DatapathVariant `json:"baseline"`
+	Optimized DatapathVariant `json:"optimized"`
+
+	AllocImprovement float64 `json:"alloc_improvement"` // baseline/optimized allocs per msg
+	FrameImprovement float64 `json:"frame_improvement"` // baseline/optimized frames per msg
+}
+
+// runDatapathVariant drives epochs of the fused exchange: every host sends
+// perPeer messages of size bytes to every other host per epoch, received via
+// FinishFusedCount. One warm-up epoch populates the frame free-list and the
+// layers' internal buffers before measurement starts.
+func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce bool) DatapathVariant {
+	prof := fabric.TestProfile()
+	prof.DisableFramePool = !pool
+	fab := fabric.New(hosts, prof)
+	layers := make([]*comm.LCILayer, hosts)
+	for r := range layers {
+		layers[r] = comm.NewLCILayer(fab.Endpoint(r), lciOptions(hosts, 2))
+		layers[r].SetCoalescing(coalesce)
+	}
+
+	// Payload buffers are prepared up front: the measurement isolates the
+	// runtime's per-message cost (frames, pool traffic, bookkeeping) from
+	// the application's payload generation, which is identical either way.
+	perEpoch := (hosts - 1) * perPeer
+	mkBufs := func(n int) [][][]byte {
+		all := make([][][]byte, hosts)
+		for r := range all {
+			bufs := make([][]byte, n*perEpoch)
+			for k := range bufs {
+				bufs[k] = layers[r].AllocBuf(size)
+				bufs[k][0] = byte(k)
+			}
+			all[r] = bufs
+		}
+		return all
+	}
+
+	runEpoch := func(tag uint32, all [][][]byte, epoch int) {
+		var wg sync.WaitGroup
+		for r := range layers {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				l := layers[r]
+				bufs := all[r][epoch*perEpoch:]
+				eff := l.BeginFused(tag)
+				k := 0
+				for p := 0; p < hosts; p++ {
+					if p == r {
+						continue
+					}
+					for i := 0; i < perPeer; i++ {
+						l.SendFused(i, p, eff, bufs[k])
+						k++
+					}
+				}
+				l.FinishFusedCount(eff, perEpoch, func(int, []byte) {})
+			}(r)
+		}
+		wg.Wait()
+	}
+
+	runEpoch(1, mkBufs(1), 0) // warm-up
+	all := mkBufs(epochs)
+	framesBefore := collectNet(fab).Frames
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		runEpoch(2, all, e)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	net := collectNet(fab)
+
+	v := DatapathVariant{
+		Name:       variantName(pool, coalesce),
+		FramePool:  pool,
+		Coalescing: coalesce,
+		Messages:   hosts * (hosts - 1) * perPeer * epochs,
+	}
+	msgs := float64(v.Messages)
+	v.AllocsPerMsg = float64(after.Mallocs-before.Mallocs) / msgs
+	v.BytesPerMsg = float64(after.TotalAlloc-before.TotalAlloc) / msgs
+	v.FramesPerMsg = float64(net.Frames-framesBefore) / msgs
+	v.NsPerMsg = float64(wall.Nanoseconds()) / msgs
+	v.FramesRecycled = net.FramesRecycled
+	v.BatchPolls = net.BatchPolls
+	for _, l := range layers {
+		s := l.CoalesceStats()
+		v.MsgsCoalesced += s.MsgsCoalesced
+		v.CoalescedFrames += s.CoalescedFrames
+	}
+	for _, l := range layers {
+		l.Stop()
+	}
+	return v
+}
+
+func variantName(pool, coalesce bool) string {
+	switch {
+	case pool && coalesce:
+		return "pooled+coalesced"
+	case pool:
+		return "pooled"
+	case coalesce:
+		return "coalesced"
+	default:
+		return "baseline"
+	}
+}
+
+// Datapath runs the before/after comparison for the zero-allocation batched
+// data path. Zero or negative arguments select the defaults used for
+// BENCH_datapath.json (4 hosts, 64 messages of 64 bytes per peer, 25 epochs).
+func Datapath(hosts, perPeer, size, epochs int) DatapathReport {
+	if hosts <= 0 {
+		hosts = 4
+	}
+	if perPeer <= 0 {
+		perPeer = 64
+	}
+	if size <= 0 {
+		size = 64
+	}
+	if epochs <= 0 {
+		epochs = 25
+	}
+	r := DatapathReport{Hosts: hosts, PerPeer: perPeer, MsgSize: size, Epochs: epochs}
+	r.Baseline = runDatapathVariant(hosts, perPeer, size, epochs, false, false)
+	r.Optimized = runDatapathVariant(hosts, perPeer, size, epochs, true, true)
+	if r.Optimized.AllocsPerMsg > 0 {
+		r.AllocImprovement = r.Baseline.AllocsPerMsg / r.Optimized.AllocsPerMsg
+	}
+	if r.Optimized.FramesPerMsg > 0 {
+		r.FrameImprovement = r.Baseline.FramesPerMsg / r.Optimized.FramesPerMsg
+	}
+	return r
+}
+
+// Table renders the report for cmd/experiments.
+func (r DatapathReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Datapath: %d hosts, %d x %dB msgs/peer/epoch, %d epochs (%d msgs/variant)\n",
+		r.Hosts, r.PerPeer, r.MsgSize, r.Epochs, r.Baseline.Messages)
+	fmt.Fprintf(&b, "%-18s %12s %14s %12s %10s\n",
+		"variant", "allocs/msg", "alloc B/msg", "frames/msg", "ns/msg")
+	for _, v := range []DatapathVariant{r.Baseline, r.Optimized} {
+		fmt.Fprintf(&b, "%-18s %12.2f %14.1f %12.3f %10.0f\n",
+			v.Name, v.AllocsPerMsg, v.BytesPerMsg, v.FramesPerMsg, v.NsPerMsg)
+	}
+	fmt.Fprintf(&b, "improvement: %.1fx fewer allocs/msg, %.1fx fewer frames/msg\n",
+		r.AllocImprovement, r.FrameImprovement)
+	fmt.Fprintf(&b, "optimized counters: recycled=%d batchPolls=%d coalescedMsgs=%d bundles=%d\n",
+		r.Optimized.FramesRecycled, r.Optimized.BatchPolls,
+		r.Optimized.MsgsCoalesced, r.Optimized.CoalescedFrames)
+	return b.String()
+}
+
+// WriteJSON writes the report to path (BENCH_datapath.json).
+func (r DatapathReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"flag"
+	"testing"
+)
+
+// -datapath-out makes TestDatapathReport persist its report, e.g.
+//
+//	go test ./internal/bench -run TestDatapathReport -datapath-out BENCH_datapath.json
+var datapathOut = flag.String("datapath-out", "", "write the datapath report JSON to this path")
+
+// TestDatapathReport is the acceptance gate for the zero-allocation batched
+// data path: for 64-byte messages the pooled+coalesced path must cut heap
+// allocations by ≥5x and wire frames by ≥3x versus the pre-optimisation
+// baseline (no frame pool, no coalescing).
+func TestDatapathReport(t *testing.T) {
+	epochs := 25
+	if testing.Short() {
+		epochs = 8
+	}
+	r := Datapath(4, 64, 64, epochs)
+	t.Logf("\n%s", r.Table())
+
+	if r.AllocImprovement < 5 {
+		t.Errorf("alloc improvement %.1fx, want >= 5x (baseline %.2f vs optimized %.2f allocs/msg)",
+			r.AllocImprovement, r.Baseline.AllocsPerMsg, r.Optimized.AllocsPerMsg)
+	}
+	if r.FrameImprovement < 3 {
+		t.Errorf("frame improvement %.1fx, want >= 3x (baseline %.3f vs optimized %.3f frames/msg)",
+			r.FrameImprovement, r.Baseline.FramesPerMsg, r.Optimized.FramesPerMsg)
+	}
+	if r.Optimized.MsgsCoalesced == 0 || r.Optimized.FramesRecycled == 0 {
+		t.Errorf("optimized variant exercised no coalescing/recycling: %+v", r.Optimized)
+	}
+	if *datapathOut != "" {
+		if err := r.WriteJSON(*datapathOut); err != nil {
+			t.Fatalf("writing %s: %v", *datapathOut, err)
+		}
+		t.Logf("wrote %s", *datapathOut)
+	}
+}
+
+// BenchmarkDatapath reports allocs/op and frames/op for one fused all-to-all
+// epoch under each data-path configuration (go test -bench Datapath -benchmem).
+func BenchmarkDatapath(b *testing.B) {
+	for _, v := range []struct {
+		name           string
+		pool, coalesce bool
+	}{
+		{"baseline", false, false},
+		{"pooled", true, false},
+		{"pooled+coalesced", true, true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			r := runDatapathVariant(4, 64, 64, b.N, v.pool, v.coalesce)
+			b.ReportMetric(r.AllocsPerMsg, "allocs/msg")
+			b.ReportMetric(r.FramesPerMsg, "frames/msg")
+			b.ReportMetric(r.NsPerMsg, "ns/msg")
+		})
+	}
+}

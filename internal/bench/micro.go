@@ -66,6 +66,7 @@ func lciPingPong(size, iters int, prof fabric.Profile) time.Duration {
 		for {
 			if r, ok := e.RecvDeq(); ok {
 				r.Wait(nil)
+				r.Release() // recycle the pooled wire frame
 				return
 			}
 			runtime.Gosched()
@@ -198,6 +199,7 @@ func lciRate(threads, perThread, size, total int, prof fabric.Profile) float64 {
 	for got < total {
 		if r, ok := b.RecvDeq(); ok {
 			if r.Done() {
+				r.Release()
 				got++
 			} else {
 				pending = append(pending, r)
@@ -207,6 +209,7 @@ func lciRate(threads, perThread, size, total int, prof fabric.Profile) float64 {
 		keep := pending[:0]
 		for _, r := range pending {
 			if r.Done() {
+				r.Release()
 				got++
 			} else {
 				keep = append(keep, r)

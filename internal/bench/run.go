@@ -58,6 +58,9 @@ type Config struct {
 	// NoAggregation disables the probe layer's buffered network layer
 	// (ablation: the naive per-message baseline of §III-B).
 	NoAggregation bool
+	// NoCoalescing disables the LCI layers' eager coalescer (ablation:
+	// every small message pays its own wire frame; DESIGN.md §8).
+	NoCoalescing bool
 	// Adaptive enables Gemini's sparse/dense mode switching (bfs, cc and
 	// sssp on the Gemini engine only).
 	Adaptive bool
@@ -89,6 +92,11 @@ type NetStats struct {
 	Puts        int64 // RDMA puts
 	PutBytes    int64
 	SendRetries int64 // back-pressure events
+
+	FramesRecycled  int64 // pooled frames returned to the fabric free-list
+	BatchPolls      int64 // batched ring drains that returned ≥1 frame
+	MsgsCoalesced   int64 // messages shipped inside multi-record bundles
+	CoalescedFrames int64 // multi-record bundles shipped
 }
 
 func collectNet(fab *fabric.Fabric) NetStats {
@@ -100,8 +108,25 @@ func collectNet(fab *fabric.Fabric) NetStats {
 		n.Puts += st.Puts
 		n.PutBytes += st.PutBytes
 		n.SendRetries += st.SendRetries + st.PutRetries
+		n.FramesRecycled += st.FramesRecycled
+		n.BatchPolls += st.BatchPolls
 	}
 	return n
+}
+
+// coalesceStater is implemented by the layers and streams that pack small
+// messages into bundles (LCILayer, LCIStream).
+type coalesceStater interface {
+	CoalesceStats() comm.CoalesceStats
+}
+
+// addCoalesce folds one endpoint's coalescer counters into n.
+func (n *NetStats) addCoalesce(v any) {
+	if cs, ok := v.(coalesceStater); ok {
+		s := cs.CoalesceStats()
+		n.MsgsCoalesced += s.MsgsCoalesced
+		n.CoalescedFrames += s.CoalescedFrames
+	}
 }
 
 // MaxCompute returns the largest per-host compute time.
@@ -165,7 +190,11 @@ func RunAbelian(g *graph.Graph, cfg Config) *Result {
 	mk := func(r int) comm.Layer {
 		switch cfg.Layer {
 		case LCI:
-			return comm.NewLCILayer(fab.Endpoint(r), lciOptions(cfg.Hosts, cfg.Threads))
+			l := comm.NewLCILayer(fab.Endpoint(r), lciOptions(cfg.Hosts, cfg.Threads))
+			if cfg.NoCoalescing {
+				l.SetCoalescing(false)
+			}
+			return l
 		case MPIProbe:
 			pl := comm.NewProbeLayer(world.Comm(r))
 			if cfg.NoAggregation {
@@ -192,8 +221,10 @@ func RunAbelian(g *graph.Graph, cfg Config) *Result {
 	rounds := make([]int, cfg.Hosts)
 	mems := make([]int64, cfg.Hosts)
 	walls := make([]time.Duration, cfg.Hosts)
+	layers := make([]comm.Layer, cfg.Hosts)
+	mkL := func(r int) comm.Layer { layers[r] = mk(r); return layers[r] }
 
-	cluster.Run(cfg.Hosts, cfg.Threads, mk, func(h *cluster.Host) {
+	cluster.Run(cfg.Hosts, cfg.Threads, mkL, func(h *cluster.Host) {
 		// Exclude setup (layer construction, pool allocation) from the
 		// measurement, as the paper excludes graph construction time.
 		h.Barrier()
@@ -238,6 +269,9 @@ func RunAbelian(g *graph.Graph, cfg Config) *Result {
 	res.Rounds = rounds[0]
 	res.MemMax, res.MemMin = minMax(mems)
 	res.Net = collectNet(fab)
+	for _, l := range layers {
+		res.Net.addCoalesce(l)
+	}
 	return res
 }
 
@@ -255,7 +289,11 @@ func RunGemini(g *graph.Graph, cfg Config) *Result {
 	mkStream := func(r int) comm.Stream {
 		switch cfg.Layer {
 		case LCI:
-			return comm.NewLCIStream(fab.Endpoint(r), lciOptions(cfg.Hosts, cfg.Threads))
+			s := comm.NewLCIStream(fab.Endpoint(r), lciOptions(cfg.Hosts, cfg.Threads))
+			if cfg.NoCoalescing {
+				s.SetCoalescing(false)
+			}
+			return s
 		case MPIProbe:
 			return comm.NewMPIStream(world.Comm(r))
 		default:
@@ -332,6 +370,9 @@ func RunGemini(g *graph.Graph, cfg Config) *Result {
 	res.Rounds = rounds[0]
 	res.MemMax, res.MemMin = minMax(mems)
 	res.Net = collectNet(fab)
+	for _, s := range streams {
+		res.Net.addCoalesce(s)
+	}
 	return res
 }
 

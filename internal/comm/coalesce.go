@@ -1,0 +1,285 @@
+package comm
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the eager coalescer and the record framing it shares with
+// the probe layer's MPI bundles: both pack many small logical messages into
+// one near-eager-limit wire message so the per-message fabric cost (a frame,
+// a header, a matching pass) is paid once per bundle instead of once per
+// message.
+
+// coalFlag marks bit 31 of a wire tag as "this payload is a bundle of
+// records". Application tags never reach that bit: Layer epochs use 24 bits
+// (effTag) and Gemini's stream tags are round<<2|kind.
+const coalFlag uint32 = 1 << 31
+
+// record framing inside a bundle: tag u32 | len u32 | payload.
+const recHdr = 8
+
+// appendRecord packs one record onto buf, which must have capacity for it.
+func appendRecord(buf []byte, tag uint32, data []byte) []byte {
+	off := len(buf)
+	buf = buf[:off+recHdr+len(data)]
+	binary.LittleEndian.PutUint32(buf[off:], tag)
+	binary.LittleEndian.PutUint32(buf[off+4:], uint32(len(data)))
+	copy(buf[off+recHdr:], data)
+	return buf
+}
+
+// forEachRecord walks the records of a bundle in order.
+func forEachRecord(buf []byte, fn func(tag uint32, data []byte)) {
+	off := 0
+	for off < len(buf) {
+		tag := binary.LittleEndian.Uint32(buf[off:])
+		sz := int(binary.LittleEndian.Uint32(buf[off+4:]))
+		fn(tag, buf[off+recHdr:off+recHdr+sz])
+		off += recHdr + sz
+	}
+}
+
+// countRecords returns the number of records in a bundle.
+func countRecords(buf []byte) int {
+	n, off := 0, 0
+	for off < len(buf) {
+		sz := int(binary.LittleEndian.Uint32(buf[off+4:]))
+		off += recHdr + sz
+		n++
+	}
+	return n
+}
+
+// bundleRef shares one bundle buffer among its unpacked records: the bundle
+// is released when the last record is. One allocation per bundle, not per
+// record.
+type bundleRef struct {
+	remaining atomic.Int32
+	release   func()
+}
+
+func (b *bundleRef) dec() {
+	if b.remaining.Add(-1) == 0 && b.release != nil {
+		b.release()
+	}
+}
+
+// unpackBundle splits bundle message b into per-record messages sharing b's
+// buffer, handing each to put; b is released when the last record is. The
+// record tags — not b.Tag — carry the logical epoch, so bundles may mix
+// epochs freely.
+func unpackBundle(b Message, put func(Message)) {
+	n := countRecords(b.Data)
+	if n == 0 {
+		b.Release()
+		return
+	}
+	ref := &bundleRef{release: b.release}
+	ref.remaining.Store(int32(n))
+	forEachRecord(b.Data, func(tag uint32, data []byte) {
+		put(Message{Peer: b.Peer, Tag: tag, Data: data, ref: ref})
+	})
+}
+
+// CoalesceStats is a snapshot of the coalescer counters.
+type CoalesceStats struct {
+	MsgsCoalesced   int64 // messages shipped inside multi-record bundles
+	CoalescedFrames int64 // multi-record bundles shipped
+}
+
+// emitFn ships one wire message (a plain message or a bundle tagged
+// coalFlag) to dst. done is called exactly once when the sender is finished
+// with data; a nil done means "free len(data) tracked bytes" — the common
+// case, kept nil so hot-path sends allocate no closure. block retries until
+// the send is accepted; a non-block emit returns false on back-pressure and
+// the message stays parked. drain lets a blocked emit pump the receive path
+// (only safe from the layer's protocol thread).
+type emitFn func(worker, dst int, tag uint32, data []byte, done func(), block, drain bool) bool
+
+// coalescer packs small per-destination messages into bundles.
+//
+// It is lazy: the first message for a destination is parked by reference (no
+// copy), and a staging buffer is only allocated when a second message shows
+// up before the first was flushed. A destination that only ever holds one
+// message per flush window therefore ships it as a plain message with its
+// original tag — the coalescer costs nothing on one-message-per-peer paths
+// like Abelian's Exchange.
+type coalescer struct {
+	limit int // bundle payload cap: the fabric eager limit
+	emit  emitFn
+	// freeData mirrors emitFn's nil-done convention for messages the
+	// coalescer absorbs by copy: it frees n tracked bytes.
+	freeData func(n int)
+	off      atomic.Bool // pass-through mode (ablation knob)
+
+	dests []coalDest
+
+	// Staging-buffer freelist. A bundle is eager by construction, so its
+	// buffer is reusable as soon as the fabric accepts it (the payload is
+	// copied on injection).
+	bufMu    sync.Mutex
+	bufs     [][]byte
+	allocBuf func(n int) []byte
+	freeBuf  func(b []byte)
+
+	msgsCoalesced   atomic.Int64
+	coalescedFrames atomic.Int64
+}
+
+// coalRec is one parked message held by reference.
+type coalRec struct {
+	tag  uint32
+	data []byte
+	done func()
+}
+
+type coalDest struct {
+	mu     sync.Mutex
+	one    coalRec // parked single (by reference), valid when hasOne
+	hasOne bool
+	buf    []byte // staging bundle, nil when none
+	nrec   int
+}
+
+func newCoalescer(hosts, limit int, emit emitFn, freeData func(int),
+	allocBuf func(int) []byte, freeBuf func([]byte)) *coalescer {
+	return &coalescer{
+		limit:    limit,
+		emit:     emit,
+		freeData: freeData,
+		dests:    make([]coalDest, hosts),
+		allocBuf: allocBuf,
+		freeBuf:  freeBuf,
+	}
+}
+
+// setEnabled toggles coalescing (pass-through when disabled). Call before
+// any traffic.
+func (c *coalescer) setEnabled(on bool) { c.off.Store(!on) }
+
+func (c *coalescer) stats() CoalesceStats {
+	return CoalesceStats{
+		MsgsCoalesced:   c.msgsCoalesced.Load(),
+		CoalescedFrames: c.coalescedFrames.Load(),
+	}
+}
+
+// add queues one message for dst. done fires once the coalescer (or the
+// underlying send) is finished with data: immediately if the bytes are
+// absorbed into a staging bundle, at send completion otherwise. add may
+// block on fabric back-pressure (like a direct send would), but never on a
+// receive — it is safe from any compute thread.
+func (c *coalescer) add(worker, dst int, tag uint32, data []byte, done func()) {
+	if c.off.Load() || recHdr+len(data) > c.limit {
+		// Pass-through: oversized messages ship alone (and may go
+		// rendezvous); bundling them would force an extra copy.
+		c.emit(worker, dst, tag, data, done, true, false)
+		return
+	}
+	d := &c.dests[dst]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		switch {
+		case d.buf != nil:
+			if len(d.buf)+recHdr+len(data) <= c.limit {
+				d.buf = appendRecord(d.buf, tag, data)
+				d.nrec++
+				c.fireDone(done, len(data))
+				return
+			}
+			c.flushLocked(worker, d, dst, true, false)
+		case !d.hasOne:
+			d.one = coalRec{tag: tag, data: data, done: done}
+			d.hasOne = true
+			return
+		case 2*recHdr+len(d.one.data)+len(data) <= c.limit:
+			// Second message for dst: open a bundle and absorb the parked
+			// single; the loop then appends the new message.
+			d.buf = c.getBuf()
+			d.buf = appendRecord(d.buf, d.one.tag, d.one.data)
+			c.fireDone(d.one.done, len(d.one.data))
+			d.one, d.hasOne = coalRec{}, false
+			d.nrec = 1
+		default:
+			// Cannot combine with the parked single: ship it, then park data.
+			c.flushLocked(worker, d, dst, true, false)
+		}
+	}
+}
+
+// fireDone completes an absorbed-by-copy message: its bytes now live in the
+// staging bundle, so the caller's buffer is reusable.
+func (c *coalescer) fireDone(done func(), n int) {
+	if done != nil {
+		done()
+		return
+	}
+	c.freeData(n)
+}
+
+// flushLocked ships whatever is parked for d (bundle or single). It returns
+// false only for a non-block emit that hit back-pressure; the message stays
+// parked for the next flush.
+func (c *coalescer) flushLocked(worker int, d *coalDest, dst int, block, drain bool) bool {
+	if d.buf != nil {
+		buf, n := d.buf, d.nrec
+		if !c.emit(worker, dst, coalFlag, buf, func() { c.putBuf(buf) }, block, drain) {
+			return false
+		}
+		c.msgsCoalesced.Add(int64(n))
+		c.coalescedFrames.Add(1)
+		d.buf, d.nrec = nil, 0
+		return true
+	}
+	if d.hasOne {
+		one := d.one
+		if !c.emit(worker, dst, one.tag, one.data, one.done, block, drain) {
+			return false
+		}
+		d.one, d.hasOne = coalRec{}, false
+	}
+	return true
+}
+
+// flushAll ships every parked message. A non-block flush skips destinations
+// whose lock is contended (another thread is actively packing them) and
+// leaves back-pressured messages parked.
+func (c *coalescer) flushAll(worker int, block, drain bool) {
+	for dst := range c.dests {
+		d := &c.dests[dst]
+		if block {
+			d.mu.Lock()
+		} else if !d.mu.TryLock() {
+			continue
+		}
+		c.flushLocked(worker, d, dst, block, drain)
+		d.mu.Unlock()
+	}
+}
+
+func (c *coalescer) getBuf() []byte {
+	c.bufMu.Lock()
+	if n := len(c.bufs); n > 0 {
+		b := c.bufs[n-1]
+		c.bufs[n-1] = nil
+		c.bufs = c.bufs[:n-1]
+		c.bufMu.Unlock()
+		return b[:0]
+	}
+	c.bufMu.Unlock()
+	return c.allocBuf(c.limit)[:0]
+}
+
+func (c *coalescer) putBuf(b []byte) {
+	c.bufMu.Lock()
+	if len(c.bufs) < 2*len(c.dests)+2 {
+		c.bufs = append(c.bufs, b)
+		c.bufMu.Unlock()
+		return
+	}
+	c.bufMu.Unlock()
+	c.freeBuf(b)
+}

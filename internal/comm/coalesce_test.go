@@ -1,0 +1,224 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	type rec struct {
+		tag  uint32
+		data string
+	}
+	recs := []rec{{1, "alpha"}, {coalFlag - 1, ""}, {42, "omega-payload"}}
+	for _, r := range recs {
+		buf = appendRecord(buf, r.tag, []byte(r.data))
+	}
+	if n := countRecords(buf); n != len(recs) {
+		t.Fatalf("countRecords = %d, want %d", n, len(recs))
+	}
+	i := 0
+	forEachRecord(buf, func(tag uint32, data []byte) {
+		if tag != recs[i].tag || string(data) != recs[i].data {
+			t.Fatalf("record %d = (%d, %q), want (%d, %q)",
+				i, tag, data, recs[i].tag, recs[i].data)
+		}
+		i++
+	})
+}
+
+func TestUnpackBundleReleasesOnce(t *testing.T) {
+	buf := make([]byte, 0, 128)
+	buf = appendRecord(buf, 1, []byte("aa"))
+	buf = appendRecord(buf, 2, []byte("bb"))
+	released := 0
+	var msgs []Message
+	unpackBundle(Message{
+		Peer:    3,
+		Tag:     coalFlag,
+		Data:    buf,
+		release: func() { released++ },
+	}, func(m Message) { msgs = append(msgs, m) })
+	if len(msgs) != 2 {
+		t.Fatalf("got %d records", len(msgs))
+	}
+	msgs[0].Release()
+	if released != 0 {
+		t.Fatal("bundle released before last record")
+	}
+	msgs[1].Release()
+	if released != 1 {
+		t.Fatalf("bundle released %d times", released)
+	}
+}
+
+// TestFusedCoalescing drives many small per-peer messages through one fused
+// epoch of the LCI layer: they must arrive intact (bundled on the wire,
+// unpacked before onRecv) and every pooled frame must return to the fabric.
+func TestFusedCoalescing(t *testing.T) {
+	const p = 3
+	const perPeer = 40
+	fab := fabric.New(p, fabric.TestProfile())
+	layers := make([]*LCILayer, p)
+	for r := 0; r < p; r++ {
+		layers[r] = NewLCILayer(fab.Endpoint(r), lci.Options{})
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			l := layers[r]
+			eff := l.BeginFused(9)
+			for peer := 0; peer < p; peer++ {
+				if peer == r {
+					continue
+				}
+				for i := 0; i < perPeer; i++ {
+					buf := l.AllocBuf(8)
+					binary.LittleEndian.PutUint64(buf, uint64(r)<<32|uint64(i))
+					l.SendFused(i, peer, eff, buf)
+				}
+			}
+			seen := make(map[uint64]bool)
+			l.FinishFusedCount(eff, (p-1)*perPeer, func(peer int, data []byte) {
+				v := binary.LittleEndian.Uint64(data)
+				if int(v>>32) != peer {
+					t.Errorf("rank %d: message %x from peer %d", r, v, peer)
+				}
+				if seen[v] {
+					t.Errorf("rank %d: duplicate message %x", r, v)
+				}
+				seen[v] = true
+			})
+		}(r)
+	}
+	wg.Wait()
+
+	coalesced := false
+	var stopWg sync.WaitGroup
+	for _, l := range layers {
+		if s := l.CoalesceStats(); s.CoalescedFrames > 0 && s.MsgsCoalesced > s.CoalescedFrames {
+			coalesced = true
+		}
+		stopWg.Add(1)
+		go func(l *LCILayer) { defer stopWg.Done(); l.Stop() }(l)
+	}
+	stopWg.Wait()
+	if !coalesced {
+		t.Fatal("no messages were coalesced")
+	}
+	if n := fab.FramesOutstanding(); n != 0 {
+		t.Fatalf("%d frames still outstanding", n)
+	}
+}
+
+// TestStreamCoalescing exercises the stream coalescer with concurrent sender
+// threads, mixed tags, and sizes spanning the pass-through threshold, then
+// verifies frame conservation after shutdown.
+func TestStreamCoalescing(t *testing.T) {
+	fab := fabric.New(2, fabric.TestProfile())
+	snd := NewLCIStream(fab.Endpoint(0), lci.Options{})
+	rcv := NewLCIStream(fab.Endpoint(1), lci.Options{})
+
+	const threads, per = 3, 50
+	var sent [threads]int
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				size := 16 + (th*per+i)%1200 // some exceed the 1KiB eager limit
+				buf := snd.AllocBuf(size)
+				for j := range buf {
+					buf[j] = byte(th)
+				}
+				snd.SendMsg(th, 1, uint32(th), buf)
+				sent[th] += size
+			}
+		}(th)
+	}
+	var got [threads]int
+	for n := 0; n < threads*per; {
+		snd.RecvMsg() // sender-side pump: reaps sends, flushes parked bundles
+		m, ok := rcv.RecvMsg()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		th := int(m.Tag)
+		for _, by := range m.Data {
+			if by != byte(th) {
+				t.Fatalf("corrupt payload for tag %d", th)
+			}
+		}
+		got[th] += len(m.Data)
+		m.Release()
+		n++
+	}
+	wg.Wait()
+	for th := 0; th < threads; th++ {
+		if got[th] != sent[th] {
+			t.Fatalf("tag %d: got %d bytes, sent %d", th, got[th], sent[th])
+		}
+	}
+	if s := snd.CoalesceStats(); s.CoalescedFrames == 0 {
+		t.Error("no bundles shipped on the stream path")
+	}
+	snd.Stop()
+	rcv.Stop()
+	if n := fab.FramesOutstanding(); n != 0 {
+		t.Fatalf("%d frames still outstanding", n)
+	}
+}
+
+// TestCoalescingDisabledPassThrough: the ablation knob must ship every
+// message unbundled with its original tag.
+func TestCoalescingDisabledPassThrough(t *testing.T) {
+	fab := fabric.New(2, fabric.TestProfile())
+	layers := [2]*LCILayer{
+		NewLCILayer(fab.Endpoint(0), lci.Options{}),
+		NewLCILayer(fab.Endpoint(1), lci.Options{}),
+	}
+	layers[0].SetCoalescing(false)
+	layers[1].SetCoalescing(false)
+
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			l := layers[r]
+			eff := l.BeginFused(5)
+			for i := 0; i < 20; i++ {
+				buf := l.AllocBuf(16)
+				copy(buf, fmt.Sprintf("msg-%d-%d", r, i))
+				l.SendFused(0, 1-r, eff, buf)
+			}
+			got := 0
+			l.FinishFusedCount(eff, 20, func(peer int, data []byte) { got++ })
+			if got != 20 {
+				t.Errorf("rank %d: received %d messages", r, got)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, l := range layers {
+		if s := l.CoalesceStats(); s.CoalescedFrames != 0 {
+			t.Errorf("coalesced %d frames with coalescing disabled", s.CoalescedFrames)
+		}
+		l.Stop()
+	}
+	if n := fab.FramesOutstanding(); n != 0 {
+		t.Fatalf("%d frames still outstanding", n)
+	}
+}

@@ -49,12 +49,19 @@ type Message struct {
 	Tag  uint32 // effective tag (base tag + epoch)
 	Data []byte
 	// release returns the underlying buffer to the layer; the data is
-	// invalid afterwards.
+	// invalid afterwards. Records unpacked from a bundle instead share one
+	// ref, so releasing a record costs no allocation.
 	release func()
+	ref     *bundleRef
 }
 
 // Release returns the message's buffer to the layer.
 func (m *Message) Release() {
+	if m.ref != nil {
+		m.ref.dec()
+		m.ref = nil
+		return
+	}
 	if m.release != nil {
 		m.release()
 		m.release = nil

@@ -34,12 +34,27 @@ type LCILayer struct {
 	// (thread-direct) sends.
 	workers [maxStreamThreads]int
 
+	// coal packs small fused per-peer messages of one epoch into
+	// near-eager-limit bundles; FinishFused flushes it structurally.
+	coal *coalescer
+
 	stop chan struct{}
 }
 
 type sendInFlight struct {
-	req *lci.Request
-	buf []byte
+	req  *lci.Request
+	buf  []byte
+	done func() // completion action; defaults to freeing buf's tracked bytes
+}
+
+// finish runs the in-flight send's completion action once its buffer is
+// reusable.
+func (s sendInFlight) finish(t *memtrack.Tracker) {
+	if s.done != nil {
+		s.done()
+	} else {
+		t.Free(len(s.buf))
+	}
 }
 
 // trackedAlloc adapts the layer's memtracker as LCI's rendezvous allocator.
@@ -63,9 +78,21 @@ func NewLCILayer(fep *fabric.Endpoint, opt lci.Options) *LCILayer {
 	for i := range l.workers {
 		l.workers[i] = l.ep.Pool().RegisterWorker()
 	}
+	// Staging bundles are pool-like internal buffers (reused via the
+	// coalescer freelist), untracked just like the LCI packet pool.
+	l.coal = newCoalescer(fep.Size(), l.ep.EagerLimit(), l.emit,
+		l.tracker.Free,
+		func(n int) []byte { return make([]byte, n) }, func([]byte) {})
 	go l.ep.Serve(l.stop)
 	return l
 }
+
+// SetCoalescing toggles fused-send coalescing (ablation knob). Call before
+// any traffic.
+func (l *LCILayer) SetCoalescing(on bool) { l.coal.setEnabled(on) }
+
+// CoalesceStats returns the coalescer counters.
+func (l *LCILayer) CoalesceStats() CoalesceStats { return l.coal.stats() }
 
 // Name implements Layer.
 func (l *LCILayer) Name() string { return "lci" }
@@ -81,6 +108,7 @@ func (l *LCILayer) AllocBuf(n int) []byte {
 
 // Stop implements Layer.
 func (l *LCILayer) Stop() {
+	l.coal.flushAll(l.worker, true, true)
 	l.drainSends()
 	close(l.stop)
 }
@@ -118,7 +146,7 @@ func (l *LCILayer) poll() bool {
 	keepS := l.pendingSend[:0]
 	for _, s := range l.pendingSend {
 		if s.req.Done() {
-			l.tracker.Free(len(s.buf))
+			s.finish(&l.tracker)
 			worked = true
 		} else {
 			keepS = append(keepS, s)
@@ -129,21 +157,27 @@ func (l *LCILayer) poll() bool {
 	return worked
 }
 
-// stashRequest converts a completed receive request into a stash entry.
-// rendezvous buffers were allocated by the tracked allocator; eager
-// payloads live in transient wire buffers, charged while held.
+// stashRequest converts a completed receive request into stash entries.
+// rendezvous buffers were allocated by the tracked allocator; eager payloads
+// alias pooled wire frames, charged while held and recycled to the fabric on
+// release. Coalesced bundles unpack into one stash entry per record, all
+// sharing the frame.
 func (l *LCILayer) stashRequest(r *lci.Request, rendezvous bool) {
 	if !rendezvous {
 		l.tracker.Alloc(len(r.Data))
 	}
-	data := r.Data
-	n := len(data)
-	l.stash.put(Message{
+	n := len(r.Data)
+	m := Message{
 		Peer:    r.Rank,
 		Tag:     r.Tag,
-		Data:    data,
-		release: func() { l.tracker.Free(n) },
-	})
+		Data:    r.Data,
+		release: func() { l.tracker.Free(n); r.Release() },
+	}
+	if m.Tag&coalFlag != 0 {
+		unpackBundle(m, l.stash.put)
+		return
+	}
+	l.stash.put(m)
 }
 
 // Exchange implements Layer.
@@ -178,20 +212,31 @@ func (l *LCILayer) Exchange(tag uint32, out [][]byte, expect []bool, recvMax []i
 // mayPoll lets the Exchange caller progress receives while retrying; fused
 // senders (arbitrary compute threads) must not touch the receive state.
 func (l *LCILayer) sendOne(worker, peer int, eff uint32, buf []byte, mayPoll bool) {
+	l.emit(worker, peer, eff, buf, nil, true, mayPoll)
+}
+
+// emit is the coalescer's send hook (and sendOne's body): one SEND-ENQ with
+// the layer's retry and in-flight bookkeeping. done runs when buf is
+// reusable (nil means "free buf's tracked bytes"). A non-block emit returns
+// false on pool exhaustion instead of retrying.
+func (l *LCILayer) emit(worker, dst int, tag uint32, data []byte, done func(), block, drain bool) bool {
 	for {
-		r, ok := l.ep.SendEnq(worker, peer, eff, buf)
+		r, ok := l.ep.SendEnq(worker, dst, tag, data)
 		if ok {
 			if r.Done() {
-				l.tracker.Free(len(buf))
+				sendInFlight{buf: data, done: done}.finish(&l.tracker)
 			} else {
 				l.sendMu.Lock()
-				l.pendingSend = append(l.pendingSend, sendInFlight{req: r, buf: buf})
+				l.pendingSend = append(l.pendingSend, sendInFlight{req: r, buf: data, done: done})
 				l.sendMu.Unlock()
 			}
-			return
+			return true
+		}
+		if !block {
+			return false
 		}
 		// Pool exhausted: retriable, never fatal.
-		if !mayPoll || !l.poll() {
+		if !drain || !l.poll() {
 			runtime.Gosched()
 		}
 	}
@@ -205,18 +250,28 @@ func (l *LCILayer) sendOne(worker, peer int, eff uint32, buf []byte, mayPoll boo
 func (l *LCILayer) BeginFused(tag uint32) uint32 { return l.epochs.next(tag) }
 
 // SendFused sends one peer's payload from any compute thread. thread
-// selects the packet-pool locality shard.
+// selects the packet-pool locality shard. Small payloads coalesce with other
+// fused messages for the same peer; a message with no companion by
+// FinishFused ships alone, unwrapped.
 func (l *LCILayer) SendFused(thread, peer int, eff uint32, buf []byte) {
 	if peer == l.rank || buf == nil {
 		return
 	}
-	l.sendOne(l.workers[thread%maxStreamThreads], peer, eff, buf, false)
+	l.coal.add(l.workers[thread%maxStreamThreads], peer, eff, buf, nil)
 }
 
-// FinishFused completes the fused exchange: it receives (in arrival order)
-// every expected message for eff, exactly like the tail of Exchange.
+// FinishFused completes the fused exchange: it flushes any coalesced
+// messages still parked, then receives (in arrival order) every expected
+// message for eff, exactly like the tail of Exchange.
 func (l *LCILayer) FinishFused(eff uint32, expect []bool, onRecv func(peer int, data []byte)) {
-	want := countExpected(expect, l.rank)
+	l.FinishFusedCount(eff, countExpected(expect, l.rank), onRecv)
+}
+
+// FinishFusedCount is FinishFused for epochs with more than one message per
+// peer (the coalescer's sweet spot): want is the total number of logical
+// messages expected for eff.
+func (l *LCILayer) FinishFusedCount(eff uint32, want int, onRecv func(peer int, data []byte)) {
+	l.coal.flushAll(l.worker, true, true)
 	got := 0
 	for got < want {
 		if m, ok := l.stash.take(eff); ok {

@@ -1,7 +1,6 @@
 package comm
 
 import (
-	"encoding/binary"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -140,8 +139,8 @@ func (l *ProbeLayer) Exchange(tag uint32, out [][]byte, expect []bool, recvMax [
 
 // ---- communication thread ----
 
-// record framing inside a bundle: eff u32 | len u32 | payload.
-const recHdr = 8
+// Bundles use the shared record framing from coalesce.go:
+// eff u32 | len u32 | payload.
 
 type aggBuf struct {
 	buf   []byte
@@ -208,11 +207,7 @@ func (l *ProbeLayer) commThread() {
 				a.first = time.Now()
 				a.buf = l.allocBundle(max(need, l.aggLimit))[:0]
 			}
-			off := len(a.buf)
-			a.buf = a.buf[:off+need]
-			binary.LittleEndian.PutUint32(a.buf[off:], sr.eff)
-			binary.LittleEndian.PutUint32(a.buf[off+4:], uint32(len(sr.data)))
-			copy(a.buf[off+recHdr:], sr.data)
+			a.buf = appendRecord(a.buf, sr.eff, sr.data)
 			l.tracker.Free(sr.track) // gather buffer absorbed into bundle
 			if need > l.aggLimit {
 				// Oversized single message: ship immediately (rendezvous).
@@ -298,35 +293,11 @@ func (l *ProbeLayer) allocBundle(n int) []byte {
 // unbundle splits a received bundle into logical messages sharing the
 // bundle buffer, freeing it when the last message is released.
 func (l *ProbeLayer) unbundle(src int, buf []byte) {
-	n := countRecords(buf)
-	if n == 0 {
-		l.tracker.Free(len(buf))
-		return
-	}
-	remaining := int32(n)
-	release := func() {
-		if atomic.AddInt32(&remaining, -1) == 0 {
-			l.tracker.Free(len(buf))
-		}
-	}
-	off := 0
-	for off < len(buf) {
-		eff := binary.LittleEndian.Uint32(buf[off:])
-		sz := int(binary.LittleEndian.Uint32(buf[off+4:]))
-		data := buf[off+recHdr : off+recHdr+sz]
-		l.recvq.Push(Message{Peer: src, Tag: eff, Data: data, release: release})
-		off += recHdr + sz
-	}
-}
-
-func countRecords(buf []byte) int {
-	n, off := 0, 0
-	for off < len(buf) {
-		sz := int(binary.LittleEndian.Uint32(buf[off+4:]))
-		off += recHdr + sz
-		n++
-	}
-	return n
+	unpackBundle(Message{
+		Peer:    src,
+		Data:    buf,
+		release: func() { l.tracker.Free(len(buf)) },
+	}, l.recvq.Push)
 }
 
 func allEmpty(aggs []aggBuf) bool {

@@ -3,6 +3,7 @@ package comm
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	lci "lcigraph/internal/core"
 	"lcigraph/internal/fabric"
@@ -35,30 +36,71 @@ type Stream interface {
 // that each sending/receiving thread uses LCI Queue instead of MPI".
 const maxStreamThreads = 64
 
+// coalFlushInterval caps how long a coalesced stream message may stay
+// parked when neither a companion message nor an idle RecvMsg flushes it
+// (mirrors the probe layer's aggregation timeout).
+const coalFlushInterval = 50 * time.Microsecond
+
 type LCIStream struct {
 	ep      *lci.Endpoint
 	tracker memtrack.Tracker
 
 	workers [maxStreamThreads]int // thread id → pool worker id (lock-free)
 
+	// coal packs small per-peer messages into bundles; flushed when idle
+	// (RecvMsg with nothing ready) and by the background ticker.
+	coal *coalescer
+
 	mu          sync.Mutex
 	pendSend    []sendInFlight
 	pendingRecv []*lci.Request
 
-	stop chan struct{}
+	// ready holds unpacked bundle records awaiting delivery (single
+	// consumer, like RecvMsg itself).
+	ready     []Message
+	readyHead int
+
+	stop      chan struct{}
+	flushDone chan struct{}
 }
 
 // NewLCIStream builds an LCI stream over a fabric endpoint and starts its
 // communication server.
 func NewLCIStream(fep *fabric.Endpoint, opt lci.Options) *LCIStream {
-	s := &LCIStream{stop: make(chan struct{})}
+	s := &LCIStream{stop: make(chan struct{}), flushDone: make(chan struct{})}
 	opt.Allocator = trackedAlloc{&s.tracker}
 	s.ep = lci.NewEndpoint(fep, opt)
 	for i := range s.workers {
 		s.workers[i] = s.ep.Pool().RegisterWorker()
 	}
+	s.coal = newCoalescer(fep.Size(), s.ep.EagerLimit(), s.emit,
+		s.tracker.Free,
+		func(n int) []byte { return make([]byte, n) }, func([]byte) {})
 	go s.ep.Serve(s.stop)
+	go s.flushLoop()
 	return s
+}
+
+// SetCoalescing toggles send coalescing (ablation knob). Call before any
+// traffic.
+func (s *LCIStream) SetCoalescing(on bool) { s.coal.setEnabled(on) }
+
+// CoalesceStats returns the coalescer counters.
+func (s *LCIStream) CoalesceStats() CoalesceStats { return s.coal.stats() }
+
+// flushLoop bounds the latency of parked coalesced messages: a sender whose
+// receive loop went quiet still ships within coalFlushInterval.
+func (s *LCIStream) flushLoop() {
+	defer close(s.flushDone)
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		time.Sleep(coalFlushInterval)
+		s.coal.flushAll(s.workers[0], false, false)
+	}
 }
 
 // Name implements Stream.
@@ -75,6 +117,7 @@ func (s *LCIStream) AllocBuf(n int) []byte {
 
 // Stop implements Stream.
 func (s *LCIStream) Stop() {
+	s.coal.flushAll(s.workers[0], true, false)
 	for {
 		s.mu.Lock()
 		drained := len(s.pendSend) == 0
@@ -86,23 +129,33 @@ func (s *LCIStream) Stop() {
 		runtime.Gosched()
 	}
 	close(s.stop)
+	<-s.flushDone
 }
 
 // SendMsg implements Stream.
 func (s *LCIStream) SendMsg(thread, peer int, tag uint32, data []byte) {
-	w := s.workers[thread%maxStreamThreads]
+	s.coal.add(s.workers[thread%maxStreamThreads], peer, tag, data, nil)
+}
+
+// emit is the coalescer's send hook: one SEND-ENQ with the stream's retry
+// and in-flight bookkeeping. done runs once data is reusable.
+func (s *LCIStream) emit(worker, dst int, tag uint32, data []byte, done func(), block, _ bool) bool {
 	for {
-		r, ok := s.ep.SendEnq(w, peer, tag, data)
+		r, ok := s.ep.SendEnq(worker, dst, tag, data)
 		if ok {
 			if r.Done() {
-				s.tracker.Free(len(data))
+				sendInFlight{buf: data, done: done}.finish(&s.tracker)
 			} else {
 				s.mu.Lock()
-				s.pendSend = append(s.pendSend, sendInFlight{req: r, buf: data})
+				s.pendSend = append(s.pendSend, sendInFlight{req: r, buf: data, done: done})
 				s.mu.Unlock()
 			}
-			return
+			return true
 		}
+		if !block {
+			return false
+		}
+		s.reapSends()
 		runtime.Gosched()
 	}
 }
@@ -112,7 +165,7 @@ func (s *LCIStream) reapSends() {
 	keep := s.pendSend[:0]
 	for _, p := range s.pendSend {
 		if p.req.Done() {
-			s.tracker.Free(len(p.buf))
+			p.finish(&s.tracker)
 		} else {
 			keep = append(keep, p)
 		}
@@ -123,20 +176,47 @@ func (s *LCIStream) reapSends() {
 
 // RecvMsg implements Stream.
 func (s *LCIStream) RecvMsg() (Message, bool) {
+	if s.readyHead < len(s.ready) {
+		return s.popReady()
+	}
 	s.reapSends()
 	if r, ok := s.ep.RecvDeq(); ok {
 		if r.Done() {
-			return s.toMessage(r, false), true
+			return s.deliver(s.toMessage(r, false))
 		}
 		s.pendingRecv = append(s.pendingRecv, r)
 	}
 	for i, r := range s.pendingRecv {
 		if r.Done() {
 			s.pendingRecv = append(s.pendingRecv[:i], s.pendingRecv[i+1:]...)
-			return s.toMessage(r, true), true
+			return s.deliver(s.toMessage(r, true))
 		}
 	}
+	// Nothing ready: flush our own parked coalesced messages so two idle
+	// peers cannot wait on each other's parked bundles.
+	s.coal.flushAll(s.workers[0], false, false)
 	return Message{}, false
+}
+
+// deliver unpacks coalesced bundles into the ready queue; plain messages
+// pass through.
+func (s *LCIStream) deliver(m Message) (Message, bool) {
+	if m.Tag&coalFlag == 0 {
+		return m, true
+	}
+	unpackBundle(m, func(rec Message) { s.ready = append(s.ready, rec) })
+	return s.popReady()
+}
+
+func (s *LCIStream) popReady() (Message, bool) {
+	m := s.ready[s.readyHead]
+	s.ready[s.readyHead] = Message{}
+	s.readyHead++
+	if s.readyHead == len(s.ready) {
+		s.ready = s.ready[:0]
+		s.readyHead = 0
+	}
+	return m, true
 }
 
 func (s *LCIStream) toMessage(r *lci.Request, rendezvous bool) Message {
@@ -148,7 +228,7 @@ func (s *LCIStream) toMessage(r *lci.Request, rendezvous bool) Message {
 		Peer:    r.Rank,
 		Tag:     r.Tag,
 		Data:    r.Data,
-		release: func() { s.tracker.Free(n) },
+		release: func() { s.tracker.Free(n); r.Release() },
 	}
 }
 

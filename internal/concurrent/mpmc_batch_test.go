@@ -1,0 +1,97 @@
+package concurrent
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeueBatchStress(t *testing.T) {
+	q := NewMPMC[int](4)
+	const perProducer = 200000
+	const producers = 2
+	var wg sync.WaitGroup
+	var got atomic.Int64
+	var sum atomic.Int64
+	done := make(chan struct{})
+	go func() { // single batch consumer
+		buf := make([]int, 64)
+		for got.Load() < perProducer*producers {
+			n := q.DequeueBatch(buf)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for _, v := range buf[:n] {
+				sum.Add(int64(v))
+			}
+			got.Add(int64(n))
+		}
+		close(done)
+	}()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= perProducer; i++ {
+				for !q.Enqueue(i) {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	want := int64(producers) * perProducer * (perProducer + 1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum mismatch: got %d want %d", sum.Load(), want)
+	}
+}
+
+// Mixed single Dequeue and DequeueBatch consumers.
+func TestDequeueBatchMixedStress(t *testing.T) {
+	q := NewMPMC[int](8)
+	const total = 300000
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			buf := make([]int, 16)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if c == 0 {
+					if _, ok := q.Dequeue(); ok {
+						consumed.Add(1)
+					} else {
+						runtime.Gosched()
+					}
+				} else {
+					n := q.DequeueBatch(buf)
+					if n > 0 {
+						consumed.Add(int64(n))
+					} else {
+						runtime.Gosched()
+					}
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < total; i++ {
+		for !q.Enqueue(i) {
+			runtime.Gosched()
+		}
+	}
+	for consumed.Load() < total {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,89 @@
+package lci
+
+import (
+	"sync"
+	"testing"
+
+	"lcigraph/internal/fabric"
+)
+
+// pairOn is pair() over an arbitrary fabric profile, also returning the
+// fabric so tests can check pooled-frame conservation.
+func pairOn(t testing.TB, prof fabric.Profile, opt Options) (*fabric.Fabric, *Endpoint, *Endpoint, func()) {
+	t.Helper()
+	f := fabric.New(2, prof)
+	a := NewEndpoint(f.Endpoint(0), opt)
+	b := NewEndpoint(f.Endpoint(1), opt)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, e := range []*Endpoint{a, b} {
+		wg.Add(1)
+		go func(e *Endpoint) {
+			defer wg.Done()
+			e.Serve(stop)
+		}(e)
+	}
+	return f, a, b, func() {
+		close(stop)
+		wg.Wait()
+		a.Drain()
+		b.Drain()
+	}
+}
+
+// runConservation ships count messages of size bytes a→b, releases every
+// delivered request, and asserts that every pooled wire frame returned to
+// the fabric free-list — no leak, no double-free (a double Release panics).
+func runConservation(t *testing.T, prof fabric.Profile, size, count int) {
+	t.Helper()
+	f, a, b, shutdown := pairOn(t, prof, Options{})
+	w := a.Pool().RegisterWorker()
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	var last *Request
+	for i := 0; i < count; i++ {
+		last = sendRetry(a, w, 1, uint32(i), buf)
+		r := recvOne(b)
+		if r.Size != size {
+			t.Fatalf("message %d: size %d, want %d", i, r.Size, size)
+		}
+		r.Release()
+	}
+	last.Wait(nil)
+	shutdown()
+	if n := f.FramesOutstanding(); n != 0 {
+		t.Fatalf("%d frames still outstanding after drain", n)
+	}
+}
+
+func TestFrameConservationEager(t *testing.T) {
+	runConservation(t, fabric.TestProfile(), 64, 200)
+}
+
+func TestFrameConservationRendezvous(t *testing.T) {
+	// 4× the test profile's eager limit: RTS/RTR handshake + RDMA put.
+	runConservation(t, fabric.TestProfile(), 4<<10, 50)
+}
+
+func TestFrameConservationFragmented(t *testing.T) {
+	// The sockets profile has no RDMA: rendezvous payloads stream as FRG
+	// fragments, each in its own pooled frame.
+	runConservation(t, fabric.Sockets(), 64<<10, 4)
+}
+
+// TestRequestReleaseIdempotent: releasing a request twice must recycle its
+// frame exactly once (the second call is a no-op, not a double-free).
+func TestRequestReleaseIdempotent(t *testing.T) {
+	f, a, b, shutdown := pairOn(t, fabric.TestProfile(), Options{})
+	w := a.Pool().RegisterWorker()
+	sendRetry(a, w, 1, 7, []byte("hi"))
+	r := recvOne(b)
+	r.Release()
+	r.Release()
+	shutdown()
+	if n := f.FramesOutstanding(); n != 0 {
+		t.Fatalf("%d frames still outstanding", n)
+	}
+}

@@ -142,7 +142,9 @@ type Endpoint struct {
 
 	eagerLimit   int
 	serverWorker int
-	stash        *fabric.Frame // polled frame awaiting space in Q
+	stash        []*fabric.Frame // polled frames awaiting space in Q
+	outScratch   []outItem       // flushOutbox reuse: items blocked this round
+	blockedDst   map[int]bool    // flushOutbox reuse: destinations that hit ErrResource
 
 	// frags are in-progress fragmented rendezvous sends (RDMA-less
 	// transports only), drained by the server.
@@ -289,7 +291,9 @@ func (e *Endpoint) RecvDeq() (*Request, bool) {
 	tag := headerTag(f.Header)
 	switch headerType(f.Header) {
 	case EGR:
-		r := &Request{Data: f.Data, Size: len(f.Data), Rank: f.Src, Tag: tag}
+		// The request keeps the pooled frame: Data aliases its wire buffer.
+		// The consumer recycles it with Request.Release once done.
+		r := &Request{Data: f.Data, Size: len(f.Data), Rank: f.Src, Tag: tag, frame: f}
 		r.markDone()
 		return r, true
 	case RTS:
@@ -329,6 +333,7 @@ func (e *Endpoint) RecvDeq() (*Request, bool) {
 			}
 			e.out.Push(outItem{kind: outCtrl, dst: f.Src, header: header, meta: meta})
 		}
+		f.Release() // RTS control frame fully consumed
 		return r, true
 	default:
 		panic(fmt.Sprintf("lci: unexpected packet type %d in queue", headerType(f.Header)))

@@ -65,8 +65,12 @@ func (p *Pool) RegisterWorker() int {
 	return int(p.nextShard.Add(1)-1) % len(p.shards)
 }
 
-// Alloc takes a packet, preferring the worker's shard. It returns nil when
-// the pool is exhausted (the caller retries later — never fatal).
+// Alloc takes a packet, preferring the worker's shard, then the shared
+// list, then stealing from sibling shards — a small pool must never report
+// exhaustion while packets sit idle in another worker's cache (that strands
+// senders behind a server that freed everything into its own shard). It
+// returns nil when every packet is genuinely in flight (the caller retries
+// later — never fatal).
 func (p *Pool) Alloc(worker int) *Packet {
 	s := &p.shards[worker%len(p.shards)]
 	s.mu.Lock()
@@ -77,8 +81,24 @@ func (p *Pool) Alloc(worker int) *Packet {
 		return pkt
 	}
 	s.mu.Unlock()
-	pkt, _ := p.shared.Dequeue()
-	return pkt
+	if pkt, ok := p.shared.Dequeue(); ok {
+		return pkt
+	}
+	for i := range p.shards {
+		v := &p.shards[i]
+		if v == s {
+			continue
+		}
+		v.mu.Lock()
+		if n := len(v.local); n > 0 {
+			pkt := v.local[n-1]
+			v.local = v.local[:n-1]
+			v.mu.Unlock()
+			return pkt
+		}
+		v.mu.Unlock()
+	}
+	return nil
 }
 
 // Free returns a packet. If the packet's home shard matches the worker's

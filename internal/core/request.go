@@ -3,6 +3,8 @@ package lci
 import (
 	"runtime"
 	"sync/atomic"
+
+	"lcigraph/internal/fabric"
 )
 
 // Status is a request's completion state.
@@ -29,6 +31,22 @@ type Request struct {
 	Size int    // payload size in bytes
 	Rank int    // peer rank
 	Tag  uint32 // message tag (carried, never matched)
+
+	// frame is the pooled fabric frame backing Data for eager receives; nil
+	// for rendezvous receives (whose Data is an allocator buffer).
+	frame *fabric.Frame
+}
+
+// Release recycles the pooled fabric frame backing an eager receive's Data.
+// Call it once the payload has been consumed (copied out or fully
+// processed); Data must not be read afterwards. It is idempotent and a
+// no-op for rendezvous receives.
+func (r *Request) Release() {
+	if f := r.frame; f != nil {
+		r.frame = nil
+		r.Data = nil
+		f.Release()
+	}
 }
 
 // Done reports whether the communication has completed.

@@ -29,8 +29,11 @@ func idleBackoff(idle int, worked bool) int {
 const progressBatch = 64
 
 // Progress runs one communication-server step (Algorithm 3): flush deferred
-// operations, then poll the network and dispatch per-packet-type callbacks.
-// It returns true if any work was done. It must be called from a single
+// operations, then drain the network in one batched ring pass and dispatch
+// per-packet-type callbacks. Control frames (RTR, FRG, put completions) are
+// recycled to the fabric pool as soon as their handler returns; data frames
+// (EGR, RTS) travel through Q and are recycled by their consumers. It
+// returns true if any work was done. It must be called from a single
 // goroutine (the dedicated communication server).
 func (e *Endpoint) Progress() bool {
 	worked := e.flushOutbox()
@@ -38,53 +41,74 @@ func (e *Endpoint) Progress() bool {
 		worked = true
 	}
 
-	for i := 0; i < progressBatch; i++ {
-		// First re-offer a stashed frame; if Q is still full, polling more
-		// would force us to drop, so stall (back-pressure propagates to
-		// senders through the fabric ring).
-		if e.stash != nil {
-			if !e.q.Enqueue(e.stash) {
-				break
-			}
-			e.stash = nil
-			worked = true
+	// Re-offer stashed frames first; if Q is still full, polling more would
+	// only grow the stash, so stall (back-pressure propagates to senders
+	// through the fabric ring).
+	for len(e.stash) > 0 {
+		if !e.q.Enqueue(e.stash[0]) {
+			return worked
 		}
-		f := e.fep.Poll()
-		if f == nil {
-			break
-		}
+		copy(e.stash, e.stash[1:])
+		e.stash[len(e.stash)-1] = nil
+		e.stash = e.stash[:len(e.stash)-1]
 		worked = true
+	}
+
+	var batch [progressBatch]*fabric.Frame
+	n := e.fep.PollBatch(batch[:])
+	for _, f := range batch[:n] {
 		switch {
 		case f.Kind == fabric.KindPutDone:
 			e.completePut(f)
+			f.Release()
 		default:
 			switch headerType(f.Header) {
 			case EGR, RTS:
 				if !e.q.Enqueue(f) {
-					e.stash = f
+					e.stash = append(e.stash, f)
 				}
 			case RTR:
 				e.handleRTR(f)
+				f.Release()
 			case FRG:
 				e.handleFragment(f)
+				f.Release()
 			default:
 				panic(fmt.Sprintf("lci: unknown packet type %d", headerType(f.Header)))
 			}
 		}
 	}
-	return worked
+	return worked || n > 0
 }
 
-// flushOutbox retries operations the fabric refused earlier. It processes at
-// most the number of items present on entry, so re-pushed items do not spin.
+// flushOutbox retries operations the fabric refused earlier. A destination
+// that answers ErrResource is marked blocked for the rest of the round and
+// its items re-parked, but flushing continues for other destinations — one
+// congested peer must not starve deferred sends elsewhere. Per-destination
+// FIFO order is preserved: once a destination blocks, its later items are
+// re-parked unattempted.
 func (e *Endpoint) flushOutbox() bool {
 	worked := false
-	// MPSC has no O(1) length; bound by attempting until a full wrap of
-	// failures. In practice the outbox is short.
+	blocked := e.outScratch[:0]
+	if e.blockedDst == nil {
+		e.blockedDst = make(map[int]bool)
+	} else {
+		clear(e.blockedDst)
+	}
+	// MPSC has no O(1) length; bound by a fixed number of pops so re-pushed
+	// items do not spin. In practice the outbox is short.
 	for tries := 0; tries < progressBatch; tries++ {
 		it, ok := e.out.Pop()
 		if !ok {
-			return worked
+			break
+		}
+		dst := it.dst
+		if it.kind == outPacket {
+			dst = it.pkt.dst
+		}
+		if e.blockedDst[dst] {
+			blocked = append(blocked, it)
+			continue
 		}
 		var err error
 		switch it.kind {
@@ -115,10 +139,14 @@ func (e *Endpoint) flushOutbox() bool {
 		if err != fabric.ErrResource {
 			panic(fmt.Sprintf("lci: outbox flush: %v", err))
 		}
-		// Still no resources: park it again and stop flushing this round.
-		e.out.Push(it)
-		return worked
+		e.blockedDst[dst] = true
+		blocked = append(blocked, it)
 	}
+	for i, it := range blocked {
+		e.out.Push(it)
+		blocked[i] = outItem{}
+	}
+	e.outScratch = blocked[:0]
 	return worked
 }
 

@@ -54,12 +54,39 @@ const (
 // Frame is one unit of delivery from the network to an endpoint.
 // Header and Meta are opaque 64-bit words for the upper layer (message type,
 // tag, request ids...); the fabric never interprets them.
+//
+// Frames handed out by Poll/PollBatch are owned by the consumer until it
+// calls Release, which returns the frame (and its pooled wire buffer) to the
+// fabric free-list. Data aliases the pooled buffer, so it must not be read
+// after Release.
 type Frame struct {
 	Kind   FrameKind
 	Src    int
 	Header uint64
 	Meta   uint64
 	Data   []byte // eager payload (KindSend); nil for KindPutDone
+
+	buf   []byte      // pooled wire buffer backing Data (cap = EagerLimit)
+	fab   *Fabric     // owning fabric; nil for unpooled frames
+	rep   *Endpoint   // receiving endpoint (recycle attribution)
+	inUse atomic.Bool // double-release guard
+}
+
+// Release returns a polled frame to the fabric free-list. It is safe (and a
+// no-op) on unpooled frames; releasing the same pooled frame twice panics.
+// After Release the frame and its Data must not be touched.
+func (f *Frame) Release() {
+	if f == nil || f.fab == nil {
+		return
+	}
+	if !f.inUse.CompareAndSwap(true, false) {
+		panic("fabric: Frame released twice")
+	}
+	if f.rep != nil {
+		f.rep.framesRecycled.Add(1)
+		f.rep = nil
+	}
+	f.fab.putFrame(f)
 }
 
 // Profile describes a NIC / interconnect model. The per-operation overheads
@@ -82,6 +109,10 @@ type Profile struct {
 	// this duration to a fraction of operations — failure/variance
 	// injection for robustness tests (congested or noisy networks).
 	Jitter time.Duration
+	// DisableFramePool reverts to per-message heap allocation of frames and
+	// wire buffers (the pre-pool behaviour). Kept as a benchmark knob so the
+	// allocation win is measurable in one binary.
+	DisableFramePool bool
 }
 
 // OmniPath models the Stampede2 Intel Omni-Path fabric (psm2): deep rings,
@@ -145,20 +176,29 @@ func TestProfile() Profile {
 
 // Stats are per-endpoint operation counters.
 type Stats struct {
-	SendFrames  int64
-	SendBytes   int64
-	Puts        int64
-	PutBytes    int64
-	Polls       int64
-	PollHits    int64
-	SendRetries int64 // ErrResource returns from Send
-	PutRetries  int64 // ErrResource returns from Put
+	SendFrames     int64
+	SendBytes      int64
+	Puts           int64
+	PutBytes       int64
+	Polls          int64
+	PollHits       int64
+	SendRetries    int64 // ErrResource returns from Send
+	PutRetries     int64 // ErrResource returns from Put
+	FramesRecycled int64 // frames returned to the pool after delivery here
+	BatchPolls     int64 // PollBatch calls that drained at least one frame
 }
 
 // Fabric is an in-process interconnect between n endpoints.
 type Fabric struct {
 	prof Profile
 	eps  []*Endpoint
+
+	// frames is the shared free-list of delivery frames with pooled wire
+	// buffers. It is a cache, not an accounting structure: a miss allocates
+	// a fresh frame, and a frame dropped on the floor (never Released) is
+	// simply collected by the GC.
+	frames      *concurrent.MPMC[*Frame]
+	outstanding atomic.Int64 // pooled frames handed out and not yet released
 }
 
 // New creates a fabric with n endpoints using profile prof.
@@ -173,6 +213,13 @@ func New(n int, prof Profile) *Fabric {
 		prof.MaxRegions = 128
 	}
 	f := &Fabric{prof: prof, eps: make([]*Endpoint, n)}
+	if !prof.DisableFramePool {
+		cap := prof.RingDepth * n
+		if cap < 64 {
+			cap = 64
+		}
+		f.frames = concurrent.NewMPMC[*Frame](cap)
+	}
 	for i := range f.eps {
 		f.eps[i] = &Endpoint{
 			fab:  f,
@@ -182,6 +229,38 @@ func New(n int, prof Profile) *Fabric {
 	}
 	return f
 }
+
+// getFrame takes a frame from the free-list, allocating on a miss. The
+// returned frame's buf has capacity ≥ EagerLimit.
+func (f *Fabric) getFrame() *Frame {
+	if f.frames == nil {
+		return &Frame{} // pooling disabled: plain heap frame
+	}
+	fr, ok := f.frames.Dequeue()
+	if !ok {
+		fr = &Frame{fab: f, buf: make([]byte, f.prof.EagerLimit)}
+	}
+	if !fr.inUse.CompareAndSwap(false, true) {
+		panic("fabric: pooled frame handed out while in use")
+	}
+	f.outstanding.Add(1)
+	return fr
+}
+
+// putFrame returns a frame to the free-list (dropping it if the list is
+// full — the GC reclaims it, keeping the pool a pure cache).
+func (f *Fabric) putFrame(fr *Frame) {
+	f.outstanding.Add(-1)
+	fr.Data = nil
+	fr.Header = 0
+	fr.Meta = 0
+	f.frames.Enqueue(fr)
+}
+
+// FramesOutstanding returns the number of pooled frames currently held by
+// consumers (handed out by Send/Put and not yet Released). Conservation
+// tests assert this returns to zero after a drain.
+func (f *Fabric) FramesOutstanding() int64 { return f.outstanding.Load() }
 
 // Size returns the number of endpoints.
 func (f *Fabric) Size() int { return len(f.eps) }
@@ -210,15 +289,17 @@ type Endpoint struct {
 	regions []region
 	free    []uint32
 
-	sendFrames  atomic.Int64
-	sendBytes   atomic.Int64
-	puts        atomic.Int64
-	putBytes    atomic.Int64
-	polls       atomic.Int64
-	pollHits    atomic.Int64
-	sendRetries atomic.Int64
-	putRetries  atomic.Int64
-	jitterSeq   atomic.Uint64
+	sendFrames     atomic.Int64
+	sendBytes      atomic.Int64
+	puts           atomic.Int64
+	putBytes       atomic.Int64
+	polls          atomic.Int64
+	pollHits       atomic.Int64
+	sendRetries    atomic.Int64
+	putRetries     atomic.Int64
+	framesRecycled atomic.Int64
+	batchPolls     atomic.Int64
+	jitterSeq      atomic.Uint64
 }
 
 // Rank returns the endpoint's host rank.
@@ -227,11 +308,25 @@ func (e *Endpoint) Rank() int { return e.rank }
 // EagerLimit returns the maximum payload of a single Send.
 func (e *Endpoint) EagerLimit() int { return e.fab.prof.EagerLimit }
 
+// Size returns the number of hosts on the fabric.
+func (e *Endpoint) Size() int { return e.fab.Size() }
+
+// Fabric returns the fabric this endpoint belongs to.
+func (e *Endpoint) Fabric() *Fabric { return e.fab }
+
 // HasRDMA reports whether the fabric supports Put.
 func (e *Endpoint) HasRDMA() bool { return !e.fab.prof.DisableRDMA }
 
-// charge busy-waits for the modelled cost of an operation moving n bytes,
-// plus injected jitter when the profile asks for it.
+// chargeSleepMin is the threshold above which charge sleeps instead of
+// spinning: modelled costs of tens of microseconds and up would otherwise
+// burn whole cores (and wall-clock minutes of test time on small machines).
+const chargeSleepMin = 50 * time.Microsecond
+
+// charge waits for the modelled cost of an operation moving n bytes, plus
+// injected jitter when the profile asks for it. Short costs busy-wait (the
+// charge is a CPU cost model); long ones sleep most of the duration and
+// spin only the remainder so the wall-clock charge stays accurate without
+// monopolising a core.
 func (e *Endpoint) charge(base time.Duration, n int) {
 	d := base + e.fab.prof.ByteCost*time.Duration(n)/1024
 	if j := e.fab.prof.Jitter; j > 0 {
@@ -247,6 +342,11 @@ func (e *Endpoint) charge(base time.Duration, n int) {
 		return
 	}
 	start := time.Now()
+	if d >= chargeSleepMin {
+		// Sleep slightly short of the target; the spin below absorbs timer
+		// overshoot either way (the charge is a minimum, not an exact).
+		time.Sleep(d - chargeSleepMin/2)
+	}
 	for time.Since(start) < d {
 	}
 }
@@ -262,14 +362,32 @@ func (e *Endpoint) Send(dst int, header, meta uint64, data []byte) error {
 	if dst < 0 || dst >= len(e.fab.eps) {
 		return fmt.Errorf("fabric: bad destination rank %d", dst)
 	}
-	var wire []byte
+	f := e.fab.getFrame()
+	f.Kind = KindSend
+	f.Src = e.rank
+	f.Header = header
+	f.Meta = meta
 	if len(data) > 0 {
-		wire = make([]byte, len(data))
-		copy(wire, data)
+		if f.buf != nil {
+			f.Data = f.buf[:len(data)]
+		} else {
+			f.Data = make([]byte, len(data))
+		}
+		copy(f.Data, data)
+	} else {
+		f.Data = nil
 	}
-	f := &Frame{Kind: KindSend, Src: e.rank, Header: header, Meta: meta, Data: wire}
+	target := e.fab.eps[dst]
+	f.rep = target
 	e.charge(e.fab.prof.SendCost, len(data))
-	if !e.fab.eps[dst].ring.Enqueue(f) {
+	if !target.ring.Enqueue(f) {
+		// Undelivered: return the frame to the pool without counting it as
+		// a consumer recycle.
+		f.rep = nil
+		if f.fab != nil {
+			f.inUse.Store(false)
+			f.fab.putFrame(f)
+		}
 		e.sendRetries.Add(1)
 		return ErrResource
 	}
@@ -338,13 +456,24 @@ func (e *Endpoint) Put(dst int, rkey uint32, offset int, data []byte, imm uint64
 	}
 	// Reserve the completion slot first so a full ring never leaves a
 	// half-visible write.
-	f := &Frame{Kind: KindPutDone, Src: e.rank, Header: imm, Meta: uint64(rkey)}
+	f := e.fab.getFrame()
+	f.Kind = KindPutDone
+	f.Src = e.rank
+	f.Header = imm
+	f.Meta = uint64(rkey)
+	f.Data = nil
+	f.rep = target
 	e.charge(e.fab.prof.PutCost, len(data))
 	copy(dstBuf, data)
 	if !target.ring.Enqueue(f) {
 		// Roll-back is impossible for real RDMA; but since the receiver only
 		// reads the region after seeing the completion, re-copying on retry
 		// is harmless. Report retriable failure.
+		f.rep = nil
+		if f.fab != nil {
+			f.inUse.Store(false)
+			f.fab.putFrame(f)
+		}
 		e.putRetries.Add(1)
 		return ErrResource
 	}
@@ -354,6 +483,7 @@ func (e *Endpoint) Put(dst int, rkey uint32, offset int, data []byte, imm uint64
 }
 
 // Poll removes and returns one incoming frame, or nil if none is pending.
+// The caller owns the frame until it calls Release.
 func (e *Endpoint) Poll() *Frame {
 	e.polls.Add(1)
 	f, ok := e.ring.Dequeue()
@@ -364,19 +494,34 @@ func (e *Endpoint) Poll() *Frame {
 	return f
 }
 
+// PollBatch drains up to len(dst) incoming frames in one ring pass (a single
+// atomic reservation on the receive ring) and returns the number stored.
+// The caller owns every returned frame until it calls Release.
+func (e *Endpoint) PollBatch(dst []*Frame) int {
+	e.polls.Add(1)
+	n := e.ring.DequeueBatch(dst)
+	if n > 0 {
+		e.pollHits.Add(int64(n))
+		e.batchPolls.Add(1)
+	}
+	return n
+}
+
 // Pending returns a racy estimate of queued incoming frames.
 func (e *Endpoint) Pending() int { return e.ring.Len() }
 
 // Stats returns a snapshot of the endpoint's counters.
 func (e *Endpoint) Stats() Stats {
 	return Stats{
-		SendFrames:  e.sendFrames.Load(),
-		SendBytes:   e.sendBytes.Load(),
-		Puts:        e.puts.Load(),
-		PutBytes:    e.putBytes.Load(),
-		Polls:       e.polls.Load(),
-		PollHits:    e.pollHits.Load(),
-		SendRetries: e.sendRetries.Load(),
-		PutRetries:  e.putRetries.Load(),
+		SendFrames:     e.sendFrames.Load(),
+		SendBytes:      e.sendBytes.Load(),
+		Puts:           e.puts.Load(),
+		PutBytes:       e.putBytes.Load(),
+		Polls:          e.polls.Load(),
+		PollHits:       e.pollHits.Load(),
+		SendRetries:    e.sendRetries.Load(),
+		PutRetries:     e.putRetries.Load(),
+		FramesRecycled: e.framesRecycled.Load(),
+		BatchPolls:     e.batchPolls.Load(),
 	}
 }

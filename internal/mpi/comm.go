@@ -67,12 +67,13 @@ func (r *Request) Err() error { return r.err }
 
 // unexp is an element of the unexpected-message queue.
 type unexp struct {
-	src  int
-	tag  int
-	data []byte // eager payload (nil for rendezvous)
-	rts  bool
-	sid  uint32 // sender's rendezvous id
-	size int
+	src   int
+	tag   int
+	data  []byte        // eager payload (nil for rendezvous)
+	frame *fabric.Frame // pooled frame backing data, recycled on match
+	rts   bool
+	sid   uint32 // sender's rendezvous id
+	size  int
 }
 
 // rvRecv tracks a rendezvous receive awaiting its RDMA put (or fragment
@@ -330,33 +331,48 @@ func (c *Comm) progress() {
 	}
 	c.flushPending()
 	c.pumpFrags()
-	for i := 0; i < progressBatch; i++ {
-		f := c.fep.Poll()
-		if f == nil {
+	var batch [progressBatch]*fabric.Frame
+	n := c.fep.PollBatch(batch[:])
+	for i, f := range batch[:n] {
+		if c.fatal != nil {
+			// A handler died mid-batch: recycle the undispatched remainder.
+			for _, g := range batch[i:n] {
+				g.Release()
+			}
 			return
 		}
 		if f.Kind == fabric.KindPutDone {
 			c.handlePutDone(f)
+			f.Release()
 			continue
 		}
 		switch hdrKind(f.Header) {
 		case kEager, kRTS:
+			// Ownership passes to the ordering layer: the frame is recycled
+			// once its payload is copied out (or retained while buffered in
+			// the out-of-order / unexpected queues).
 			c.handleOrdered(f)
 		case kCTS:
 			c.handleCTS(f)
+			f.Release()
 		case kRMAPost:
 			c.handleRMAPost(f)
+			f.Release()
 		case kRMAComplete:
 			c.handleRMAComplete(f)
+			f.Release()
 		case kFrag:
 			c.handleFrag(f)
+			f.Release()
 		case kRMAFrag:
 			c.handleRMAFrag(f)
+			f.Release()
 		case kRMAPutFin:
 			c.handleRMAPutFin(f)
+			f.Release()
 		default:
+			f.Release()
 			c.fatalf("mpi: unknown frame kind %d", hdrKind(f.Header))
-			return
 		}
 	}
 }
@@ -409,23 +425,28 @@ func (c *Comm) handleMatchable(f *fabric.Frame) {
 	case kEager:
 		if r := c.matchPosted(f.Src, tag); r != nil {
 			c.completeEager(r, f.Src, tag, f.Data)
+			f.Release()
 			return
 		}
 		c.unexpBytes += len(f.Data)
 		if c.unexpBytes > c.impl.UnexpectedCap {
+			f.Release()
 			c.fatalf("%w: %d bytes of unexpected messages (cap %d)",
 				ErrExhausted, c.unexpBytes, c.impl.UnexpectedCap)
 			return
 		}
-		c.unexpected = append(c.unexpected, unexp{src: f.Src, tag: tag, data: f.Data})
+		// The unexpected queue retains the frame: data still aliases the
+		// pooled wire buffer and is recycled when the message is matched.
+		c.unexpected = append(c.unexpected, unexp{src: f.Src, tag: tag, data: f.Data, frame: f})
 	case kRTS:
 		sid := uint32(f.Meta >> 32)
 		size := int(uint32(f.Meta))
 		if r := c.matchPosted(f.Src, tag); r != nil {
 			c.acceptRendezvous(r, f.Src, tag, sid, size)
-			return
+		} else {
+			c.unexpected = append(c.unexpected, unexp{src: f.Src, tag: tag, rts: true, sid: sid, size: size})
 		}
-		c.unexpected = append(c.unexpected, unexp{src: f.Src, tag: tag, rts: true, sid: sid, size: size})
+		f.Release() // control frame: meta fully consumed
 	}
 }
 

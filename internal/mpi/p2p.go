@@ -78,6 +78,7 @@ func (c *Comm) matchUnexpected(r *Request) bool {
 		} else {
 			c.unexpBytes -= len(uu.data)
 			c.completeEager(r, uu.src, uu.tag, uu.data)
+			uu.frame.Release() // payload copied out of the pooled buffer
 		}
 		return true
 	}
