@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-datapath experiments examples clean
+.PHONY: all build vet test race bench bench-datapath bench-netfabric launch experiments examples clean
 
 all: build vet test
 
@@ -23,6 +23,15 @@ bench:
 # data path (frame pooling + eager coalescing).
 bench-datapath:
 	go run ./cmd/experiments -datapath -datapath-out BENCH_datapath.json
+
+# Regenerates the committed transport comparison: the same LCI exchange
+# over the in-process simulator vs real loopback UDP sockets.
+bench-netfabric:
+	go run ./cmd/experiments -netfabric -netfabric-out BENCH_netfabric.json
+
+# Multi-process smoke run: 4 OS processes over loopback UDP.
+launch:
+	go run ./cmd/lci-launch -n 4 -apps bfs,pagerank -graph web -scale 10
 
 # Regenerates every table and figure of the paper plus the extensions.
 experiments:

@@ -35,6 +35,8 @@ func main() {
 	threadScaling := flag.Bool("thread-scaling", false, "end-to-end thread-count sweep")
 	datapath := flag.Bool("datapath", false, "batched/pooled data path: allocs and frames per message, before vs after")
 	datapathOut := flag.String("datapath-out", "", "also write the datapath report JSON to this path")
+	netfab := flag.Bool("netfabric", false, "transport comparison: in-process simulator vs loopback UDP provider")
+	netfabOut := flag.String("netfabric-out", "", "also write the netfabric report JSON to this path")
 
 	scale := flag.Int("scale", 0, "graph scale (default from suite)")
 	hostsStr := flag.String("hosts", "", "host sweep, e.g. 2,4,8")
@@ -97,6 +99,20 @@ func main() {
 		if *datapathOut != "" {
 			if err := r.WriteJSON(*datapathOut); err != nil {
 				fmt.Fprintln(os.Stderr, "datapath-out:", err)
+				os.Exit(1)
+			}
+		}
+		return r.Table()
+	})
+	run(*netfab, "Netfabric", func() string {
+		r, err := bench.Netfabric(0, 0, 0, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netfabric:", err)
+			os.Exit(1)
+		}
+		if *netfabOut != "" {
+			if err := r.WriteJSON(*netfabOut); err != nil {
+				fmt.Fprintln(os.Stderr, "netfabric-out:", err)
 				os.Exit(1)
 			}
 		}

@@ -1,0 +1,257 @@
+// Command lci-launch runs an SPMD graph-analytics job as P real OS
+// processes connected by the UDP fabric provider (internal/netfabric) over
+// loopback — the repo's closest analogue to the paper's multi-host runs.
+//
+// The parent process binds every rank's UDP socket first (so there is no
+// startup race), then re-executes itself P times with the rank, the full
+// address list and the pre-bound socket (as an inherited file descriptor)
+// in the environment. Each child builds the same graph and partition
+// deterministically, runs the requested apps over an LCI layer on the UDP
+// provider, verifies its masters against the single-host oracle, and the
+// job agrees on the global verdict with an Allreduce that itself rides the
+// communication layer (cluster.RunRank).
+//
+// Usage:
+//
+//	lci-launch -n 4 -apps bfs,pagerank -graph web -scale 10
+//	lci-launch -n 4 -apps bfs -loss 0.05 -dup 0.02 -reorder 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"lcigraph/internal/abelian"
+	"lcigraph/internal/apps"
+	"lcigraph/internal/bench"
+	"lcigraph/internal/cluster"
+	"lcigraph/internal/comm"
+	"lcigraph/internal/graph"
+	"lcigraph/internal/netfabric"
+	"lcigraph/internal/partition"
+)
+
+type options struct {
+	n         int
+	apps      string
+	graph     string
+	scale     int
+	seed      int64
+	threads   int
+	source    uint
+	prIters   int
+	loss      float64
+	dup       float64
+	reorder   float64
+	faultSeed int64
+	verbose   bool
+}
+
+func parseFlags() *options {
+	o := &options{}
+	flag.IntVar(&o.n, "n", 4, "number of ranks (OS processes)")
+	flag.StringVar(&o.apps, "apps", "bfs,pagerank", "comma-separated apps: bfs,pagerank,cc,sssp")
+	flag.StringVar(&o.graph, "graph", "web", "graph family: rmat | kron | web")
+	flag.IntVar(&o.scale, "scale", 10, "graph scale (2^scale vertices)")
+	flag.Int64Var(&o.seed, "seed", 42, "graph generator seed")
+	flag.IntVar(&o.threads, "threads", 2, "compute threads per rank")
+	flag.UintVar(&o.source, "source", 0, "bfs/sssp source vertex")
+	flag.IntVar(&o.prIters, "pr-iters", 10, "pagerank iterations")
+	flag.Float64Var(&o.loss, "loss", 0, "injected datagram loss rate [0,1)")
+	flag.Float64Var(&o.dup, "dup", 0, "injected duplication rate [0,1)")
+	flag.Float64Var(&o.reorder, "reorder", 0, "injected reorder rate [0,1)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "fault-injection PRNG seed (0 = default)")
+	flag.BoolVar(&o.verbose, "v", false, "per-rank transport counters")
+	flag.Parse()
+	return o
+}
+
+func main() {
+	o := parseFlags()
+	if netfabric.InEnv() {
+		os.Exit(child(o))
+	}
+	os.Exit(parent(o))
+}
+
+// parent binds all sockets, spawns one child per rank, and reports the
+// job's verdict via the worst child exit code.
+func parent(o *options) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lci-launch:", err)
+		return 2
+	}
+	conns := make([]*net.UDPConn, o.n)
+	addrs := make([]string, o.n)
+	for i := range conns {
+		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lci-launch: bind rank %d: %v\n", i, err)
+			return 2
+		}
+		conns[i] = c.(*net.UDPConn)
+		addrs[i] = c.LocalAddr().String()
+	}
+	addrList := strings.Join(addrs, ",")
+
+	cmds := make([]*exec.Cmd, o.n)
+	for i := range cmds {
+		f, err := conns[i].File()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lci-launch: dup socket rank %d: %v\n", i, err)
+			return 2
+		}
+		cmd := exec.Command(exe, os.Args[1:]...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.ExtraFiles = []*os.File{f} // child fd 3
+		cmd.Env = append(os.Environ(),
+			netfabric.EnvRank+"="+strconv.Itoa(i),
+			netfabric.EnvSize+"="+strconv.Itoa(o.n),
+			netfabric.EnvAddrs+"="+addrList,
+			netfabric.EnvFD+"=3",
+			netfabric.EnvLoss+"="+fmt.Sprint(o.loss),
+			netfabric.EnvDup+"="+fmt.Sprint(o.dup),
+			netfabric.EnvReord+"="+fmt.Sprint(o.reorder),
+			netfabric.EnvSeed+"="+strconv.FormatInt(o.faultSeed, 10),
+		)
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "lci-launch: start rank %d: %v\n", i, err)
+			return 2
+		}
+		f.Close()
+		conns[i].Close()
+		cmds[i] = cmd
+	}
+
+	code := 0
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				if c := ee.ExitCode(); c > code {
+					code = c
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "lci-launch: wait rank %d: %v\n", i, err)
+				code = 2
+			}
+		}
+	}
+	return code
+}
+
+// child is one rank: it joins the job through the inherited socket, runs
+// every requested app, and exits 0 only if the whole job verified.
+func child(o *options) int {
+	prov, err := netfabric.FromEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lci-launch child:", err)
+		return 2
+	}
+	rank, size := prov.Rank(), prov.Size()
+
+	g := graph.Named(o.graph, o.scale, o.seed)
+	pt := partition.Build(g, size, partition.VertexCut)
+	hg := pt.Hosts[rank]
+	layer := comm.NewLCILayer(prov, bench.LCIOptions(size, o.threads))
+
+	appList := strings.Split(o.apps, ",")
+	failed := false
+	cluster.RunRank(rank, size, o.threads, layer, func(h *cluster.Host) {
+		for _, app := range appList {
+			app = strings.TrimSpace(app)
+			if app == "" {
+				continue
+			}
+			rt := abelian.New(h, hg, partition.VertexCut)
+			bad, detail := runApp(rt, g, hg, app, o)
+			totalBad := h.AllreduceSum(bad)
+			if totalBad > 0 {
+				failed = true
+			}
+			if h.Rank == 0 {
+				verdict := "PASS"
+				if totalBad > 0 {
+					verdict = fmt.Sprintf("FAIL (%d master mismatches)", totalBad)
+				}
+				fmt.Printf("lci-launch: %-10s n=%d graph=%s scale=%d rounds=%d  %s%s\n",
+					app, size, o.graph, o.scale, rt.Rounds, verdict, detail)
+			}
+		}
+	})
+
+	st := prov.Stats()
+	if o.verbose || st.Retransmits > 0 || st.CreditStalls > 0 {
+		fmt.Fprintf(os.Stderr,
+			"[rank %d] frames=%d bytes=%d retransmits=%d dropped=%d acks=%d creditStalls=%d\n",
+			rank, st.SendFrames, st.SendBytes, st.Retransmits, st.PacketsDropped,
+			st.AcksSent, st.CreditStalls)
+	}
+	prov.Close()
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// runApp runs one app on this rank's runtime and returns the number of
+// this rank's masters that disagree with the single-host oracle, plus an
+// optional detail suffix for the rank-0 report line.
+func runApp(rt *abelian.Runtime, g *graph.Graph, hg *partition.HostGraph,
+	app string, o *options) (bad int64, detail string) {
+
+	switch app {
+	case "bfs":
+		f, _ := apps.BFS(rt, uint32(o.source))
+		want := apps.OracleBFS(g, uint32(o.source))
+		return cmpMasters(hg, f.Get, want), ""
+	case "sssp":
+		f, _ := apps.SSSP(rt, uint32(o.source))
+		want := apps.OracleSSSP(g, uint32(o.source))
+		return cmpMasters(hg, f.Get, want), ""
+	case "cc":
+		f, _ := apps.CC(rt)
+		want := apps.OracleCC(g)
+		return cmpMasters(hg, f.Get, want), ""
+	case "pagerank":
+		f := apps.PageRank(rt, o.prIters)
+		want := apps.OraclePageRank(g, o.prIters)
+		var maxDelta float64
+		for m := 0; m < hg.NumMasters; m++ {
+			d := math.Abs(math.Float64frombits(f.Get(uint32(m))) - want[hg.L2G[m]])
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		// Agree on the global max delta: non-negative floats order the
+		// same as their IEEE-754 bit patterns.
+		worst := rt.Host.AllreduceMax(int64(math.Float64bits(maxDelta)))
+		globalMax := math.Float64frombits(uint64(worst))
+		if globalMax > 1e-9 {
+			return 1, fmt.Sprintf("  maxDelta=%.3e", globalMax)
+		}
+		return 0, fmt.Sprintf("  maxDelta=%.3e", globalMax)
+	default:
+		fmt.Fprintf(os.Stderr, "lci-launch: unknown app %q\n", app)
+		return 1, ""
+	}
+}
+
+// cmpMasters counts this rank's masters whose value disagrees with the
+// oracle's global answer.
+func cmpMasters(hg *partition.HostGraph, get func(lv uint32) uint64, want []uint64) int64 {
+	var bad int64
+	for m := 0; m < hg.NumMasters; m++ {
+		if get(uint32(m)) != want[hg.L2G[m]] {
+			bad++
+		}
+	}
+	return bad
+}

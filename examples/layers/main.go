@@ -4,9 +4,11 @@
 // footprint: Figs. 3 and 5 in miniature.
 //
 // Run with: go run ./examples/layers
+// Or over real loopback UDP sockets: go run ./examples/layers -transport=udp
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"lcigraph/internal/bench"
@@ -15,6 +17,8 @@ import (
 )
 
 func main() {
+	transport := flag.String("transport", "sim", "fabric backend: sim | udp")
+	flag.Parse()
 	const (
 		scale  = 11
 		hosts  = 4
@@ -30,7 +34,8 @@ func main() {
 		cfg := bench.Config{
 			App: "sssp", Layer: layer,
 			Hosts: hosts, Threads: 2, Source: source,
-			Profile: fabric.OmniPath(),
+			Profile:   fabric.OmniPath(),
+			Transport: *transport,
 		}
 		res := bench.RunAbelian(g, cfg)
 		if err := bench.Verify(g, res); err != nil {

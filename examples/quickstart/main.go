@@ -1,28 +1,53 @@
-// Quickstart: the LCI Queue interface on two simulated hosts.
+// Quickstart: the LCI Queue interface on two hosts.
 //
 // It demonstrates the runtime's core ideas from the paper:
 //   - SEND-ENQ / RECV-DEQ that fail retriably instead of crashing,
 //   - completion by polling a request's status flag,
 //   - the eager protocol for small messages and the rendezvous
-//     (RTS/RTR/RDMA) protocol for large ones,
+//     protocol for large ones (RTS/RTR/RDMA put on the simulator;
+//     RTS/RTR/fragment stream on transports without RDMA),
 //   - the first-packet policy (no tag matching or ordering).
 //
 // Run with: go run ./examples/quickstart
+// Or over real loopback UDP sockets: go run ./examples/quickstart -transport=udp
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"runtime"
 
 	lci "lcigraph/internal/core"
 	"lcigraph/internal/fabric"
+	"lcigraph/internal/netfabric"
 )
 
 func main() {
-	// A two-host fabric with the Omni-Path-like profile.
-	fab := fabric.New(2, fabric.OmniPath())
-	alice := lci.NewEndpoint(fab.Endpoint(0), lci.Options{})
-	bob := lci.NewEndpoint(fab.Endpoint(1), lci.Options{})
+	transport := flag.String("transport", "sim", "fabric backend: sim | udp")
+	flag.Parse()
+
+	// A two-host fabric: the Omni-Path-like simulator profile, or two real
+	// UDP sockets on loopback — same verbs, same code from here on.
+	var feps [2]fabric.Provider
+	switch *transport {
+	case "sim":
+		fab := fabric.New(2, fabric.OmniPath())
+		feps[0], feps[1] = fab.Endpoint(0), fab.Endpoint(1)
+	case "udp":
+		provs, err := netfabric.NewLoopbackGroup(2, netfabric.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quickstart:", err)
+			os.Exit(1)
+		}
+		defer netfabric.CloseGroup(provs)
+		feps[0], feps[1] = provs[0], provs[1]
+	default:
+		fmt.Fprintf(os.Stderr, "quickstart: unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+	alice := lci.NewEndpoint(feps[0], lci.Options{})
+	bob := lci.NewEndpoint(feps[1], lci.Options{})
 
 	// Each host runs one communication server (Algorithm 3).
 	stop := make(chan struct{})
@@ -43,7 +68,8 @@ func main() {
 	}
 	fmt.Printf("eager send submitted; done=%v (buffer reusable immediately)\n", req.Done())
 
-	// 2. Rendezvous send: 64 KiB goes RTS → RTR → RDMA put.
+	// 2. Rendezvous send: 64 KiB goes RTS → RTR → RDMA put, or RTS → RTR →
+	// fragment stream when the transport has no RDMA (UDP).
 	big := make([]byte, 64<<10)
 	for i := range big {
 		big[i] = byte(i)
@@ -53,7 +79,7 @@ func main() {
 		runtime.Gosched()
 		bigReq, ok = alice.SendEnq(wa, 1, 8, big)
 	}
-	fmt.Printf("rendezvous send submitted; done=%v (waits for the RDMA put)\n", bigReq.Done())
+	fmt.Printf("rendezvous send submitted; done=%v (waits for the payload transfer)\n", bigReq.Done())
 
 	// Bob receives in arrival order — the first-packet policy. No source
 	// or tag matching happens; the tag is carried, not matched.
@@ -70,12 +96,17 @@ func main() {
 		received++
 	}
 
-	// The sender's rendezvous request completed once the put landed.
+	// The sender's rendezvous request completed once the payload landed.
 	bigReq.Wait(nil)
 	fmt.Printf("rendezvous send now done=%v\n", bigReq.Done())
 
 	st := alice.Stats()
 	fmt.Printf("alice sent %d eager + %d rendezvous messages (%d retriable failures)\n",
 		st.EagerSends, st.RendezvousSends, st.SendFailures)
+	if *transport == "udp" {
+		ns := feps[0].Stats()
+		fmt.Printf("alice transport: frames=%d retransmits=%d acks=%d\n",
+			ns.SendFrames, ns.Retransmits, ns.AcksSent)
+	}
 	fmt.Println("quickstart OK")
 }

@@ -59,7 +59,7 @@ func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce bool) D
 	fab := fabric.New(hosts, prof)
 	layers := make([]*comm.LCILayer, hosts)
 	for r := range layers {
-		layers[r] = comm.NewLCILayer(fab.Endpoint(r), lciOptions(hosts, 2))
+		layers[r] = comm.NewLCILayer(fab.Endpoint(r), LCIOptions(hosts, 2))
 		layers[r].SetCoalescing(coalesce)
 	}
 

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"lcigraph/internal/comm"
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/netfabric"
+)
+
+// NetfabricVariant measures the small-message exchange over one transport:
+// the same fused all-to-all epochs as the datapath benchmark, driven over
+// either the in-process simulator or real loopback UDP sockets.
+type NetfabricVariant struct {
+	Name      string  `json:"name"`
+	Transport string  `json:"transport"` // sim | udp
+	Loss      float64 `json:"loss"`      // injected datagram loss rate
+	Messages  int     `json:"messages"`
+	NsPerMsg  float64 `json:"ns_per_msg"`
+
+	Retransmits  int64 `json:"retransmits"`
+	Drops        int64 `json:"drops"`
+	Acks         int64 `json:"acks"`
+	CreditStalls int64 `json:"credit_stalls"`
+	SendRetries  int64 `json:"send_retries"`
+}
+
+// NetfabricReport is the in-process vs real-network comparison committed
+// as BENCH_netfabric.json: the same LCI layer and exchange pattern, with
+// only the fabric provider swapped (DESIGN.md §9).
+type NetfabricReport struct {
+	Hosts   int `json:"hosts"`
+	PerPeer int `json:"per_peer"`
+	MsgSize int `json:"msg_size"`
+	Epochs  int `json:"epochs"`
+
+	Sim      NetfabricVariant `json:"sim"`
+	UDP      NetfabricVariant `json:"udp"`
+	UDPLossy NetfabricVariant `json:"udp_lossy"`
+
+	UDPSlowdown  float64 `json:"udp_slowdown"`  // UDP ns/msg over sim ns/msg
+	LossOverhead float64 `json:"loss_overhead"` // lossy ns/msg over clean UDP
+}
+
+// runNetfabricEpochs drives the fused all-to-all exchange over prebuilt
+// layers: one warm-up epoch, then epochs timed ones (the datapath
+// benchmark's loop, reused verbatim so transports compare like for like).
+func runNetfabricEpochs(layers []*comm.LCILayer, perPeer, size, epochs int) time.Duration {
+	hosts := len(layers)
+	perEpoch := (hosts - 1) * perPeer
+	runEpoch := func(tag uint32) {
+		var wg sync.WaitGroup
+		for r := range layers {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				l := layers[r]
+				eff := l.BeginFused(tag)
+				for p := 0; p < hosts; p++ {
+					if p == r {
+						continue
+					}
+					for i := 0; i < perPeer; i++ {
+						buf := l.AllocBuf(size)
+						buf[0] = byte(i)
+						l.SendFused(i, p, eff, buf)
+					}
+				}
+				l.FinishFusedCount(eff, perEpoch, func(int, []byte) {})
+			}(r)
+		}
+		wg.Wait()
+	}
+	runEpoch(1) // warm-up
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		runEpoch(2)
+	}
+	return time.Since(start)
+}
+
+func fillVariant(v *NetfabricVariant, hosts, perPeer, epochs int, wall time.Duration, net NetStats) {
+	v.Messages = hosts * (hosts - 1) * perPeer * epochs
+	v.NsPerMsg = float64(wall.Nanoseconds()) / float64(v.Messages)
+	v.Retransmits = net.Retransmits
+	v.Drops = net.Drops
+	v.Acks = net.Acks
+	v.CreditStalls = net.CreditStalls
+	v.SendRetries = net.SendRetries
+}
+
+func netfabricVariantSim(hosts, perPeer, size, epochs int) NetfabricVariant {
+	fab := fabric.New(hosts, fabric.TestProfile())
+	layers := make([]*comm.LCILayer, hosts)
+	for r := range layers {
+		layers[r] = comm.NewLCILayer(fab.Endpoint(r), LCIOptions(hosts, 2))
+	}
+	wall := runNetfabricEpochs(layers, perPeer, size, epochs)
+	for _, l := range layers {
+		l.Stop()
+	}
+	v := NetfabricVariant{Name: "sim", Transport: "sim"}
+	fillVariant(&v, hosts, perPeer, epochs, wall, collectNet(fab))
+	return v
+}
+
+func netfabricVariantUDP(name string, hosts, perPeer, size, epochs int, f netfabric.Fault) (NetfabricVariant, error) {
+	provs, err := netfabric.NewLoopbackGroup(hosts, netfabric.Config{Fault: f})
+	if err != nil {
+		return NetfabricVariant{}, err
+	}
+	layers := make([]*comm.LCILayer, hosts)
+	for r := range layers {
+		layers[r] = comm.NewLCILayer(provs[r], LCIOptions(hosts, 2))
+	}
+	wall := runNetfabricEpochs(layers, perPeer, size, epochs)
+	var net NetStats
+	for _, l := range layers {
+		l.Stop()
+	}
+	for _, p := range provs {
+		net.add(p.Stats())
+	}
+	netfabric.CloseGroup(provs)
+	v := NetfabricVariant{Name: name, Transport: "udp", Loss: f.Loss}
+	fillVariant(&v, hosts, perPeer, epochs, wall, net)
+	return v, nil
+}
+
+// Netfabric runs the transport comparison. Zero or negative arguments select
+// the defaults used for BENCH_netfabric.json (4 hosts, 32 messages of 64
+// bytes per peer, 10 epochs).
+func Netfabric(hosts, perPeer, size, epochs int) (NetfabricReport, error) {
+	if hosts <= 0 {
+		hosts = 4
+	}
+	if perPeer <= 0 {
+		perPeer = 32
+	}
+	if size <= 0 {
+		size = 64
+	}
+	if epochs <= 0 {
+		epochs = 10
+	}
+	r := NetfabricReport{Hosts: hosts, PerPeer: perPeer, MsgSize: size, Epochs: epochs}
+	r.Sim = netfabricVariantSim(hosts, perPeer, size, epochs)
+	var err error
+	if r.UDP, err = netfabricVariantUDP("udp", hosts, perPeer, size, epochs, netfabric.Fault{}); err != nil {
+		return r, err
+	}
+	lossy := netfabric.Fault{Loss: 0.05, Dup: 0.02, Reorder: 0.02, Seed: 7}
+	if r.UDPLossy, err = netfabricVariantUDP("udp+5%loss", hosts, perPeer, size, epochs, lossy); err != nil {
+		return r, err
+	}
+	if r.Sim.NsPerMsg > 0 {
+		r.UDPSlowdown = r.UDP.NsPerMsg / r.Sim.NsPerMsg
+	}
+	if r.UDP.NsPerMsg > 0 {
+		r.LossOverhead = r.UDPLossy.NsPerMsg / r.UDP.NsPerMsg
+	}
+	return r, nil
+}
+
+// Table renders the report for cmd/experiments.
+func (r NetfabricReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Netfabric: %d hosts, %d x %dB msgs/peer/epoch, %d epochs (%d msgs/variant)\n",
+		r.Hosts, r.PerPeer, r.MsgSize, r.Epochs, r.Sim.Messages)
+	fmt.Fprintf(&b, "%-12s %10s %12s %8s %8s %8s %8s\n",
+		"variant", "ns/msg", "retransmits", "drops", "acks", "stalls", "retries")
+	for _, v := range []NetfabricVariant{r.Sim, r.UDP, r.UDPLossy} {
+		fmt.Fprintf(&b, "%-12s %10.0f %12d %8d %8d %8d %8d\n",
+			v.Name, v.NsPerMsg, v.Retransmits, v.Drops, v.Acks, v.CreditStalls, v.SendRetries)
+	}
+	fmt.Fprintf(&b, "udp slowdown over sim: %.1fx; 5%% loss overhead over clean udp: %.1fx\n",
+		r.UDPSlowdown, r.LossOverhead)
+	return b.String()
+}
+
+// WriteJSON writes the report to path (BENCH_netfabric.json).
+func (r NetfabricReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

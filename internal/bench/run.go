@@ -19,6 +19,7 @@ import (
 	"lcigraph/internal/graph"
 	"lcigraph/internal/memtrack"
 	"lcigraph/internal/mpi"
+	"lcigraph/internal/netfabric"
 	"lcigraph/internal/partition"
 	"lcigraph/internal/trace"
 )
@@ -52,6 +53,13 @@ type Config struct {
 	PRIters int
 	Profile fabric.Profile
 	Impl    mpi.Impl
+	// Transport selects the fabric backend: "" or "sim" is the in-process
+	// simulator with Profile's characteristics; "udp" runs every host on a
+	// real loopback UDP socket (internal/netfabric) in this process.
+	Transport string
+	// Fault injects datagram loss/duplication/reordering on the UDP
+	// transport (Transport == "udp" only).
+	Fault netfabric.Fault
 	// Fused enables the LCI gather-send fusion extension (Abelian + LCI
 	// only; see internal/abelian.Runtime.Fused).
 	Fused bool
@@ -97,21 +105,36 @@ type NetStats struct {
 	BatchPolls      int64 // batched ring drains that returned ≥1 frame
 	MsgsCoalesced   int64 // messages shipped inside multi-record bundles
 	CoalescedFrames int64 // multi-record bundles shipped
+
+	// Transport counters: zero on the in-process simulator, live on the
+	// UDP provider (internal/netfabric).
+	Retransmits  int64 // datagrams retransmitted after ack timeout
+	Drops        int64 // datagrams dropped (fault injection + stale dups)
+	Acks         int64 // ack/credit datagrams sent
+	CreditStalls int64 // sends refused for lack of receiver credit
 }
 
 func collectNet(fab *fabric.Fabric) NetStats {
 	var n NetStats
 	for r := 0; r < fab.Size(); r++ {
-		st := fab.Endpoint(r).Stats()
-		n.Frames += st.SendFrames
-		n.FrameBytes += st.SendBytes
-		n.Puts += st.Puts
-		n.PutBytes += st.PutBytes
-		n.SendRetries += st.SendRetries + st.PutRetries
-		n.FramesRecycled += st.FramesRecycled
-		n.BatchPolls += st.BatchPolls
+		n.add(fab.Endpoint(r).Stats())
 	}
 	return n
+}
+
+// add folds one endpoint's counters (simulated or real transport) into n.
+func (n *NetStats) add(st fabric.Stats) {
+	n.Frames += st.SendFrames
+	n.FrameBytes += st.SendBytes
+	n.Puts += st.Puts
+	n.PutBytes += st.PutBytes
+	n.SendRetries += st.SendRetries + st.PutRetries
+	n.FramesRecycled += st.FramesRecycled
+	n.BatchPolls += st.BatchPolls
+	n.Retransmits += st.Retransmits
+	n.Drops += st.PacketsDropped
+	n.Acks += st.AcksSent
+	n.CreditStalls += st.CreditStalls
 }
 
 // coalesceStater is implemented by the layers and streams that pack small
@@ -163,8 +186,9 @@ func (c *Config) fill() {
 	}
 }
 
-// lciOptions sizes the LCI endpoint for a P-host graph run.
-func lciOptions(p, threads int) lci.Options {
+// LCIOptions sizes the LCI endpoint for a P-host graph run. cmd/lci-launch
+// uses the same sizing so multi-process runs match the in-process harness.
+func LCIOptions(p, threads int) lci.Options {
 	return lci.Options{
 		PoolPackets:    64 * p,
 		QueueDepth:     1024,
@@ -173,24 +197,56 @@ func lciOptions(p, threads int) lci.Options {
 	}
 }
 
+// transport builds the per-rank fabric providers for cfg: simulator
+// endpoints, or real loopback UDP endpoints when cfg.Transport is "udp".
+// close tears the UDP sockets down (a no-op for the simulator), and stats
+// aggregates the wire counters either way.
+func transport(cfg *Config) (feps []fabric.Provider, stats func() NetStats, close func()) {
+	if cfg.Transport == "udp" {
+		provs, err := netfabric.NewLoopbackGroup(cfg.Hosts, netfabric.Config{Fault: cfg.Fault})
+		if err != nil {
+			panic("bench: udp transport: " + err.Error())
+		}
+		feps = make([]fabric.Provider, cfg.Hosts)
+		for r := range feps {
+			feps[r] = provs[r]
+		}
+		stats = func() NetStats {
+			var n NetStats
+			for _, p := range provs {
+				n.add(p.Stats())
+			}
+			return n
+		}
+		return feps, stats, func() { netfabric.CloseGroup(provs) }
+	}
+	fab := fabric.New(cfg.Hosts, cfg.Profile)
+	feps = make([]fabric.Provider, cfg.Hosts)
+	for r := range feps {
+		feps[r] = fab.Endpoint(r)
+	}
+	return feps, func() NetStats { return collectNet(fab) }, func() {}
+}
+
 // RunAbelian executes one Abelian run (vertex-cut partition, Fig. 3
 // configuration) of cfg.App over g and returns measurements plus results.
 func RunAbelian(g *graph.Graph, cfg Config) *Result {
 	cfg.fill()
 	pt := partition.Build(g, cfg.Hosts, partition.VertexCut)
-	fab := fabric.New(cfg.Hosts, cfg.Profile)
+	feps, netStats, closeNet := transport(&cfg)
+	defer closeNet()
 
 	var world *mpi.World
 	switch cfg.Layer {
 	case MPIProbe:
-		world = mpi.NewWorldOn(fab, cfg.Impl, mpi.ThreadFunneled)
+		world = mpi.NewWorldOver(feps, cfg.Impl, mpi.ThreadFunneled)
 	case MPIRMA:
-		world = mpi.NewWorldOn(fab, cfg.Impl, mpi.ThreadMultiple)
+		world = mpi.NewWorldOver(feps, cfg.Impl, mpi.ThreadMultiple)
 	}
 	mk := func(r int) comm.Layer {
 		switch cfg.Layer {
 		case LCI:
-			l := comm.NewLCILayer(fab.Endpoint(r), lciOptions(cfg.Hosts, cfg.Threads))
+			l := comm.NewLCILayer(feps[r], LCIOptions(cfg.Hosts, cfg.Threads))
 			if cfg.NoCoalescing {
 				l.SetCoalescing(false)
 			}
@@ -268,7 +324,7 @@ func RunAbelian(g *graph.Graph, cfg Config) *Result {
 	res.Wall = maxDur(walls)
 	res.Rounds = rounds[0]
 	res.MemMax, res.MemMin = minMax(mems)
-	res.Net = collectNet(fab)
+	res.Net = netStats()
 	for _, l := range layers {
 		res.Net.addCoalesce(l)
 	}
@@ -280,16 +336,17 @@ func RunAbelian(g *graph.Graph, cfg Config) *Result {
 func RunGemini(g *graph.Graph, cfg Config) *Result {
 	cfg.fill()
 	pt := partition.Build(g, cfg.Hosts, partition.EdgeCutByDst)
-	fab := fabric.New(cfg.Hosts, cfg.Profile)
+	feps, netStats, closeNet := transport(&cfg)
+	defer closeNet()
 
 	var world *mpi.World
 	if cfg.Layer == MPIProbe {
-		world = mpi.NewWorldOn(fab, cfg.Impl, mpi.ThreadMultiple)
+		world = mpi.NewWorldOver(feps, cfg.Impl, mpi.ThreadMultiple)
 	}
 	mkStream := func(r int) comm.Stream {
 		switch cfg.Layer {
 		case LCI:
-			s := comm.NewLCIStream(fab.Endpoint(r), lciOptions(cfg.Hosts, cfg.Threads))
+			s := comm.NewLCIStream(feps[r], LCIOptions(cfg.Hosts, cfg.Threads))
 			if cfg.NoCoalescing {
 				s.SetCoalescing(false)
 			}
@@ -369,7 +426,7 @@ func RunGemini(g *graph.Graph, cfg Config) *Result {
 	res.Wall = maxDur(walls)
 	res.Rounds = rounds[0]
 	res.MemMax, res.MemMin = minMax(mems)
-	res.Net = collectNet(fab)
+	res.Net = netStats()
 	for _, s := range streams {
 		res.Net.addCoalesce(s)
 	}

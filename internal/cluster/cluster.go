@@ -1,38 +1,110 @@
-// Package cluster runs SPMD jobs: P hosts in one process, each with its own
-// communication layer and compute-thread pool, standing in for the paper's
-// multi-host runs (DESIGN.md §2).
+// Package cluster runs SPMD jobs: P hosts, each with its own communication
+// layer and compute-thread pool, standing in for the paper's multi-host
+// runs (DESIGN.md §2).
 //
-// Barrier and Allreduce are provided by the job runner with identical
-// (process-local) cost for every communication layer, so layer comparisons
-// reflect only the data-synchronization paths the paper instruments.
+// Two execution shapes share one Host API:
+//
+//   - Run places all P hosts in this process. Barrier and Allreduce are
+//     process-local with identical cost for every communication layer, so
+//     layer comparisons reflect only the data-synchronization paths the
+//     paper instruments.
+//   - RunRank executes a single rank whose peers live in other OS
+//     processes (cmd/lci-launch). There is no shared memory to lean on, so
+//     Barrier and Allreduce ride the communication layer itself as an
+//     allgather Exchange on a reserved tag.
 package cluster
 
 import (
+	"encoding/binary"
 	"sync"
 
 	"lcigraph/internal/comm"
 	"lcigraph/internal/parallel"
 )
 
-// Host is one simulated host's context inside a job.
+// CollectiveTag is the Exchange base tag reserved for cluster collectives
+// in out-of-process jobs. Frameworks allocate field tags from 0 upwards and
+// must stay below it.
+const CollectiveTag uint32 = 255
+
+// Host is one host's context inside a job.
 type Host struct {
 	Rank, P int
 	Layer   comm.Layer
 	Pool    *parallel.Pool
 
-	job *job
+	sync syncer
 }
 
-type job struct {
+// syncer supplies the job-wide collectives for one execution shape.
+type syncer interface {
+	barrier(h *Host)
+	allreduce(h *Host, v int64, op func(a, b int64) int64) int64
+}
+
+// localJob implements collectives over shared memory for in-process jobs.
+type localJob struct {
 	bar  *Barrier
 	vals []int64
 }
 
-// Run executes body on p hosts concurrently, each with threads compute
-// workers and the layer built by mkLayer, and tears everything down when
-// all bodies return.
+func (j *localJob) barrier(h *Host) { j.bar.Wait() }
+
+func (j *localJob) allreduce(h *Host, v int64, op func(a, b int64) int64) int64 {
+	j.vals[h.Rank] = v
+	j.bar.Wait()
+	acc := j.vals[0]
+	for r := 1; r < h.P; r++ {
+		acc = op(acc, j.vals[r])
+	}
+	j.bar.Wait() // nobody overwrites vals until all have read
+	return acc
+}
+
+// netJob implements collectives as an allgather over the communication
+// layer: every rank sends its value to every peer on CollectiveTag and
+// folds the P contributions in rank order, so all ranks compute the same
+// result. Receiving all P-1 contributions doubles as the barrier — a
+// peer's message proves it entered this collective, and the layer's
+// per-tag epoch bookkeeping keeps successive collectives apart.
+type netJob struct{}
+
+func (netJob) allreduce(h *Host, v int64, op func(a, b int64) int64) int64 {
+	out := make([][]byte, h.P)
+	expect := make([]bool, h.P)
+	recvMax := make([]int, h.P)
+	vals := make([]int64, h.P)
+	for p := 0; p < h.P; p++ {
+		if p == h.Rank {
+			continue
+		}
+		b := h.Layer.AllocBuf(8)
+		binary.LittleEndian.PutUint64(b, uint64(v))
+		out[p] = b
+		expect[p] = true
+		recvMax[p] = 8
+	}
+	vals[h.Rank] = v
+	h.Layer.Exchange(CollectiveTag, out, expect, recvMax,
+		func(peer int, data []byte) {
+			vals[peer] = int64(binary.LittleEndian.Uint64(data))
+		})
+	acc := vals[0]
+	for r := 1; r < h.P; r++ {
+		acc = op(acc, vals[r])
+	}
+	return acc
+}
+
+func (n netJob) barrier(h *Host) {
+	n.allreduce(h, 0, func(a, b int64) int64 { return 0 })
+}
+
+// Run executes body on p hosts concurrently in this process, each with
+// threads compute workers and the layer built by mkLayer, and tears
+// everything down when all bodies return.
 func Run(p, threads int, mkLayer func(rank int) comm.Layer, body func(h *Host)) {
-	j := &job{bar: NewBarrier(p), vals: make([]int64, p)}
+	j := &localJob{bar: NewBarrier(p), vals: make([]int64, p)}
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
@@ -43,7 +115,7 @@ func Run(p, threads int, mkLayer func(rank int) comm.Layer, body func(h *Host)) 
 				P:     p,
 				Layer: mkLayer(r),
 				Pool:  parallel.NewPool(threads),
-				job:   j,
+				sync:  j,
 			}
 			body(h)
 			h.Barrier() // quiesce before teardown
@@ -54,21 +126,32 @@ func Run(p, threads int, mkLayer func(rank int) comm.Layer, body func(h *Host)) 
 	wg.Wait()
 }
 
+// RunRank executes body as rank of a p-rank SPMD job whose other ranks run
+// in separate OS processes, all connected by layer's transport. Collectives
+// go through the layer (netJob), and teardown mirrors Run: a final barrier
+// quiesces the job before the layer stops.
+func RunRank(rank, p, threads int, layer comm.Layer, body func(h *Host)) {
+	h := &Host{
+		Rank:  rank,
+		P:     p,
+		Layer: layer,
+		Pool:  parallel.NewPool(threads),
+		sync:  netJob{},
+	}
+	body(h)
+	h.Barrier() // quiesce before teardown
+	h.Layer.Stop()
+	h.Pool.Close()
+}
+
 // Barrier blocks until every host in the job reaches it.
-func (h *Host) Barrier() { h.job.bar.Wait() }
+func (h *Host) Barrier() { h.sync.barrier(h) }
 
 // Allreduce combines every host's v with op (associative, commutative) and
 // returns the result on all hosts. It is used for quiescence detection
 // (global active-vertex counts) at the end of each BSP round.
 func (h *Host) Allreduce(v int64, op func(a, b int64) int64) int64 {
-	h.job.vals[h.Rank] = v
-	h.job.bar.Wait()
-	acc := h.job.vals[0]
-	for r := 1; r < h.P; r++ {
-		acc = op(acc, h.job.vals[r])
-	}
-	h.job.bar.Wait() // nobody overwrites vals until all have read
-	return acc
+	return h.sync.allreduce(h, v, op)
 }
 
 // AllreduceSum is Allreduce with addition.

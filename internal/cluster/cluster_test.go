@@ -90,3 +90,60 @@ func TestBarrierReuse(t *testing.T) {
 		<-done
 	}
 }
+
+// runRanks drives RunRank for every rank concurrently, the in-process shape
+// of the multi-process launcher: collectives ride the communication layer
+// (netJob) instead of shared memory.
+func runRanks(t *testing.T, p int, body func(h *Host)) {
+	t.Helper()
+	mk := lciLayers(p)
+	done := make(chan struct{})
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			RunRank(r, p, 1, mk(r), body)
+		}(r)
+	}
+	for r := 0; r < p; r++ {
+		<-done
+	}
+}
+
+func TestRunRankAllreduce(t *testing.T) {
+	const p = 4
+	runRanks(t, p, func(h *Host) {
+		sum := h.AllreduceSum(int64(h.Rank + 1))
+		if sum != p*(p+1)/2 {
+			t.Errorf("rank %d: sum = %d", h.Rank, sum)
+		}
+		min := h.AllreduceMin(int64(h.Rank - 7))
+		if min != -7 {
+			t.Errorf("rank %d: min = %d", h.Rank, min)
+		}
+		// Successive collectives must not cross-talk: the layer's per-tag
+		// epochs keep round r's contributions out of round r+1.
+		for r := int64(0); r < 30; r++ {
+			if got := h.AllreduceSum(r + int64(h.Rank)); got != r*p+p*(p-1)/2 {
+				t.Errorf("round %d: got %d", r, got)
+				return
+			}
+		}
+	})
+}
+
+func TestRunRankBarrier(t *testing.T) {
+	const p = 3
+	var phase atomic.Int64
+	runRanks(t, p, func(h *Host) {
+		for r := 0; r < 25; r++ {
+			cur := phase.Load() / p
+			if cur != int64(r) {
+				t.Errorf("rank %d sees phase %d in round %d", h.Rank, cur, r)
+				return
+			}
+			phase.Add(1)
+			h.Barrier()
+			h.Barrier() // second barrier so the read above is stable
+		}
+	})
+}

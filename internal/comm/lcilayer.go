@@ -63,9 +63,9 @@ type trackedAlloc struct{ t *memtrack.Tracker }
 func (a trackedAlloc) Alloc(n int) []byte { a.t.Alloc(n); return make([]byte, n) }
 func (a trackedAlloc) Free(b []byte)      { a.t.Free(len(b)) }
 
-// NewLCILayer builds the LCI layer over a fabric endpoint and starts its
+// NewLCILayer builds the LCI layer over a fabric provider and starts its
 // communication server.
-func NewLCILayer(fep *fabric.Endpoint, opt lci.Options) *LCILayer {
+func NewLCILayer(fep fabric.Provider, opt lci.Options) *LCILayer {
 	l := &LCILayer{
 		rank:   fep.Rank(),
 		epochs: epochs{},

@@ -1,0 +1,129 @@
+package comm
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+)
+
+// TestLCILayerSocketsFallback: on the Sockets() profile (DisableRDMA, the
+// libfabric sockets-provider class) a payload above the eager limit must
+// still arrive intact — the rendezvous put fails with ErrNoRDMA and the LCI
+// core switches to the FRG fragment stream. Zero RDMA puts on the wire
+// proves the fallback path was the one exercised.
+func TestLCILayerSocketsFallback(t *testing.T) {
+	const p = 2
+	prof := fabric.Sockets()
+	fab := fabric.New(p, prof)
+	layers := make([]*LCILayer, p)
+	for r := 0; r < p; r++ {
+		layers[r] = NewLCILayer(fab.Endpoint(r), lci.Options{})
+	}
+
+	// Well above the 4 KiB sockets eager limit, and not a multiple of the
+	// fragment size.
+	size := 5*prof.EagerLimit + 123
+	payload := func(r int) []byte {
+		b := make([]byte, size)
+		for i := range b {
+			b[i] = byte(i*7 + r)
+		}
+		return b
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			l := layers[r]
+			out := make([][]byte, p)
+			expect := make([]bool, p)
+			recvMax := make([]int, p)
+			for q := 0; q < p; q++ {
+				if q == r {
+					continue
+				}
+				out[q] = l.AllocBuf(size)
+				copy(out[q], payload(r))
+				expect[q] = true
+				recvMax[q] = size
+			}
+			l.Exchange(9, out, expect, recvMax, func(peer int, data []byte) {
+				if !bytes.Equal(data, payload(peer)) {
+					t.Errorf("rank %d: corrupt %d-byte payload from %d", r, len(data), peer)
+				}
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		layers[r].Stop()
+	}
+
+	var puts, frames int64
+	for r := 0; r < p; r++ {
+		st := fab.Endpoint(r).Stats()
+		puts += st.Puts
+		frames += st.SendFrames
+	}
+	if puts != 0 {
+		t.Fatalf("sockets profile performed %d RDMA puts; fallback not taken", puts)
+	}
+	// Each rendezvous payload must have crossed as multiple FRG frames.
+	if wantMin := int64(p * (size / prof.EagerLimit)); frames < wantMin {
+		t.Fatalf("only %d frames for %d fragmented sends (want ≥ %d)", frames, p, wantMin)
+	}
+}
+
+// TestLCIStreamSocketsFallback covers the same ErrNoRDMA path for the
+// Gemini-style message stream.
+func TestLCIStreamSocketsFallback(t *testing.T) {
+	const p = 2
+	prof := fabric.Sockets()
+	fab := fabric.New(p, prof)
+	streams := make([]*LCIStream, p)
+	for r := 0; r < p; r++ {
+		streams[r] = NewLCIStream(fab.Endpoint(r), lci.Options{})
+	}
+
+	size := 3*prof.EagerLimit + 77
+	want := make([]byte, size)
+	for i := range want {
+		want[i] = byte(i * 13)
+	}
+
+	buf := streams[0].AllocBuf(size)
+	copy(buf, want)
+	streams[0].SendMsg(0, 1, 5, buf)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m, ok := streams[1].RecvMsg()
+		if !ok {
+			if time.Now().After(deadline) {
+				t.Fatal("stream: no message within deadline")
+			}
+			runtime.Gosched()
+			continue
+		}
+		if m.Peer != 0 || m.Tag != 5 || !bytes.Equal(m.Data, want) {
+			t.Fatalf("stream: corrupt %d-byte payload from %d tag %d", len(m.Data), m.Peer, m.Tag)
+		}
+		m.Release()
+		break
+	}
+	for r := 0; r < p; r++ {
+		streams[r].Stop()
+	}
+	for r := 0; r < p; r++ {
+		if puts := fab.Endpoint(r).Stats().Puts; puts != 0 {
+			t.Fatalf("sockets profile performed %d RDMA puts; fallback not taken", puts)
+		}
+	}
+}

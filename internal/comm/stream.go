@@ -64,9 +64,9 @@ type LCIStream struct {
 	flushDone chan struct{}
 }
 
-// NewLCIStream builds an LCI stream over a fabric endpoint and starts its
+// NewLCIStream builds an LCI stream over a fabric provider and starts its
 // communication server.
-func NewLCIStream(fep *fabric.Endpoint, opt lci.Options) *LCIStream {
+func NewLCIStream(fep fabric.Provider, opt lci.Options) *LCIStream {
 	s := &LCIStream{stop: make(chan struct{}), flushDone: make(chan struct{})}
 	opt.Allocator = trackedAlloc{&s.tracker}
 	s.ep = lci.NewEndpoint(fep, opt)

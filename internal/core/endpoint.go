@@ -132,7 +132,7 @@ type outItem struct {
 // SendEnq and RecvDeq may be called from any compute thread. Progress (or
 // Serve) must be driven by exactly one communication-server goroutine.
 type Endpoint struct {
-	fep   *fabric.Endpoint
+	fep   fabric.Provider
 	pool  *Pool
 	q     *concurrent.MPMC[*fabric.Frame] // Q: global concurrent incoming queue
 	out   *concurrent.MPSC[outItem]       // deferred ops, flushed by the server
@@ -183,8 +183,9 @@ type fragJob struct {
 	off    int
 }
 
-// NewEndpoint builds an LCI endpoint over fep.
-func NewEndpoint(fep *fabric.Endpoint, opt Options) *Endpoint {
+// NewEndpoint builds an LCI endpoint over any fabric provider (the
+// simulated fabric's *fabric.Endpoint or a netfabric UDP provider).
+func NewEndpoint(fep fabric.Provider, opt Options) *Endpoint {
 	opt.fill()
 	eager := fep.EagerLimit()
 	e := &Endpoint{

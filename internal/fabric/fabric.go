@@ -66,17 +66,30 @@ type Frame struct {
 	Meta   uint64
 	Data   []byte // eager payload (KindSend); nil for KindPutDone
 
-	buf   []byte      // pooled wire buffer backing Data (cap = EagerLimit)
-	fab   *Fabric     // owning fabric; nil for unpooled frames
-	rep   *Endpoint   // receiving endpoint (recycle attribution)
-	inUse atomic.Bool // double-release guard
+	buf     []byte       // pooled wire buffer backing Data (cap = EagerLimit)
+	fab     *Fabric      // owning fabric; nil for unpooled frames
+	rep     *Endpoint    // receiving endpoint (recycle attribution)
+	recycle func(*Frame) // external-provider recycle hook (netfabric)
+	inUse   atomic.Bool  // double-release guard
 }
 
-// Release returns a polled frame to the fabric free-list. It is safe (and a
-// no-op) on unpooled frames; releasing the same pooled frame twice panics.
-// After Release the frame and its Data must not be touched.
+// Release returns a polled frame to its owner's free-list: the simulated
+// fabric's pool, or — for frames minted by an external Provider — that
+// provider's recycle hook. It is safe (and a no-op) on unpooled frames;
+// releasing the same pooled frame twice panics. After Release the frame and
+// its Data must not be touched.
 func (f *Frame) Release() {
-	if f == nil || f.fab == nil {
+	if f == nil {
+		return
+	}
+	if f.recycle != nil {
+		if !f.inUse.CompareAndSwap(true, false) {
+			panic("fabric: Frame released twice")
+		}
+		f.recycle(f)
+		return
+	}
+	if f.fab == nil {
 		return
 	}
 	if !f.inUse.CompareAndSwap(true, false) {
@@ -87,6 +100,27 @@ func (f *Frame) Release() {
 		f.rep = nil
 	}
 	f.fab.putFrame(f)
+}
+
+// NewProviderFrame mints a frame owned by an external Provider. buf is the
+// provider's reusable wire buffer (Data may alias it; retrieve it with
+// Buffer); recycle is invoked by Release, after the double-release guard,
+// instead of the simulator free-list. The frame starts idle — the provider
+// must call Acquire before every delivery.
+func NewProviderFrame(buf []byte, recycle func(*Frame)) *Frame {
+	return &Frame{buf: buf, recycle: recycle}
+}
+
+// Buffer returns the frame's attached wire buffer (nil for frames without
+// one). Providers slice Data out of it during reassembly.
+func (f *Frame) Buffer() []byte { return f.buf }
+
+// Acquire marks a provider frame as handed out to a consumer, arming the
+// double-release guard. Acquiring a frame already in flight panics.
+func (f *Frame) Acquire() {
+	if !f.inUse.CompareAndSwap(false, true) {
+		panic("fabric: provider frame acquired while in use")
+	}
 }
 
 // Profile describes a NIC / interconnect model. The per-operation overheads
@@ -186,6 +220,14 @@ type Stats struct {
 	PutRetries     int64 // ErrResource returns from Put
 	FramesRecycled int64 // frames returned to the pool after delivery here
 	BatchPolls     int64 // PollBatch calls that drained at least one frame
+
+	// Real-transport counters, filled by providers with an actual wire
+	// (internal/netfabric); always zero on the simulated fabric, whose
+	// network is lossless and flow-controlled by the receive ring alone.
+	Retransmits    int64 // data packets resent after an ack timeout
+	PacketsDropped int64 // datagrams dropped: injected faults + stale/duplicate arrivals
+	AcksSent       int64 // ack/credit datagrams sent
+	CreditStalls   int64 // sends refused because the peer advertised no credit
 }
 
 // Fabric is an in-process interconnect between n endpoints.

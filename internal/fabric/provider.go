@@ -1,0 +1,54 @@
+package fabric
+
+// Provider is the set of network verbs the communication runtimes are built
+// on — the paper's claim that LCI "requires only a few primitive network
+// operations" made concrete as an interface. The simulated fabric's
+// *Endpoint implements it in-process; internal/netfabric implements it over
+// real UDP sockets. internal/core, internal/comm and internal/mpi are
+// written against this interface and run unmodified over either backend.
+//
+// Contract (shared by both backends):
+//
+//   - Send and Put may be called from any goroutine of the owning host;
+//     Poll/PollBatch are normally driven by a single progress thread.
+//   - Send/Put fail with ErrResource when the destination cannot accept the
+//     operation right now (receive ring full / no advertised credit); the
+//     operation had no effect and must be retried — never treated as fatal.
+//   - Put fails with ErrNoRDMA on transports without remote-write support;
+//     callers fall back to fragmented eager sends.
+//   - Frames handed out by Poll/PollBatch are owned by the consumer until
+//     Release, which recycles the frame to its provider's pool.
+type Provider interface {
+	// Rank returns this endpoint's host rank.
+	Rank() int
+	// Size returns the number of hosts on the transport.
+	Size() int
+	// EagerLimit returns the maximum payload of a single Send.
+	EagerLimit() int
+	// HasRDMA reports whether Put is supported.
+	HasRDMA() bool
+
+	// Send injects an eager message to dst; the payload is copied onto the
+	// wire, so the caller's buffer is reusable on return.
+	Send(dst int, header, meta uint64, data []byte) error
+	// RegisterRegion registers buf for remote Put access.
+	RegisterRegion(buf []byte) (uint32, error)
+	// DeregisterRegion releases an rkey.
+	DeregisterRegion(rkey uint32)
+	// Put writes data into dst's registered region and delivers a
+	// KindPutDone frame carrying imm.
+	Put(dst int, rkey uint32, offset int, data []byte, imm uint64) error
+
+	// Poll removes and returns one incoming frame, or nil.
+	Poll() *Frame
+	// PollBatch drains up to len(dst) incoming frames and returns the
+	// number stored.
+	PollBatch(dst []*Frame) int
+	// Pending returns a racy estimate of queued incoming frames.
+	Pending() int
+
+	// Stats returns a snapshot of the endpoint's wire-level counters.
+	Stats() Stats
+}
+
+var _ Provider = (*Endpoint)(nil)

@@ -108,7 +108,7 @@ type Comm struct {
 	rank  int
 	impl  Impl
 	mode  ThreadMode
-	fep   *fabric.Endpoint
+	fep   fabric.Provider
 
 	mu sync.Mutex // the global lock (ThreadMultiple only)
 
@@ -156,18 +156,31 @@ func NewWorld(n int, prof fabric.Profile, impl Impl, mode ThreadMode) *World {
 
 // NewWorldOn creates communicators over an existing fabric.
 func NewWorldOn(fab *fabric.Fabric, impl Impl, mode ThreadMode) *World {
-	if impl.EagerLimit > fab.Profile().EagerLimit {
-		impl.EagerLimit = fab.Profile().EagerLimit
+	feps := make([]fabric.Provider, fab.Size())
+	for r := range feps {
+		feps[r] = fab.Endpoint(r)
 	}
-	w := &World{fab: fab, impl: impl, winExchg: map[string]*winGather{}}
-	n := fab.Size()
+	w := NewWorldOver(feps, impl, mode)
+	w.fab = fab
+	return w
+}
+
+// NewWorldOver creates communicators over per-rank fabric providers — the
+// simulator's endpoints or real network endpoints (internal/netfabric). The
+// eager limit is clamped to the transport's.
+func NewWorldOver(feps []fabric.Provider, impl Impl, mode ThreadMode) *World {
+	if len(feps) > 0 && impl.EagerLimit > feps[0].EagerLimit() {
+		impl.EagerLimit = feps[0].EagerLimit()
+	}
+	w := &World{impl: impl, winExchg: map[string]*winGather{}}
+	n := len(feps)
 	for r := 0; r < n; r++ {
 		w.comms = append(w.comms, &Comm{
 			world:     w,
 			rank:      r,
 			impl:      impl,
 			mode:      mode,
-			fep:       fab.Endpoint(r),
+			fep:       feps[r],
 			sendSeq:   make([]uint32, n),
 			nextSeq:   make([]uint32, n),
 			ooo:       map[uint64]*fabric.Frame{},

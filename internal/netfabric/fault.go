@@ -1,0 +1,86 @@
+package netfabric
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// Fault configures deterministic fault injection on the provider's outgoing
+// datagrams — the loss, duplication and reordering a real lossy network
+// exhibits and the reliability layer must absorb. Rates are per-datagram
+// probabilities in [0, 1). The zero value injects nothing.
+type Fault struct {
+	Loss    float64 // drop the datagram
+	Dup     float64 // send it twice
+	Reorder float64 // hold it and send after the next datagram
+	Seed    int64   // PRNG seed (0 ⇒ a fixed default, still deterministic)
+}
+
+func (f Fault) enabled() bool { return f.Loss > 0 || f.Dup > 0 || f.Reorder > 0 }
+
+// faultAction is the injector's verdict for one datagram.
+type faultAction uint8
+
+const (
+	faultPass faultAction = iota
+	faultDrop
+	faultDup
+	faultHold
+)
+
+// faultInjector applies Fault decisions with a mutex-guarded PRNG so
+// injection stays deterministic under concurrent senders (the decision
+// sequence is deterministic; its assignment to datagrams depends on send
+// interleaving, which is all the tests need).
+type faultInjector struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	cfg  Fault
+	held []byte
+	dst  net.Addr
+}
+
+func newFaultInjector(cfg Fault) *faultInjector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x1c1f4b
+	}
+	return &faultInjector{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+func (fi *faultInjector) decide() faultAction {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	x := fi.rng.Float64()
+	switch {
+	case x < fi.cfg.Loss:
+		return faultDrop
+	case x < fi.cfg.Loss+fi.cfg.Dup:
+		return faultDup
+	case x < fi.cfg.Loss+fi.cfg.Dup+fi.cfg.Reorder:
+		return faultHold
+	default:
+		return faultPass
+	}
+}
+
+// hold parks pkt for later release, returning any previously held datagram
+// (at most one is ever parked).
+func (fi *faultInjector) hold(pkt []byte, dst net.Addr) (prev []byte, prevDst net.Addr) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	prev, prevDst = fi.held, fi.dst
+	fi.held = append([]byte(nil), pkt...)
+	fi.dst = dst
+	return prev, prevDst
+}
+
+// take removes and returns the held datagram, if any.
+func (fi *faultInjector) take() (pkt []byte, dst net.Addr) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	pkt, dst = fi.held, fi.dst
+	fi.held, fi.dst = nil, nil
+	return pkt, dst
+}

@@ -1,0 +1,61 @@
+package netfabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcigraph/internal/fabric"
+)
+
+// txPacket is one unacknowledged DATA datagram held for retransmission.
+type txPacket struct {
+	seq      uint32
+	data     []byte // encoded datagram (owned until acked)
+	lastTx   time.Time
+	attempts int // retransmissions so far (drives exponential backoff)
+}
+
+// flow is the reliability state for one peer, both directions.
+//
+// Send side (guarded by mu, callable from any goroutine): a sliding window
+// of unacked packets plus the peer-advertised message credit. Receive side
+// (reader goroutine only): cumulative in-order delivery with out-of-order
+// buffering, and fragment reassembly into pooled frames. The only
+// cross-thread receive-side state is consumed/ackDue, touched by consumers
+// releasing frames.
+type flow struct {
+	peer int
+
+	// ---- send side ----
+	mu          sync.Mutex
+	nextSeq     uint32               // next sequence number to assign
+	baseSeq     uint32               // oldest unacked sequence number
+	unacked     map[uint32]*txPacket // in-flight packets by seq
+	msgsSent    uint64               // messages injected into this flow
+	creditLimit uint64               // absolute message budget advertised by the peer
+
+	// ---- receive side (reader goroutine) ----
+	nextRecv  uint32              // next expected sequence number
+	ooo       map[uint32]*dataPkt // early arrivals within the window
+	asm       *fabric.Frame       // message being reassembled
+	asmLen    int
+	asmGot    int
+	delivered uint64 // messages enqueued onto the delivery ring
+
+	// ---- shared ----
+	consumed atomic.Uint64 // messages released back by the consumer
+	ackDue   atomic.Bool   // an ack/credit update should be sent
+}
+
+func newFlow(peer int, credits int) *flow {
+	return &flow{
+		peer:        peer,
+		unacked:     map[uint32]*txPacket{},
+		ooo:         map[uint32]*dataPkt{},
+		creditLimit: uint64(credits),
+	}
+}
+
+// inFlight returns the number of unacked packets (mu held).
+func (fl *flow) inFlight() uint32 { return fl.nextSeq - fl.baseSeq }

@@ -1,0 +1,55 @@
+package netfabric
+
+import (
+	"fmt"
+	"net"
+)
+
+// NewLoopbackGroup builds p connected providers over real loopback UDP
+// sockets inside one process: the in-process demo/test shape of the
+// multi-process launcher. All sockets are bound before any provider starts,
+// so there is no startup race. cfg supplies shared tunables (Rank, Addrs
+// and Conn are overwritten per provider).
+func NewLoopbackGroup(p int, cfg Config) ([]*Provider, error) {
+	conns := make([]net.PacketConn, p)
+	addrs := make([]string, p)
+	for i := range conns {
+		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			for _, pc := range conns[:i] {
+				pc.Close()
+			}
+			return nil, fmt.Errorf("netfabric: bind loopback rank %d: %w", i, err)
+		}
+		conns[i] = c
+		addrs[i] = c.LocalAddr().String()
+	}
+	provs := make([]*Provider, p)
+	for i := range provs {
+		c := cfg
+		c.Rank = i
+		c.Addrs = addrs
+		c.Conn = conns[i]
+		prov, err := New(c)
+		if err != nil {
+			for _, pr := range provs[:i] {
+				pr.Close()
+			}
+			for _, pc := range conns[i:] {
+				pc.Close()
+			}
+			return nil, err
+		}
+		provs[i] = prov
+	}
+	return provs, nil
+}
+
+// CloseGroup closes every provider of a loopback group.
+func CloseGroup(provs []*Provider) {
+	for _, p := range provs {
+		if p != nil {
+			p.Close()
+		}
+	}
+}

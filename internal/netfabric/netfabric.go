@@ -1,0 +1,727 @@
+// Package netfabric is a real-network fabric provider: the same verbs the
+// in-process simulator exposes (fabric.Provider), implemented over UDP
+// sockets. It is the step from "simulation of the paper" to "distributed
+// runtime": internal/core, internal/comm and internal/mpi run unmodified
+// over it, and cmd/lci-launch spawns one OS process per rank over loopback.
+//
+// UDP gives none of what the simulator gave for free, so the provider
+// supplies it in software (DESIGN.md §9):
+//
+//   - Reliability: a per-peer sliding window of sequence-numbered datagrams
+//     with cumulative acks, retransmit timers and exponential backoff.
+//   - Back-pressure: receiver-advertised message credits. A sender out of
+//     credit (or out of window) gets fabric.ErrResource — the same
+//     retriable failure LCI is built around, now produced by a real wire.
+//   - Framing: messages larger than the UDP MTU are fragmented into
+//     consecutive sequence numbers and reassembled into pooled frames
+//     (the PR-1 zero-allocation receive path, via fabric.NewProviderFrame).
+//   - No RDMA: Put fails with fabric.ErrNoRDMA, exercising the upper
+//     layers' fragmented-send rendezvous fallback end-to-end.
+//
+// A Fault hook injects loss, duplication and reordering on outgoing
+// datagrams for robustness tests.
+package netfabric
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcigraph/internal/concurrent"
+	"lcigraph/internal/fabric"
+)
+
+// Config describes one rank's endpoint. Window, Credits, EagerLimit and MTU
+// must agree across all ranks of a job (the launcher and loopback group
+// guarantee this).
+type Config struct {
+	Rank  int
+	Addrs []string // UDP address of every rank, indexed by rank
+
+	// Conn, when non-nil, is a pre-bound socket for this rank (the SPMD
+	// launcher binds all sockets before spawning and passes them down, so
+	// there is no startup race). When nil, New binds Addrs[Rank].
+	Conn net.PacketConn
+
+	EagerLimit int           // max payload of one Send (default 8 KiB)
+	MTU        int           // max datagram size incl. wire header (default 1400)
+	Window     int           // max unacked packets per peer flow (default 256)
+	Credits    int           // max delivered-but-unreleased messages per peer (default 128)
+	RTO        time.Duration // initial retransmit timeout (default 5ms)
+	MaxRTO     time.Duration // retransmit backoff cap (default 50ms)
+	MaxRegions int           // local region table size (default 128)
+	Fault      Fault         // outgoing-datagram fault injection
+}
+
+func (c *Config) fill() error {
+	if c.EagerLimit <= 0 {
+		c.EagerLimit = 8 << 10
+	}
+	if c.MTU <= 0 {
+		c.MTU = 1400
+	}
+	if c.MTU <= dataHdrLen {
+		return fmt.Errorf("netfabric: MTU %d leaves no payload room (header %d)", c.MTU, dataHdrLen)
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.Credits <= 0 {
+		c.Credits = 128
+	}
+	if c.RTO <= 0 {
+		// Loopback RTT is microseconds, but on an oversubscribed host the
+		// real ack latency is OS scheduling, so a too-tight timer mostly
+		// produces spurious retransmits.
+		c.RTO = 5 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 50 * time.Millisecond
+	}
+	if c.MaxRegions <= 0 {
+		c.MaxRegions = 128
+	}
+	if c.Rank < 0 || c.Rank >= len(c.Addrs) {
+		return fmt.Errorf("netfabric: rank %d outside address list of %d", c.Rank, len(c.Addrs))
+	}
+	return nil
+}
+
+// Provider is one rank's UDP endpoint. It implements fabric.Provider.
+type Provider struct {
+	rank, size  int
+	eagerLimit  int
+	chunk       int // payload bytes per DATA datagram
+	window      uint32
+	credits     int
+	rto, maxRTO time.Duration
+
+	conn  net.PacketConn
+	peers []net.Addr
+	flows []*flow // indexed by peer rank; nil at self
+
+	ring   *concurrent.MPMC[*fabric.Frame] // delivery ring drained by Poll
+	frames *concurrent.MPMC[*fabric.Frame] // provider frame free-list
+	txBufs sync.Pool                       // datagram encode buffers
+
+	fault *faultInjector
+
+	// Self-sends bypass the wire but respect the same credit quota so the
+	// delivery ring can never overflow (its capacity is size × credits).
+	selfDelivered atomic.Int64
+	selfConsumed  atomic.Int64
+
+	regMu   sync.Mutex
+	regions []bool
+	maxRegs int
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	sendFrames     atomic.Int64
+	sendBytes      atomic.Int64
+	polls          atomic.Int64
+	pollHits       atomic.Int64
+	batchPolls     atomic.Int64
+	sendRetries    atomic.Int64
+	framesRecycled atomic.Int64
+	retransmits    atomic.Int64
+	dropped        atomic.Int64
+	acksSent       atomic.Int64
+	creditStalls   atomic.Int64
+}
+
+var _ fabric.Provider = (*Provider)(nil)
+
+// New builds a provider and starts its socket reader. The reader goroutine
+// also runs the retransmit and credit-refresh timers, so the provider makes
+// reliability progress even when the upper layer's progress thread stalls.
+func New(cfg Config) (*Provider, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	p := &Provider{
+		rank:       cfg.Rank,
+		size:       len(cfg.Addrs),
+		eagerLimit: cfg.EagerLimit,
+		chunk:      cfg.MTU - dataHdrLen,
+		window:     uint32(cfg.Window),
+		credits:    cfg.Credits,
+		rto:        cfg.RTO,
+		maxRTO:     cfg.MaxRTO,
+		conn:       cfg.Conn,
+		maxRegs:    cfg.MaxRegions,
+	}
+	p.ring = concurrent.NewMPMC[*fabric.Frame](p.size * p.credits)
+	p.frames = concurrent.NewMPMC[*fabric.Frame](p.size * p.credits)
+	p.txBufs.New = func() any { return make([]byte, cfg.MTU) }
+	if cfg.Fault.enabled() {
+		p.fault = newFaultInjector(cfg.Fault)
+	}
+	if p.conn == nil {
+		c, err := net.ListenPacket("udp", cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("netfabric: bind rank %d: %w", cfg.Rank, err)
+		}
+		p.conn = c
+	}
+	p.peers = make([]net.Addr, p.size)
+	p.flows = make([]*flow, p.size)
+	for r, a := range cfg.Addrs {
+		if r == p.rank {
+			continue
+		}
+		addr, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			p.conn.Close()
+			return nil, fmt.Errorf("netfabric: rank %d address %q: %w", r, a, err)
+		}
+		p.peers[r] = addr
+		p.flows[r] = newFlow(r, p.credits)
+	}
+	p.wg.Add(1)
+	go p.reader()
+	return p, nil
+}
+
+// Addr returns the provider's bound socket address.
+func (p *Provider) Addr() net.Addr { return p.conn.LocalAddr() }
+
+// Close stops the reader and closes the socket. The upper layers must be
+// stopped first (a Send on a closed provider is a hard error).
+func (p *Provider) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := p.conn.Close()
+	p.wg.Wait()
+	return err
+}
+
+// ---- fabric.Provider identity ----
+
+// Rank returns this endpoint's rank.
+func (p *Provider) Rank() int { return p.rank }
+
+// Size returns the number of ranks.
+func (p *Provider) Size() int { return p.size }
+
+// EagerLimit returns the maximum payload of one Send.
+func (p *Provider) EagerLimit() int { return p.eagerLimit }
+
+// HasRDMA reports false: UDP has no remote-write verb, so upper layers take
+// the fragmented-send rendezvous fallback.
+func (p *Provider) HasRDMA() bool { return false }
+
+// ---- frame pool ----
+
+func (p *Provider) getFrame() *fabric.Frame {
+	fr, ok := p.frames.Dequeue()
+	if !ok {
+		fr = fabric.NewProviderFrame(make([]byte, p.eagerLimit), p.recycleFrame)
+	}
+	fr.Acquire()
+	return fr
+}
+
+// recycleFrame is the Release hook of every frame this provider mints: it
+// returns the frame to the free-list and credits the consumed message back
+// to its flow, scheduling a credit re-advertisement to un-stall the sender.
+func (p *Provider) recycleFrame(f *fabric.Frame) {
+	src := f.Src
+	f.Data = nil
+	f.Header = 0
+	f.Meta = 0
+	p.framesRecycled.Add(1)
+	if src == p.rank {
+		p.selfConsumed.Add(1)
+	} else if src >= 0 && src < p.size && p.flows[src] != nil {
+		fl := p.flows[src]
+		fl.consumed.Add(1)
+		fl.ackDue.Store(true)
+	}
+	p.frames.Enqueue(f) // full free-list drops to the GC, pool stays a cache
+}
+
+// ---- send path ----
+
+// errClosed is returned for operations on a closed provider.
+var errClosed = errors.New("netfabric: provider closed")
+
+// Send injects an eager message to dst, fragmenting to the MTU. It fails
+// with fabric.ErrResource when dst has advertised no remaining credit or
+// the retransmit window is full — retriable back-pressure, exactly like the
+// simulator's full receive ring.
+func (p *Provider) Send(dst int, header, meta uint64, data []byte) error {
+	if p.closed.Load() {
+		return errClosed
+	}
+	if len(data) > p.eagerLimit {
+		return fmt.Errorf("netfabric: send of %d bytes exceeds eager limit %d", len(data), p.eagerLimit)
+	}
+	if dst < 0 || dst >= p.size {
+		return fmt.Errorf("netfabric: bad destination rank %d", dst)
+	}
+	if dst == p.rank {
+		return p.sendSelf(header, meta, data)
+	}
+	fl := p.flows[dst]
+	nfrags := 1
+	if len(data) > p.chunk {
+		nfrags = (len(data) + p.chunk - 1) / p.chunk
+	}
+
+	fl.mu.Lock()
+	if fl.msgsSent >= fl.creditLimit {
+		fl.mu.Unlock()
+		p.creditStalls.Add(1)
+		p.sendRetries.Add(1)
+		return fabric.ErrResource
+	}
+	if fl.inFlight()+uint32(nfrags) > p.window {
+		fl.mu.Unlock()
+		p.sendRetries.Add(1)
+		return fabric.ErrResource
+	}
+	now := time.Now()
+	off := 0
+	for i := 0; i < nfrags; i++ {
+		end := off + p.chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		buf := p.txBufs.Get().([]byte)
+		n := encodeData(buf, p.rank, fl.nextSeq, uint32(off), uint32(len(data)), header, meta, data[off:end])
+		tx := &txPacket{seq: fl.nextSeq, data: buf[:n], lastTx: now}
+		fl.unacked[fl.nextSeq] = tx
+		fl.nextSeq++
+		p.xmit(dst, buf[:n])
+		off = end
+	}
+	fl.msgsSent++
+	fl.mu.Unlock()
+	p.sendFrames.Add(1)
+	p.sendBytes.Add(int64(len(data)))
+	return nil
+}
+
+// sendSelf delivers a message to this rank's own ring without touching the
+// wire, under the same credit quota as one remote peer.
+func (p *Provider) sendSelf(header, meta uint64, data []byte) error {
+	// Reserve before building so concurrent self-senders cannot overshoot
+	// the quota the ring capacity was sized for.
+	if p.selfDelivered.Add(1)-p.selfConsumed.Load() > int64(p.credits) {
+		p.selfDelivered.Add(-1)
+		p.sendRetries.Add(1)
+		return fabric.ErrResource
+	}
+	fr := p.getFrame()
+	fr.Kind = fabric.KindSend
+	fr.Src = p.rank
+	fr.Header = header
+	fr.Meta = meta
+	if len(data) > 0 {
+		fr.Data = fr.Buffer()[:len(data)]
+		copy(fr.Data, data)
+	} else {
+		fr.Data = nil
+	}
+	if !p.ring.Enqueue(fr) {
+		// Capacity is sized for the worst case; reaching here is a bug.
+		panic("netfabric: delivery ring overflow on self-send")
+	}
+	p.sendFrames.Add(1)
+	p.sendBytes.Add(int64(len(data)))
+	return nil
+}
+
+// xmit writes one datagram, applying fault injection. Callers may hold a
+// flow lock; the injector takes no flow locks.
+func (p *Provider) xmit(dst int, pkt []byte) {
+	if p.fault == nil {
+		p.conn.WriteTo(pkt, p.peers[dst])
+		return
+	}
+	switch p.fault.decide() {
+	case faultDrop:
+		p.dropped.Add(1)
+	case faultDup:
+		p.conn.WriteTo(pkt, p.peers[dst])
+		p.conn.WriteTo(pkt, p.peers[dst])
+	case faultHold:
+		if prev, prevDst := p.fault.hold(pkt, p.peers[dst]); prev != nil {
+			p.conn.WriteTo(prev, prevDst)
+		}
+	default:
+		p.conn.WriteTo(pkt, p.peers[dst])
+		if held, heldDst := p.fault.take(); held != nil {
+			p.conn.WriteTo(held, heldDst)
+		}
+	}
+}
+
+// ---- RDMA verbs (absent on UDP) ----
+
+// RegisterRegion keeps a local region table for API parity; the transport
+// cannot serve remote writes into it.
+func (p *Provider) RegisterRegion(buf []byte) (uint32, error) {
+	p.regMu.Lock()
+	defer p.regMu.Unlock()
+	for i, used := range p.regions {
+		if !used {
+			p.regions[i] = true
+			return uint32(i), nil
+		}
+	}
+	if len(p.regions) >= p.maxRegs {
+		return 0, errors.New("netfabric: region table full")
+	}
+	p.regions = append(p.regions, true)
+	return uint32(len(p.regions) - 1), nil
+}
+
+// DeregisterRegion releases an rkey.
+func (p *Provider) DeregisterRegion(rkey uint32) {
+	p.regMu.Lock()
+	defer p.regMu.Unlock()
+	if int(rkey) < len(p.regions) {
+		p.regions[rkey] = false
+	}
+}
+
+// Put fails with fabric.ErrNoRDMA: callers fall back to fragmented sends.
+func (p *Provider) Put(int, uint32, int, []byte, uint64) error {
+	return fabric.ErrNoRDMA
+}
+
+// ---- receive path ----
+
+// Poll removes and returns one incoming frame, or nil.
+func (p *Provider) Poll() *fabric.Frame {
+	p.polls.Add(1)
+	f, ok := p.ring.Dequeue()
+	if !ok {
+		return nil
+	}
+	p.pollHits.Add(1)
+	return f
+}
+
+// PollBatch drains up to len(dst) incoming frames in one ring pass.
+func (p *Provider) PollBatch(dst []*fabric.Frame) int {
+	p.polls.Add(1)
+	n := p.ring.DequeueBatch(dst)
+	if n > 0 {
+		p.pollHits.Add(int64(n))
+		p.batchPolls.Add(1)
+	}
+	return n
+}
+
+// Pending returns a racy estimate of queued incoming frames.
+func (p *Provider) Pending() int { return p.ring.Len() }
+
+// reader is the provider's single background goroutine: it drains the
+// socket, runs the reliability protocol, and — on its read-deadline tick —
+// retransmits timed-out packets and re-advertises credits.
+func (p *Provider) reader() {
+	defer p.wg.Done()
+	tick := p.rto / 2
+	if tick < 500*time.Microsecond {
+		tick = 500 * time.Microsecond
+	}
+	buf := make([]byte, 64<<10)
+	lastKeep := time.Now()
+	for {
+		p.conn.SetReadDeadline(time.Now().Add(tick))
+		n, _, err := p.conn.ReadFrom(buf)
+		if err != nil {
+			if p.closed.Load() {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				p.housekeep()
+				lastKeep = time.Now()
+				continue
+			}
+			// Transient socket error (e.g. ICMP bounce): keep serving,
+			// but never spin on a persistently failing socket.
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		p.handleDatagram(buf[:n])
+		if time.Since(lastKeep) >= tick {
+			p.housekeep()
+			lastKeep = time.Now()
+		} else {
+			p.flushAcks()
+		}
+	}
+}
+
+func (p *Provider) handleDatagram(b []byte) {
+	if len(b) < 4 || b[0] != magicByte || b[1] != wireVersion {
+		p.dropped.Add(1)
+		return
+	}
+	switch b[2] {
+	case pktData:
+		d, ok := decodeData(b)
+		if !ok || d.src < 0 || d.src >= p.size || d.src == p.rank ||
+			int(d.msgLen) > p.eagerLimit {
+			p.dropped.Add(1)
+			return
+		}
+		p.onData(p.flows[d.src], &d)
+	case pktAck:
+		src, cum, credit, ok := decodeAck(b)
+		if !ok || src < 0 || src >= p.size || src == p.rank {
+			p.dropped.Add(1)
+			return
+		}
+		p.onAck(p.flows[src], cum, credit)
+	default:
+		p.dropped.Add(1)
+	}
+}
+
+// onData runs the receive side of the sliding window: in-order packets are
+// applied immediately (with any unblocked early arrivals), early packets are
+// buffered, stale ones dropped. Every data arrival schedules an ack.
+func (p *Provider) onData(fl *flow, d *dataPkt) {
+	defer fl.ackDue.Store(true)
+	delta := d.seq - fl.nextRecv // serial arithmetic: wrap-safe
+	switch {
+	case int32(delta) < 0: // stale duplicate: re-ack so the sender advances
+		p.dropped.Add(1)
+		return
+	case delta > 0: // early: buffer within the window
+		if _, dup := fl.ooo[d.seq]; dup || delta > p.window {
+			p.dropped.Add(1)
+			return
+		}
+		fl.ooo[d.seq] = d.clone()
+		return
+	}
+	p.apply(fl, d)
+	fl.nextRecv++
+	for {
+		nd, ok := fl.ooo[fl.nextRecv]
+		if !ok {
+			return
+		}
+		delete(fl.ooo, fl.nextRecv)
+		p.apply(fl, nd)
+		fl.nextRecv++
+	}
+}
+
+// apply reassembles one in-order fragment; a completed message becomes a
+// pooled frame on the delivery ring. Ring capacity is guaranteed by the
+// credit quota (delivered − consumed ≤ credits per flow).
+func (p *Provider) apply(fl *flow, d *dataPkt) {
+	if d.fragOff == 0 {
+		fr := p.getFrame()
+		fr.Kind = fabric.KindSend
+		fr.Src = fl.peer
+		fr.Header = d.header
+		fr.Meta = d.meta
+		if d.msgLen > 0 {
+			fr.Data = fr.Buffer()[:d.msgLen]
+		} else {
+			fr.Data = nil
+		}
+		fl.asm = fr
+		fl.asmLen = int(d.msgLen)
+		fl.asmGot = 0
+	}
+	if fl.asm == nil {
+		p.dropped.Add(1) // mid-message fragment with no head: protocol bug guard
+		return
+	}
+	copy(fl.asm.Data[d.fragOff:], d.chunk)
+	fl.asmGot += len(d.chunk)
+	if fl.asmGot >= fl.asmLen {
+		if !p.ring.Enqueue(fl.asm) {
+			panic("netfabric: delivery ring overflow (credit accounting bug)")
+		}
+		fl.asm = nil
+		fl.delivered++
+	}
+}
+
+// onAck runs the send side: retire acked packets, slide the window, and
+// raise the credit limit (monotonic, so reordered acks are harmless).
+func (p *Provider) onAck(fl *flow, cum uint32, credit uint64) {
+	fl.mu.Lock()
+	// Unsigned delta rejects stale (cum behind base) and corrupt (beyond
+	// the window) cumulative acks in one comparison.
+	if delta := cum - fl.baseSeq; delta > 0 && delta <= p.window {
+		for seq := fl.baseSeq; seq != cum; seq++ {
+			if tx, ok := fl.unacked[seq]; ok {
+				delete(fl.unacked, seq)
+				p.txBufs.Put(tx.data[:cap(tx.data)])
+			}
+		}
+		fl.baseSeq = cum
+	}
+	if credit > fl.creditLimit {
+		fl.creditLimit = credit
+	}
+	fl.mu.Unlock()
+}
+
+// housekeep retransmits timed-out packets (bounded burst, exponential
+// backoff) and flushes pending acks, including pure credit refreshes after
+// consumers released frames.
+func (p *Provider) housekeep() {
+	now := time.Now()
+	budget := 64
+	for _, fl := range p.flows {
+		if budget == 0 {
+			break
+		}
+		if fl == nil {
+			continue
+		}
+		fl.mu.Lock()
+		for _, tx := range fl.unacked {
+			timeout := p.rto << uint(tx.attempts)
+			if timeout > p.maxRTO {
+				timeout = p.maxRTO
+			}
+			if now.Sub(tx.lastTx) < timeout {
+				continue
+			}
+			if tx.attempts < 16 {
+				tx.attempts++
+			}
+			tx.lastTx = now
+			p.retransmits.Add(1)
+			p.xmit(fl.peer, tx.data)
+			if budget--; budget == 0 {
+				break
+			}
+		}
+		fl.mu.Unlock()
+	}
+	// A reorder-held datagram must not outlive the hold window when traffic
+	// goes quiet.
+	if p.fault != nil {
+		if held, dst := p.fault.take(); held != nil {
+			p.conn.WriteTo(held, dst)
+		}
+	}
+	p.flushAcks()
+}
+
+// flushAcks sends one ack/credit datagram to every peer flagged ackDue.
+// Called only from the reader goroutine (nextRecv is reader-owned).
+func (p *Provider) flushAcks() {
+	var buf [ackPktLen]byte
+	for _, fl := range p.flows {
+		if fl == nil || !fl.ackDue.Swap(false) {
+			continue
+		}
+		credit := fl.consumed.Load() + uint64(p.credits)
+		n := encodeAck(buf[:], p.rank, fl.nextRecv, credit)
+		p.xmit(fl.peer, buf[:n])
+		p.acksSent.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the provider's counters in the fabric's
+// schema, transport counters included.
+func (p *Provider) Stats() fabric.Stats {
+	return fabric.Stats{
+		SendFrames:     p.sendFrames.Load(),
+		SendBytes:      p.sendBytes.Load(),
+		Polls:          p.polls.Load(),
+		PollHits:       p.pollHits.Load(),
+		SendRetries:    p.sendRetries.Load(),
+		FramesRecycled: p.framesRecycled.Load(),
+		BatchPolls:     p.batchPolls.Load(),
+		Retransmits:    p.retransmits.Load(),
+		PacketsDropped: p.dropped.Load(),
+		AcksSent:       p.acksSent.Load(),
+		CreditStalls:   p.creditStalls.Load(),
+	}
+}
+
+// ---- environment wiring (SPMD launcher) ----
+
+// Env variable names used between cmd/lci-launch and worker processes.
+const (
+	EnvRank  = "LCI_RANK"
+	EnvSize  = "LCI_SIZE"
+	EnvAddrs = "LCI_ADDRS"
+	EnvFD    = "LCI_FD" // inherited pre-bound UDP socket file descriptor
+	EnvLoss  = "LCI_LOSS"
+	EnvDup   = "LCI_DUP"
+	EnvReord = "LCI_REORDER"
+	EnvSeed  = "LCI_FAULT_SEED"
+)
+
+// InEnv reports whether the process was spawned by the SPMD launcher.
+func InEnv() bool { return os.Getenv(EnvRank) != "" }
+
+// FromEnv builds the provider for a launcher-spawned worker process: rank,
+// peer addresses, the inherited socket and fault-injection rates all come
+// from the environment.
+func FromEnv() (*Provider, error) {
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return nil, fmt.Errorf("netfabric: bad %s: %w", EnvRank, err)
+	}
+	addrs := strings.Split(os.Getenv(EnvAddrs), ",")
+	if sz := os.Getenv(EnvSize); sz != "" {
+		n, err := strconv.Atoi(sz)
+		if err != nil || n != len(addrs) {
+			return nil, fmt.Errorf("netfabric: %s=%q disagrees with %d addresses", EnvSize, sz, len(addrs))
+		}
+	}
+	cfg := Config{Rank: rank, Addrs: addrs}
+	cfg.Fault.Loss = envFloat(EnvLoss)
+	cfg.Fault.Dup = envFloat(EnvDup)
+	cfg.Fault.Reorder = envFloat(EnvReord)
+	if s := os.Getenv(EnvSeed); s != "" {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("netfabric: bad %s: %w", EnvSeed, err)
+		}
+		cfg.Fault.Seed = seed
+	}
+	if fdStr := os.Getenv(EnvFD); fdStr != "" {
+		fd, err := strconv.Atoi(fdStr)
+		if err != nil {
+			return nil, fmt.Errorf("netfabric: bad %s: %w", EnvFD, err)
+		}
+		f := os.NewFile(uintptr(fd), "lci-udp")
+		pc, err := net.FilePacketConn(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("netfabric: inherited socket: %w", err)
+		}
+		cfg.Conn = pc
+	}
+	return New(cfg)
+}
+
+func envFloat(name string) float64 {
+	s := os.Getenv(name)
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,33 @@
+package netfabric
+
+import (
+	"testing"
+	"time"
+
+	"lcigraph/internal/fabric"
+)
+
+// TestQuietLinkNoRetransmit: with a prompt consumer and no injected faults,
+// the retransmit timer must stay silent — spurious retransmits on a clean
+// link would mean the ack path or the timer arithmetic is broken.
+func TestQuietLinkNoRetransmit(t *testing.T) {
+	a, b := pair(t, Config{})
+	for i := 0; i < 500; i++ {
+		sendRetry(t, a, b, 1, uint64(i), 0, pattern(i, 200), func(f *fabric.Frame) { f.Release() })
+		if f := b.Poll(); f != nil {
+			f.Release()
+		}
+	}
+	// Drain the tail and give the final acks a few RTOs to land.
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if f := b.Poll(); f != nil {
+			f.Release()
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if r := a.Stats().Retransmits; r > 10 {
+		t.Fatalf("quiet link produced %d retransmits", r)
+	}
+}

@@ -1,0 +1,116 @@
+package netfabric
+
+import "encoding/binary"
+
+// Datagram layout (little-endian). Every packet starts with a 4-byte common
+// header:
+//
+//	byte 0  magic (0xA7)
+//	byte 1  wire version
+//	byte 2  packet type (pktData | pktAck)
+//	byte 3  flags (reserved)
+//
+// DATA packets carry one MTU-sized fragment of one logical message. Each
+// fragment is self-describing (it repeats the message's header/meta words
+// and total length) so reassembly needs no per-message handshake: fragments
+// of a message occupy consecutive sequence numbers of the flow and are
+// applied in order by the sliding-window receiver.
+//
+//	src u32 | seq u32 | fragOff u32 | msgLen u32 | header u64 | meta u64 | chunk
+//
+// ACK packets carry the flow's cumulative ack (next expected sequence
+// number) and the receiver-advertised credit: the absolute count of
+// messages the peer may have sent, i.e. consumed + credit window. Credits
+// are what replaces the simulator's bounded receive ring — a sender out of
+// credit gets fabric.ErrResource, the same retriable back-pressure.
+//
+//	src u32 | cumAck u32 | credit u64
+const (
+	magicByte   = 0xA7
+	wireVersion = 1
+
+	pktData = 1
+	pktAck  = 2
+
+	dataHdrLen = 4 + 4 + 4 + 4 + 4 + 8 + 8
+	ackPktLen  = 4 + 4 + 4 + 8
+)
+
+// dataPkt is one decoded DATA datagram.
+type dataPkt struct {
+	src     int
+	seq     uint32
+	fragOff uint32
+	msgLen  uint32
+	header  uint64
+	meta    uint64
+	chunk   []byte // aliases the read buffer; clone before retaining
+}
+
+// clone deep-copies a packet so it can outlive the read buffer (out-of-order
+// buffering).
+func (d *dataPkt) clone() *dataPkt {
+	c := *d
+	c.chunk = append([]byte(nil), d.chunk...)
+	return &c
+}
+
+func putCommon(b []byte, typ byte) {
+	b[0] = magicByte
+	b[1] = wireVersion
+	b[2] = typ
+	b[3] = 0
+}
+
+// encodeData writes a DATA packet into b and returns its length.
+func encodeData(b []byte, src int, seq, fragOff, msgLen uint32, header, meta uint64, chunk []byte) int {
+	putCommon(b, pktData)
+	binary.LittleEndian.PutUint32(b[4:], uint32(src))
+	binary.LittleEndian.PutUint32(b[8:], seq)
+	binary.LittleEndian.PutUint32(b[12:], fragOff)
+	binary.LittleEndian.PutUint32(b[16:], msgLen)
+	binary.LittleEndian.PutUint64(b[20:], header)
+	binary.LittleEndian.PutUint64(b[28:], meta)
+	copy(b[dataHdrLen:], chunk)
+	return dataHdrLen + len(chunk)
+}
+
+// encodeAck writes an ACK packet into b and returns its length.
+func encodeAck(b []byte, src int, cumAck uint32, credit uint64) int {
+	putCommon(b, pktAck)
+	binary.LittleEndian.PutUint32(b[4:], uint32(src))
+	binary.LittleEndian.PutUint32(b[8:], cumAck)
+	binary.LittleEndian.PutUint64(b[12:], credit)
+	return ackPktLen
+}
+
+// decodeData parses a DATA packet (after common-header validation).
+func decodeData(b []byte) (dataPkt, bool) {
+	if len(b) < dataHdrLen {
+		return dataPkt{}, false
+	}
+	d := dataPkt{
+		src:     int(binary.LittleEndian.Uint32(b[4:])),
+		seq:     binary.LittleEndian.Uint32(b[8:]),
+		fragOff: binary.LittleEndian.Uint32(b[12:]),
+		msgLen:  binary.LittleEndian.Uint32(b[16:]),
+		header:  binary.LittleEndian.Uint64(b[20:]),
+		meta:    binary.LittleEndian.Uint64(b[28:]),
+		chunk:   b[dataHdrLen:],
+	}
+	if int(d.fragOff)+len(d.chunk) > int(d.msgLen) {
+		return dataPkt{}, false
+	}
+	return d, true
+}
+
+// decodeAck parses an ACK packet.
+func decodeAck(b []byte) (src int, cumAck uint32, credit uint64, ok bool) {
+	if len(b) < ackPktLen {
+		return 0, 0, 0, false
+	}
+	return int(binary.LittleEndian.Uint32(b[4:])),
+		binary.LittleEndian.Uint32(b[8:]),
+		binary.LittleEndian.Uint64(b[12:]),
+		true
+}
