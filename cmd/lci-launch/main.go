@@ -102,10 +102,21 @@ func parent(o *options) int {
 	addrList := strings.Join(addrs, ",")
 
 	cmds := make([]*exec.Cmd, o.n)
+	// A mid-loop failure must not leave earlier ranks orphaned: they would
+	// block forever in Exchange waiting for peers that will never exist.
+	killStarted := func() {
+		for _, cmd := range cmds {
+			if cmd != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+	}
 	for i := range cmds {
 		f, err := conns[i].File()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lci-launch: dup socket rank %d: %v\n", i, err)
+			killStarted()
 			return 2
 		}
 		cmd := exec.Command(exe, os.Args[1:]...)
@@ -124,6 +135,8 @@ func parent(o *options) int {
 		)
 		if err := cmd.Start(); err != nil {
 			fmt.Fprintf(os.Stderr, "lci-launch: start rank %d: %v\n", i, err)
+			f.Close()
+			killStarted()
 			return 2
 		}
 		f.Close()

@@ -217,6 +217,24 @@ func TestFusedSyncMatchesExchange(t *testing.T) {
 	}
 }
 
+// TestFieldTagAllocatorReserved: allocating fields past the reserved
+// cluster.CollectiveTag must panic instead of silently colliding with the
+// out-of-process collective traffic.
+func TestFieldTagAllocatorReserved(t *testing.T) {
+	g := graph.Ring(8)
+	runCluster(g, 1, func(rt *Runtime) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("allocating field tags past CollectiveTag did not panic")
+			}
+		}()
+		for i := 0; i <= int(cluster.CollectiveTag); i++ {
+			rt.NewField(0, minU64)
+		}
+		t.Errorf("no panic after %d fields", int(cluster.CollectiveTag)+1)
+	})
+}
+
 // TestUpdatedOnlyTraffic: an idle round ships (nearly) nothing.
 func TestUpdatedOnlyTraffic(t *testing.T) {
 	g := graph.Complete(16)

@@ -2,11 +2,13 @@ package abelian
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math/bits"
 	"sync/atomic"
 	"time"
 
 	"lcigraph/internal/bitset"
+	"lcigraph/internal/cluster"
 )
 
 // Field is one distributed vertex label: a uint64 slot per local proxy
@@ -49,6 +51,12 @@ func (rt *Runtime) NewField(identity uint64, reduce func(a, b uint64) uint64) *F
 		reduce:    reduce,
 		tagReduce: rt.nextTag,
 		tagBcast:  rt.nextTag + 1,
+	}
+	// cluster.CollectiveTag is reserved for out-of-process Barrier/Allreduce
+	// traffic; a field tag reaching it would silently corrupt collectives.
+	if f.tagBcast >= cluster.CollectiveTag {
+		panic(fmt.Sprintf("abelian: field tags %d/%d reach the reserved cluster.CollectiveTag %d (too many fields on one runtime)",
+			f.tagReduce, f.tagBcast, cluster.CollectiveTag))
 	}
 	rt.nextTag += 2
 	if identity != 0 {

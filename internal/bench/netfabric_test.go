@@ -28,6 +28,9 @@ func TestUDPTransportAbelian(t *testing.T) {
 func TestUDPTransportLossy(t *testing.T) {
 	g := graph.Named("web", 7, 3)
 	fault := netfabric.Fault{Loss: 0.05, Dup: 0.02, Reorder: 0.02, Seed: 99}
+	// Counters are asserted over both apps together: BFS alone coalesces to
+	// so few datagrams that a 5% injector occasionally drops none of them.
+	var retransmits, drops int64
 	for _, app := range []string{"bfs", "pagerank"} {
 		cfg := Config{App: app, Layer: LCI, Hosts: 4, Threads: 2,
 			Transport: "udp", Fault: fault, Source: 1, PRIters: 5}
@@ -35,12 +38,14 @@ func TestUDPTransportLossy(t *testing.T) {
 		if err := Verify(g, res); err != nil {
 			t.Fatalf("%s over lossy udp: %v", app, err)
 		}
-		if res.Net.Retransmits == 0 {
-			t.Fatalf("%s: 5%% injected loss produced zero retransmits", app)
-		}
-		if res.Net.Drops == 0 {
-			t.Fatalf("%s: fault injection counted zero drops", app)
-		}
+		retransmits += res.Net.Retransmits
+		drops += res.Net.Drops
+	}
+	if retransmits == 0 {
+		t.Fatal("5% injected loss produced zero retransmits")
+	}
+	if drops == 0 {
+		t.Fatal("fault injection counted zero drops")
 	}
 }
 
@@ -62,12 +67,15 @@ func TestUDPTransportMPI(t *testing.T) {
 }
 
 // TestNetfabricReport exercises the committed benchmark end to end at a
-// small size.
+// small size. The lossy variant needs enough datagrams that the 5%
+// injector dropping none of them is statistically impossible (at 4 msgs ×
+// 2 epochs the no-drop probability was ~44% and the retransmit assertion
+// flaked).
 func TestNetfabricReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	r, err := Netfabric(2, 4, 64, 2)
+	r, err := Netfabric(2, 64, 64, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

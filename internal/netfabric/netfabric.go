@@ -55,8 +55,12 @@ type Config struct {
 	Credits    int           // max delivered-but-unreleased messages per peer (default 128)
 	RTO        time.Duration // initial retransmit timeout (default 5ms)
 	MaxRTO     time.Duration // retransmit backoff cap (default 50ms)
-	MaxRegions int           // local region table size (default 128)
-	Fault      Fault         // outgoing-datagram fault injection
+	// DrainTimeout bounds how long Close keeps the socket (and retransmit
+	// timer) alive waiting for every in-flight packet to be acked, so a
+	// lossy wire cannot swallow the job's final messages (default 1s).
+	DrainTimeout time.Duration
+	MaxRegions   int   // local region table size (default 128)
+	Fault        Fault // outgoing-datagram fault injection
 }
 
 func (c *Config) fill() error {
@@ -84,6 +88,9 @@ func (c *Config) fill() error {
 	if c.MaxRTO <= 0 {
 		c.MaxRTO = 50 * time.Millisecond
 	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = time.Second
+	}
 	if c.MaxRegions <= 0 {
 		c.MaxRegions = 128
 	}
@@ -101,6 +108,7 @@ type Provider struct {
 	window      uint32
 	credits     int
 	rto, maxRTO time.Duration
+	drainTO     time.Duration
 
 	conn  net.PacketConn
 	peers []net.Addr
@@ -155,6 +163,7 @@ func New(cfg Config) (*Provider, error) {
 		credits:    cfg.Credits,
 		rto:        cfg.RTO,
 		maxRTO:     cfg.MaxRTO,
+		drainTO:    cfg.DrainTimeout,
 		conn:       cfg.Conn,
 		maxRegs:    cfg.MaxRegions,
 	}
@@ -193,15 +202,52 @@ func New(cfg Config) (*Provider, error) {
 // Addr returns the provider's bound socket address.
 func (p *Provider) Addr() net.Addr { return p.conn.LocalAddr() }
 
-// Close stops the reader and closes the socket. The upper layers must be
-// stopped first (a Send on a closed provider is a hard error).
+// Close drains in-flight packets, then stops the reader and closes the
+// socket. The upper layers must be stopped first (a Send on a closed
+// provider is a hard error).
+//
+// The drain is what makes teardown safe on a lossy wire: a rank that
+// completes the job's final collective may reach Close within microseconds,
+// long before the first RTO, so without it a dropped last datagram would
+// never be retransmitted and the peer would block forever waiting for this
+// rank's contribution. Close therefore keeps the socket and the reader's
+// retransmit/ack machinery alive until every flow's unacked window is
+// empty, bounded by DrainTimeout (a vanished peer must not wedge teardown).
 func (p *Provider) Close() error {
 	if !p.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	p.drain()
 	err := p.conn.Close()
 	p.wg.Wait()
 	return err
+}
+
+// drain blocks until no flow holds an unacked packet or the drain timeout
+// expires. The reader goroutine is still running (the socket is open), so
+// retransmit timers, incoming acks and outgoing ack/credit refreshes all
+// keep making progress while we wait.
+func (p *Provider) drain() {
+	deadline := time.Now().Add(p.drainTO)
+	for {
+		pending := false
+		for _, fl := range p.flows {
+			if fl == nil {
+				continue
+			}
+			fl.mu.Lock()
+			n := len(fl.unacked)
+			fl.mu.Unlock()
+			if n > 0 {
+				pending = true
+				break
+			}
+		}
+		if !pending || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
 }
 
 // ---- fabric.Provider identity ----
@@ -442,14 +488,17 @@ func (p *Provider) reader() {
 		p.conn.SetReadDeadline(time.Now().Add(tick))
 		n, _, err := p.conn.ReadFrom(buf)
 		if err != nil {
-			if p.closed.Load() {
-				return
-			}
+			// Timeouts are the housekeeping tick and must keep firing while
+			// Close drains unacked packets (closed is already set then), so
+			// only a non-timeout error on a closed provider ends the loop.
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				p.housekeep()
 				lastKeep = time.Now()
 				continue
+			}
+			if p.closed.Load() {
+				return
 			}
 			// Transient socket error (e.g. ICMP bounce): keep serving,
 			// but never spin on a persistently failing socket.
@@ -544,6 +593,14 @@ func (p *Provider) apply(fl *flow, d *dataPkt) {
 	}
 	if fl.asm == nil {
 		p.dropped.Add(1) // mid-message fragment with no head: protocol bug guard
+		return
+	}
+	// decodeData only checked the packet against its *own* msgLen field; the
+	// assembly buffer was sized by the head fragment's. A corrupted or
+	// spoofed in-window datagram disagreeing with the head must be dropped,
+	// not allowed to index past the buffer.
+	if int(d.msgLen) != fl.asmLen || int(d.fragOff)+len(d.chunk) > len(fl.asm.Data) {
+		p.dropped.Add(1)
 		return
 	}
 	copy(fl.asm.Data[d.fragOff:], d.chunk)

@@ -3,6 +3,7 @@ package netfabric
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"runtime"
 	"testing"
 	"time"
@@ -226,6 +227,76 @@ func TestLossDupReorderRecovery(t *testing.T) {
 	}
 	t.Logf("retransmits=%d dropped=%d acksSent=%d creditStalls=%d",
 		st.Retransmits, st.PacketsDropped, st.AcksSent, st.CreditStalls)
+}
+
+// TestCloseDrainsUnacked: a sender that closes immediately after its last
+// sends (the shape of a rank finishing the job's final collective) must not
+// strand dropped datagrams — Close keeps the retransmit machinery alive
+// until every packet is acked, so the receiver still gets everything.
+func TestCloseDrainsUnacked(t *testing.T) {
+	a, b := pair(t, Config{
+		RTO:   time.Millisecond,
+		Fault: Fault{Loss: 0.3, Seed: 7},
+	})
+	const n = 50
+	for i := 0; i < n; i++ {
+		sendRetry(t, a, b, 1, uint64(i), 0, pattern(i, 64), func(f *fabric.Frame) { f.Release() })
+	}
+	a.Close() // must block until the window is empty, not race the wire
+	for _, fl := range a.flows {
+		if fl == nil {
+			continue
+		}
+		fl.mu.Lock()
+		left := len(fl.unacked)
+		fl.mu.Unlock()
+		if left > 0 {
+			t.Errorf("peer %d: Close returned with %d unacked packets", fl.peer, left)
+		}
+	}
+	// Everything the closed sender injected must be deliverable with no
+	// further help from it.
+	for i := 0; i < n; i++ {
+		f := pollOne(t, b, 5*time.Second)
+		if f.Header != uint64(i) {
+			t.Fatalf("msg %d: header %d", i, f.Header)
+		}
+		f.Release()
+	}
+}
+
+// TestCorruptFragmentDropped: a spoofed in-window datagram whose fragOff
+// disagrees with the head fragment that sized the assembly buffer must be
+// counted as dropped, not crash the reader with a slice panic.
+func TestCorruptFragmentDropped(t *testing.T) {
+	_, b := pair(t, Config{})
+	raw, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	buf := make([]byte, 2048)
+	// Head fragment of a 2000-byte message claiming to come from rank 0.
+	n := encodeData(buf, 0, 0, 0, 2000, 1, 2, make([]byte, 1364))
+	if _, err := raw.WriteTo(buf[:n], b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Second fragment is self-consistent (passes decodeData) but indexes
+	// far past the head's 2000-byte assembly buffer.
+	n = encodeData(buf, 0, 1, 5000, 8192, 1, 2, make([]byte, 100))
+	if _, err := raw.WriteTo(buf[:n], b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().PacketsDropped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("corrupt fragment never counted as dropped")
+		}
+		runtime.Gosched()
+	}
+	if f := b.Poll(); f != nil {
+		t.Fatalf("corrupt message was delivered: header=%d len=%d", f.Header, len(f.Data))
+	}
 }
 
 func TestFrameConservation(t *testing.T) {
