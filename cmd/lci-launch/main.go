@@ -26,6 +26,7 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 
 	"lcigraph/internal/abelian"
 	"lcigraph/internal/apps"
@@ -203,9 +204,10 @@ func child(o *options) int {
 	st := prov.Stats()
 	if o.verbose || st.Retransmits > 0 || st.CreditStalls > 0 {
 		fmt.Fprintf(os.Stderr,
-			"[rank %d] frames=%d bytes=%d retransmits=%d dropped=%d acks=%d creditStalls=%d\n",
+			"[rank %d] frames=%d bytes=%d retransmits=%d dropped=%d acks=%d pgyAcks=%d batches=%d/%d creditStalls=%d sockErrs=%d srtt=%s\n",
 			rank, st.SendFrames, st.SendBytes, st.Retransmits, st.PacketsDropped,
-			st.AcksSent, st.CreditStalls)
+			st.AcksSent, st.PiggybackAcks, st.SendBatches, st.RecvBatches,
+			st.CreditStalls, st.SockErrors, time.Duration(st.RTTNanos))
 	}
 	prov.Close()
 	if failed {

@@ -23,11 +23,26 @@ type NetfabricVariant struct {
 	Messages  int     `json:"messages"`
 	NsPerMsg  float64 `json:"ns_per_msg"`
 
-	Retransmits  int64 `json:"retransmits"`
-	Drops        int64 `json:"drops"`
-	Acks         int64 `json:"acks"`
-	CreditStalls int64 `json:"credit_stalls"`
-	SendRetries  int64 `json:"send_retries"`
+	Retransmits   int64 `json:"retransmits"`
+	Drops         int64 `json:"drops"`
+	Acks          int64 `json:"acks"`
+	CreditStalls  int64 `json:"credit_stalls"`
+	SendRetries   int64 `json:"send_retries"`
+	SendBatches   int64 `json:"send_batches"`
+	RecvBatches   int64 `json:"recv_batches"`
+	PiggybackAcks int64 `json:"piggyback_acks"`
+	DelayedAcks   int64 `json:"delayed_acks"`
+}
+
+// NetfabricSweepPoint is one message size of the sim-vs-UDP sweep: the gap
+// is widest for tiny messages (per-datagram overhead dominates) and closes
+// as payload grows, which is what the sweep documents.
+type NetfabricSweepPoint struct {
+	MsgSize  int     `json:"msg_size"`
+	PerPeer  int     `json:"per_peer"`
+	SimNs    float64 `json:"sim_ns_per_msg"`
+	UDPNs    float64 `json:"udp_ns_per_msg"`
+	Slowdown float64 `json:"slowdown"`
 }
 
 // NetfabricReport is the in-process vs real-network comparison committed
@@ -45,6 +60,16 @@ type NetfabricReport struct {
 
 	UDPSlowdown  float64 `json:"udp_slowdown"`  // UDP ns/msg over sim ns/msg
 	LossOverhead float64 `json:"loss_overhead"` // lossy ns/msg over clean UDP
+
+	// Sweep compares sim vs clean UDP across message sizes (eager tiny,
+	// eager large, rendezvous).
+	Sweep []NetfabricSweepPoint `json:"sweep"`
+
+	// Ablations re-run the clean-UDP 64B exchange with one hot-path
+	// optimization disabled each, quantifying its contribution: no-batch
+	// (one syscall per datagram), no-piggyback (every ack is a standalone
+	// datagram), fixed-rto (no RTT adaptation).
+	Ablations []NetfabricVariant `json:"ablations"`
 }
 
 // runNetfabricEpochs drives the fused all-to-all exchange over prebuilt
@@ -92,6 +117,10 @@ func fillVariant(v *NetfabricVariant, hosts, perPeer, epochs int, wall time.Dura
 	v.Acks = net.Acks
 	v.CreditStalls = net.CreditStalls
 	v.SendRetries = net.SendRetries
+	v.SendBatches = net.SendBatches
+	v.RecvBatches = net.RecvBatches
+	v.PiggybackAcks = net.PiggybackAcks
+	v.DelayedAcks = net.DelayedAcks
 }
 
 func netfabricVariantSim(hosts, perPeer, size, epochs int) NetfabricVariant {
@@ -109,8 +138,8 @@ func netfabricVariantSim(hosts, perPeer, size, epochs int) NetfabricVariant {
 	return v
 }
 
-func netfabricVariantUDP(name string, hosts, perPeer, size, epochs int, f netfabric.Fault) (NetfabricVariant, error) {
-	provs, err := netfabric.NewLoopbackGroup(hosts, netfabric.Config{Fault: f})
+func netfabricVariantUDP(name string, hosts, perPeer, size, epochs int, cfg netfabric.Config) (NetfabricVariant, error) {
+	provs, err := netfabric.NewLoopbackGroup(hosts, cfg)
 	if err != nil {
 		return NetfabricVariant{}, err
 	}
@@ -127,7 +156,7 @@ func netfabricVariantUDP(name string, hosts, perPeer, size, epochs int, f netfab
 		net.add(p.Stats())
 	}
 	netfabric.CloseGroup(provs)
-	v := NetfabricVariant{Name: name, Transport: "udp", Loss: f.Loss}
+	v := NetfabricVariant{Name: name, Transport: "udp", Loss: cfg.Fault.Loss}
 	fillVariant(&v, hosts, perPeer, epochs, wall, net)
 	return v, nil
 }
@@ -151,11 +180,11 @@ func Netfabric(hosts, perPeer, size, epochs int) (NetfabricReport, error) {
 	r := NetfabricReport{Hosts: hosts, PerPeer: perPeer, MsgSize: size, Epochs: epochs}
 	r.Sim = netfabricVariantSim(hosts, perPeer, size, epochs)
 	var err error
-	if r.UDP, err = netfabricVariantUDP("udp", hosts, perPeer, size, epochs, netfabric.Fault{}); err != nil {
+	if r.UDP, err = netfabricVariantUDP("udp", hosts, perPeer, size, epochs, netfabric.Config{}); err != nil {
 		return r, err
 	}
 	lossy := netfabric.Fault{Loss: 0.05, Dup: 0.02, Reorder: 0.02, Seed: 7}
-	if r.UDPLossy, err = netfabricVariantUDP("udp+5%loss", hosts, perPeer, size, epochs, lossy); err != nil {
+	if r.UDPLossy, err = netfabricVariantUDP("udp+5%loss", hosts, perPeer, size, epochs, netfabric.Config{Fault: lossy}); err != nil {
 		return r, err
 	}
 	if r.Sim.NsPerMsg > 0 {
@@ -163,6 +192,40 @@ func Netfabric(hosts, perPeer, size, epochs int) (NetfabricReport, error) {
 	}
 	if r.UDP.NsPerMsg > 0 {
 		r.LossOverhead = r.UDPLossy.NsPerMsg / r.UDP.NsPerMsg
+	}
+
+	// Message-size sweep: the per-datagram costs the hot path amortizes
+	// matter most at 64B; 4KiB is still eager but payload-dominated; 64KiB
+	// takes the rendezvous fragmented-send path end to end.
+	for _, pt := range []struct{ size, perPeer int }{
+		{64, perPeer}, {4 << 10, (perPeer + 3) / 4}, {64 << 10, (perPeer + 15) / 16},
+	} {
+		sim := netfabricVariantSim(hosts, pt.perPeer, pt.size, epochs)
+		udp, err := netfabricVariantUDP("udp", hosts, pt.perPeer, pt.size, epochs, netfabric.Config{})
+		if err != nil {
+			return r, err
+		}
+		sp := NetfabricSweepPoint{MsgSize: pt.size, PerPeer: pt.perPeer, SimNs: sim.NsPerMsg, UDPNs: udp.NsPerMsg}
+		if sp.SimNs > 0 {
+			sp.Slowdown = sp.UDPNs / sp.SimNs
+		}
+		r.Sweep = append(r.Sweep, sp)
+	}
+
+	// Ablations: the clean 64B exchange with one optimization off each.
+	for _, ab := range []struct {
+		name string
+		cfg  netfabric.Config
+	}{
+		{"no-batch", netfabric.Config{DisableBatchIO: true}},
+		{"no-piggyback", netfabric.Config{DisablePiggyback: true}},
+		{"fixed-rto", netfabric.Config{FixedRTO: true}},
+	} {
+		v, err := netfabricVariantUDP(ab.name, hosts, perPeer, size, epochs, ab.cfg)
+		if err != nil {
+			return r, err
+		}
+		r.Ablations = append(r.Ablations, v)
 	}
 	return r, nil
 }
@@ -172,14 +235,21 @@ func (r NetfabricReport) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Netfabric: %d hosts, %d x %dB msgs/peer/epoch, %d epochs (%d msgs/variant)\n",
 		r.Hosts, r.PerPeer, r.MsgSize, r.Epochs, r.Sim.Messages)
-	fmt.Fprintf(&b, "%-12s %10s %12s %8s %8s %8s %8s\n",
-		"variant", "ns/msg", "retransmits", "drops", "acks", "stalls", "retries")
-	for _, v := range []NetfabricVariant{r.Sim, r.UDP, r.UDPLossy} {
-		fmt.Fprintf(&b, "%-12s %10.0f %12d %8d %8d %8d %8d\n",
-			v.Name, v.NsPerMsg, v.Retransmits, v.Drops, v.Acks, v.CreditStalls, v.SendRetries)
+	fmt.Fprintf(&b, "%-13s %10s %12s %8s %8s %9s %9s %8s\n",
+		"variant", "ns/msg", "retransmits", "drops", "acks", "pgyacks", "batches", "retries")
+	vs := []NetfabricVariant{r.Sim, r.UDP, r.UDPLossy}
+	vs = append(vs, r.Ablations...)
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%-13s %10.0f %12d %8d %8d %9d %9d %8d\n",
+			v.Name, v.NsPerMsg, v.Retransmits, v.Drops, v.Acks, v.PiggybackAcks,
+			v.SendBatches+v.RecvBatches, v.SendRetries)
 	}
 	fmt.Fprintf(&b, "udp slowdown over sim: %.1fx; 5%% loss overhead over clean udp: %.1fx\n",
 		r.UDPSlowdown, r.LossOverhead)
+	for _, sp := range r.Sweep {
+		fmt.Fprintf(&b, "sweep %6dB x%-3d sim %8.0f ns/msg  udp %8.0f ns/msg  slowdown %.1fx\n",
+			sp.MsgSize, sp.PerPeer, sp.SimNs, sp.UDPNs, sp.Slowdown)
+	}
 	return b.String()
 }
 

@@ -108,10 +108,15 @@ type NetStats struct {
 
 	// Transport counters: zero on the in-process simulator, live on the
 	// UDP provider (internal/netfabric).
-	Retransmits  int64 // datagrams retransmitted after ack timeout
-	Drops        int64 // datagrams dropped (fault injection + stale dups)
-	Acks         int64 // ack/credit datagrams sent
-	CreditStalls int64 // sends refused for lack of receiver credit
+	Retransmits   int64 // datagrams retransmitted after ack timeout
+	Drops         int64 // datagrams dropped (fault injection + stale dups)
+	Acks          int64 // standalone ack/credit datagrams sent
+	CreditStalls  int64 // sends refused for lack of receiver credit
+	SendBatches   int64 // multi-datagram sendmmsg bursts
+	RecvBatches   int64 // multi-datagram recvmmsg bursts
+	PiggybackAcks int64 // acks carried on outgoing DATA packets
+	DelayedAcks   int64 // standalone acks deferred to the delayed-ack tick
+	SockErrors    int64 // transient socket errors absorbed by readers
 }
 
 func collectNet(fab *fabric.Fabric) NetStats {
@@ -135,6 +140,11 @@ func (n *NetStats) add(st fabric.Stats) {
 	n.Drops += st.PacketsDropped
 	n.Acks += st.AcksSent
 	n.CreditStalls += st.CreditStalls
+	n.SendBatches += st.SendBatches
+	n.RecvBatches += st.RecvBatches
+	n.PiggybackAcks += st.PiggybackAcks
+	n.DelayedAcks += st.DelayedAcks
+	n.SockErrors += st.SockErrors
 }
 
 // coalesceStater is implemented by the layers and streams that pack small

@@ -226,8 +226,14 @@ type Stats struct {
 	// network is lossless and flow-controlled by the receive ring alone.
 	Retransmits    int64 // data packets resent after an ack timeout
 	PacketsDropped int64 // datagrams dropped: injected faults + stale/duplicate arrivals
-	AcksSent       int64 // ack/credit datagrams sent
+	AcksSent       int64 // standalone ack/credit datagrams sent
 	CreditStalls   int64 // sends refused because the peer advertised no credit
+	SendBatches    int64 // vectored sendmmsg bursts carrying >1 datagram
+	RecvBatches    int64 // vectored recvmmsg bursts carrying >1 datagram
+	PiggybackAcks  int64 // acks carried for free on outgoing DATA packets
+	DelayedAcks    int64 // standalone acks deferred to the delayed-ack tick
+	SockErrors     int64 // transient socket errors absorbed by the reader
+	RTTNanos       int64 // worst smoothed RTT estimate across peer flows
 }
 
 // Fabric is an in-process interconnect between n endpoints.

@@ -1,0 +1,215 @@
+//go:build linux && (amd64 || arm64)
+
+// Vectored datagram I/O: sendmmsg/recvmmsg move a burst of datagrams per
+// syscall instead of one, which is where most of the UDP provider's
+// per-message cost over the simulated fabric went (DESIGN.md §10). The
+// provider falls back to the portable one-datagram-per-syscall path when the
+// socket cannot expose a raw descriptor or the kernel rejects the calls.
+package netfabric
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// batchIOAvailable reports whether this build has a vectored I/O path at all.
+const batchIOAvailable = true
+
+// maxWireBatch bounds the datagrams passed to one sendmmsg call.
+const maxWireBatch = 32
+
+// mmsghdr mirrors struct mmsghdr on linux/{amd64,arm64}: a msghdr plus the
+// kernel-filled datagram length, padded to 8 bytes.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// errBatchUnsupported marks a kernel/socket that cannot do vectored I/O;
+// the provider downgrades to the single-syscall path permanently.
+var errBatchUnsupported = errors.New("netfabric: vectored socket I/O unsupported")
+
+// mmsgIO drives sendmmsg/recvmmsg over the provider's socket via its raw
+// descriptor. Reads are reader-goroutine-only; writes are serialized by wmu
+// (concurrent senders batch under the provider's transmit lock anyway).
+type mmsgIO struct {
+	rc   syscall.RawConn
+	rsas [][]byte // encoded sockaddr per peer rank; nil at self
+
+	rbufs [][]byte // read buffers the rhdrs are bound to
+	riovs []syscall.Iovec
+	rhdrs []mmsghdr
+
+	wmu   sync.Mutex
+	wiovs []syscall.Iovec
+	whdrs []mmsghdr
+}
+
+// newBatchIO builds the vectored I/O driver, or returns nil when conn or the
+// peer addresses cannot support it (non-UDP conn, exotic address family).
+func newBatchIO(conn net.PacketConn, peers []net.Addr) *mmsgIO {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return nil
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	m := &mmsgIO{rc: rc, rsas: make([][]byte, len(peers))}
+	for r, a := range peers {
+		if a == nil {
+			continue
+		}
+		ua, ok := a.(*net.UDPAddr)
+		if !ok {
+			return nil
+		}
+		rsa := sockaddrBytes(ua)
+		if rsa == nil {
+			return nil
+		}
+		m.rsas[r] = rsa
+	}
+	m.wiovs = make([]syscall.Iovec, maxWireBatch)
+	m.whdrs = make([]mmsghdr, maxWireBatch)
+	return m
+}
+
+// sockaddrBytes encodes a UDP address as a raw kernel sockaddr.
+func sockaddrBytes(a *net.UDPAddr) []byte {
+	if ip4 := a.IP.To4(); ip4 != nil {
+		var rsa syscall.RawSockaddrInet4
+		rsa.Family = syscall.AF_INET
+		rsa.Port = uint16(a.Port>>8) | uint16(a.Port&0xff)<<8 // network byte order
+		copy(rsa.Addr[:], ip4)
+		b := make([]byte, syscall.SizeofSockaddrInet4)
+		copy(b, (*[syscall.SizeofSockaddrInet4]byte)(unsafe.Pointer(&rsa))[:])
+		return b
+	}
+	if ip6 := a.IP.To16(); ip6 != nil {
+		var rsa syscall.RawSockaddrInet6
+		rsa.Family = syscall.AF_INET6
+		rsa.Port = uint16(a.Port>>8) | uint16(a.Port&0xff)<<8
+		copy(rsa.Addr[:], ip6)
+		b := make([]byte, syscall.SizeofSockaddrInet6)
+		copy(b, (*[syscall.SizeofSockaddrInet6]byte)(unsafe.Pointer(&rsa))[:])
+		return b
+	}
+	return nil
+}
+
+// bindRead points the receive headers at the reader's buffer set once; the
+// buffers are reused across readBatch calls.
+func (m *mmsgIO) bindRead(bufs [][]byte) {
+	m.rbufs = bufs
+	m.riovs = make([]syscall.Iovec, len(bufs))
+	m.rhdrs = make([]mmsghdr, len(bufs))
+	for i, b := range bufs {
+		m.riovs[i].Base = &b[0]
+		m.riovs[i].SetLen(len(b))
+		m.rhdrs[i].hdr.Iov = &m.riovs[i]
+		m.rhdrs[i].hdr.Iovlen = 1
+	}
+}
+
+// readBatch pulls up to len(m.rbufs) datagrams in one recvmmsg, blocking
+// until at least one arrives or the conn's read deadline expires (the error
+// then satisfies net.Error.Timeout, like ReadFrom). sizes[i] receives the
+// i-th datagram's length. Returns errBatchUnsupported when the kernel
+// refuses the syscall so the caller can downgrade.
+func (m *mmsgIO) readBatch(sizes []int) (int, error) {
+	n := 0
+	var operr error
+	err := m.rc.Read(func(fd uintptr) bool {
+		r, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&m.rhdrs[0])), uintptr(len(m.rhdrs)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		switch e {
+		case 0:
+			n = int(r)
+		case syscall.EAGAIN:
+			return false // wait for readability (respects the read deadline)
+		case syscall.EINTR:
+			return false
+		case syscall.ENOSYS, syscall.EOPNOTSUPP:
+			operr = errBatchUnsupported
+		default:
+			operr = e
+		}
+		return true
+	})
+	runtime.KeepAlive(m.rbufs)
+	if err != nil {
+		return 0, err // deadline exceeded or socket closed
+	}
+	if operr != nil {
+		return 0, operr
+	}
+	for i := 0; i < n; i++ {
+		sizes[i] = int(m.rhdrs[i].len)
+	}
+	return n, nil
+}
+
+// writeBatch sends pkts[i] to peer rank dsts[i], batching up to maxWireBatch
+// datagrams per sendmmsg. A full socket buffer waits for writability; any
+// other kernel refusal is returned so the caller can fall back to WriteTo
+// (re-sending a prefix twice is harmless — the reliability layer dedups).
+func (m *mmsgIO) writeBatch(pkts [][]byte, dsts []int) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	for off := 0; off < len(pkts); {
+		batch := len(pkts) - off
+		if batch > maxWireBatch {
+			batch = maxWireBatch
+		}
+		for i := 0; i < batch; i++ {
+			pk := pkts[off+i]
+			rsa := m.rsas[dsts[off+i]]
+			m.wiovs[i].Base = &pk[0]
+			m.wiovs[i].SetLen(len(pk))
+			h := &m.whdrs[i].hdr
+			h.Name = &rsa[0]
+			h.Namelen = uint32(len(rsa))
+			h.Iov = &m.wiovs[i]
+			h.Iovlen = 1
+			m.whdrs[i].len = 0
+		}
+		sent := 0
+		var operr error
+		err := m.rc.Write(func(fd uintptr) bool {
+			r, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&m.whdrs[0])), uintptr(batch),
+				syscall.MSG_DONTWAIT, 0, 0)
+			switch e {
+			case 0:
+				sent = int(r)
+			case syscall.EAGAIN, syscall.EINTR:
+				return false // wait for writability
+			case syscall.ENOSYS, syscall.EOPNOTSUPP:
+				operr = errBatchUnsupported
+			default:
+				operr = e
+			}
+			return true
+		})
+		runtime.KeepAlive(pkts)
+		if err != nil {
+			return err
+		}
+		if operr != nil {
+			return operr
+		}
+		if sent <= 0 {
+			return errBatchUnsupported // zero progress: do not spin here
+		}
+		off += sent
+	}
+	return nil
+}

@@ -2,7 +2,6 @@ package netfabric
 
 import (
 	"math/rand"
-	"net"
 	"sync"
 )
 
@@ -38,7 +37,7 @@ type faultInjector struct {
 	rng  *rand.Rand
 	cfg  Fault
 	held []byte
-	dst  net.Addr
+	dst  int // destination rank of the held datagram
 }
 
 func newFaultInjector(cfg Fault) *faultInjector {
@@ -65,9 +64,10 @@ func (fi *faultInjector) decide() faultAction {
 	}
 }
 
-// hold parks pkt for later release, returning any previously held datagram
-// (at most one is ever parked).
-func (fi *faultInjector) hold(pkt []byte, dst net.Addr) (prev []byte, prevDst net.Addr) {
+// hold parks a copy of pkt for later release, returning any previously held
+// datagram and its destination rank (at most one is ever parked). The copy
+// matters: the caller's buffer is recycled once the packet is acked.
+func (fi *faultInjector) hold(pkt []byte, dst int) (prev []byte, prevDst int) {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	prev, prevDst = fi.held, fi.dst
@@ -77,10 +77,10 @@ func (fi *faultInjector) hold(pkt []byte, dst net.Addr) (prev []byte, prevDst ne
 }
 
 // take removes and returns the held datagram, if any.
-func (fi *faultInjector) take() (pkt []byte, dst net.Addr) {
+func (fi *faultInjector) take() (pkt []byte, dst int) {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	pkt, dst = fi.held, fi.dst
-	fi.held, fi.dst = nil, nil
+	fi.held, fi.dst = nil, 0
 	return pkt, dst
 }

@@ -18,6 +18,14 @@
 //   - No RDMA: Put fails with fabric.ErrNoRDMA, exercising the upper
 //     layers' fragmented-send rendezvous fallback end-to-end.
 //
+// The hot path amortizes per-datagram costs three ways (DESIGN.md §10):
+// outgoing packets queue per destination and flush as one vectored
+// sendmmsg burst (the reader pulls bursts with recvmmsg), every data packet
+// piggybacks the reverse direction's cumulative ack + credit so
+// bidirectional traffic needs no standalone ack datagrams, and the
+// retransmit timeout adapts per flow from measured ack round trips
+// (RFC 6298 with Karn's rule) instead of a fixed guess.
+//
 // A Fault hook injects loss, duplication and reordering on outgoing
 // datagrams for robustness tests.
 package netfabric
@@ -53,7 +61,8 @@ type Config struct {
 	MTU        int           // max datagram size incl. wire header (default 1400)
 	Window     int           // max unacked packets per peer flow (default 256)
 	Credits    int           // max delivered-but-unreleased messages per peer (default 128)
-	RTO        time.Duration // initial retransmit timeout (default 5ms)
+	RTO        time.Duration // initial retransmit timeout, used until the first RTT sample (default 5ms)
+	MinRTO     time.Duration // adaptive RTO floor (default min(2ms, RTO))
 	MaxRTO     time.Duration // retransmit backoff cap (default 50ms)
 	// DrainTimeout bounds how long Close keeps the socket (and retransmit
 	// timer) alive waiting for every in-flight packet to be acked, so a
@@ -61,6 +70,23 @@ type Config struct {
 	DrainTimeout time.Duration
 	MaxRegions   int   // local region table size (default 128)
 	Fault        Fault // outgoing-datagram fault injection
+
+	// TxBatch is the pending-transmit threshold at which a Send flushes its
+	// flow inline; below it, packets wait for the next progress poll or
+	// housekeeping tick and go out as one vectored burst (default 32).
+	TxBatch int
+	// AckEvery forces a standalone ack after this many received data
+	// packets on a one-way flow, bounding sender window occupancy between
+	// delayed-ack ticks (default max(8, Credits/4)).
+	AckEvery int
+	// SockBuf sizes the kernel socket buffers at New (default 1 MiB).
+	SockBuf int
+
+	// Ablation knobs (also settable via LCI_NO_BATCH_IO, LCI_NO_PIGGYBACK,
+	// LCI_FIXED_RTO for launcher-spawned workers).
+	DisableBatchIO   bool // one syscall per datagram, flush every Send (pre-batching path)
+	DisablePiggyback bool // never stamp acks onto data packets
+	FixedRTO         bool // keep RTO at the configured seed; no RTT adaptation
 }
 
 func (c *Config) fill() error {
@@ -80,13 +106,25 @@ func (c *Config) fill() error {
 		c.Credits = 128
 	}
 	if c.RTO <= 0 {
-		// Loopback RTT is microseconds, but on an oversubscribed host the
-		// real ack latency is OS scheduling, so a too-tight timer mostly
-		// produces spurious retransmits.
+		// The seed RTO holds until the first RTT sample. Loopback RTT is
+		// microseconds, but on an oversubscribed host the real ack latency
+		// is OS scheduling, so a too-tight seed mostly produces spurious
+		// retransmits before the estimator has data.
 		c.RTO = 5 * time.Millisecond
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 2 * time.Millisecond
+		if c.RTO < c.MinRTO {
+			// An explicitly aggressive seed is a statement of intent (tests
+			// use 1ms for fast recovery); don't floor above it.
+			c.MinRTO = c.RTO
+		}
 	}
 	if c.MaxRTO <= 0 {
 		c.MaxRTO = 50 * time.Millisecond
+	}
+	if c.MaxRTO < c.RTO {
+		c.MaxRTO = c.RTO
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = time.Second
@@ -94,11 +132,29 @@ func (c *Config) fill() error {
 	if c.MaxRegions <= 0 {
 		c.MaxRegions = 128
 	}
+	if c.TxBatch <= 0 {
+		c.TxBatch = 32
+	}
+	if c.DisableBatchIO {
+		c.TxBatch = 1 // flush every Send: the original per-packet path
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = c.Credits / 4
+		if c.AckEvery < 8 {
+			c.AckEvery = 8
+		}
+	}
+	if c.SockBuf <= 0 {
+		c.SockBuf = 1 << 20
+	}
 	if c.Rank < 0 || c.Rank >= len(c.Addrs) {
 		return fmt.Errorf("netfabric: rank %d outside address list of %d", c.Rank, len(c.Addrs))
 	}
 	return nil
 }
+
+// readBatchLen is the number of datagrams one recvmmsg may pull.
+const readBatchLen = 16
 
 // Provider is one rank's UDP endpoint. It implements fabric.Provider.
 type Provider struct {
@@ -107,12 +163,37 @@ type Provider struct {
 	chunk       int // payload bytes per DATA datagram
 	window      uint32
 	credits     int
-	rto, maxRTO time.Duration
+	seedRTO     time.Duration
+	minRTO      time.Duration
+	maxRTO      time.Duration
 	drainTO     time.Duration
+	tick        time.Duration // housekeeping / delayed-ack cadence
+	txBatch     int
+	ackEvery    int
+	readBufLen  int
+	noPiggyback bool
+	fixedRTO    bool
 
 	conn  net.PacketConn
 	peers []net.Addr
 	flows []*flow // indexed by peer rank; nil at self
+
+	// bio is the vectored-I/O driver; nil when unavailable (non-Linux,
+	// non-UDP socket, DisableBatchIO) or after a kernel refusal downgraded
+	// the provider to the one-syscall-per-datagram path at runtime.
+	bio atomic.Pointer[mmsgIO]
+
+	// Dirty-flow counters: a receive or release only touches its own flow;
+	// the housekeeping pass skips all-flow scans entirely while these are
+	// zero.
+	ackDueFlows atomic.Int64 // flows with ackDue set
+	txPendFlows atomic.Int64 // flows with unflushed pending packets
+
+	// xmitMu serializes wire bursts (the kernel serializes socket sends
+	// anyway) and guards the shared burst scratch.
+	xmitMu      sync.Mutex
+	wireScratch [][]byte
+	dstScratch  []int
 
 	ring   *concurrent.MPMC[*fabric.Frame] // delivery ring drained by Poll
 	frames *concurrent.MPMC[*fabric.Frame] // provider frame free-list
@@ -143,29 +224,54 @@ type Provider struct {
 	dropped        atomic.Int64
 	acksSent       atomic.Int64
 	creditStalls   atomic.Int64
+	sendBatches    atomic.Int64
+	recvBatches    atomic.Int64
+	piggyAcks      atomic.Int64
+	delayedAcks    atomic.Int64
+	sockErrors     atomic.Int64
 }
 
 var _ fabric.Provider = (*Provider)(nil)
 
 // New builds a provider and starts its socket reader. The reader goroutine
-// also runs the retransmit and credit-refresh timers, so the provider makes
-// reliability progress even when the upper layer's progress thread stalls.
+// also runs the retransmit, delayed-ack and credit-refresh timers, so the
+// provider makes reliability progress even when the upper layer's progress
+// thread stalls.
 func New(cfg Config) (*Provider, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
 	p := &Provider{
-		rank:       cfg.Rank,
-		size:       len(cfg.Addrs),
-		eagerLimit: cfg.EagerLimit,
-		chunk:      cfg.MTU - dataHdrLen,
-		window:     uint32(cfg.Window),
-		credits:    cfg.Credits,
-		rto:        cfg.RTO,
-		maxRTO:     cfg.MaxRTO,
-		drainTO:    cfg.DrainTimeout,
-		conn:       cfg.Conn,
-		maxRegs:    cfg.MaxRegions,
+		rank:        cfg.Rank,
+		size:        len(cfg.Addrs),
+		eagerLimit:  cfg.EagerLimit,
+		chunk:       cfg.MTU - dataHdrLen,
+		window:      uint32(cfg.Window),
+		credits:     cfg.Credits,
+		seedRTO:     cfg.RTO,
+		minRTO:      cfg.MinRTO,
+		maxRTO:      cfg.MaxRTO,
+		drainTO:     cfg.DrainTimeout,
+		txBatch:     cfg.TxBatch,
+		ackEvery:    cfg.AckEvery,
+		noPiggyback: cfg.DisablePiggyback,
+		fixedRTO:    cfg.FixedRTO,
+		conn:        cfg.Conn,
+		maxRegs:     cfg.MaxRegions,
+	}
+	// The tick paces delayed acks and the retransmit scan. Half the RTO
+	// floor keeps timer resolution ahead of the tightest timeout; the
+	// clamp bounds idle wakeups.
+	p.tick = cfg.MinRTO / 2
+	if p.tick > 500*time.Microsecond {
+		p.tick = 500 * time.Microsecond
+	}
+	if p.tick < 100*time.Microsecond {
+		p.tick = 100 * time.Microsecond
+	}
+	p.readBufLen = cfg.MTU + 64
+	if p.readBufLen < 2048 {
+		p.readBufLen = 2048
 	}
 	p.ring = concurrent.NewMPMC[*fabric.Frame](p.size * p.credits)
 	p.frames = concurrent.NewMPMC[*fabric.Frame](p.size * p.credits)
@@ -180,6 +286,15 @@ func New(cfg Config) (*Provider, error) {
 		}
 		p.conn = c
 	}
+	// A deep socket buffer absorbs vectored bursts; errors are ignored
+	// (the reliability layer tolerates a shallow buffer, just less well).
+	if sb, ok := p.conn.(interface {
+		SetReadBuffer(int) error
+		SetWriteBuffer(int) error
+	}); ok {
+		sb.SetReadBuffer(cfg.SockBuf)
+		sb.SetWriteBuffer(cfg.SockBuf)
+	}
 	p.peers = make([]net.Addr, p.size)
 	p.flows = make([]*flow, p.size)
 	for r, a := range cfg.Addrs {
@@ -192,7 +307,10 @@ func New(cfg Config) (*Provider, error) {
 			return nil, fmt.Errorf("netfabric: rank %d address %q: %w", r, a, err)
 		}
 		p.peers[r] = addr
-		p.flows[r] = newFlow(r, p.credits)
+		p.flows[r] = newFlow(r, p.credits, p.seedRTO)
+	}
+	if !cfg.DisableBatchIO {
+		p.bio.Store(newBatchIO(p.conn, p.peers))
 	}
 	p.wg.Add(1)
 	go p.reader()
@@ -201,6 +319,9 @@ func New(cfg Config) (*Provider, error) {
 
 // Addr returns the provider's bound socket address.
 func (p *Provider) Addr() net.Addr { return p.conn.LocalAddr() }
+
+// BatchIO reports whether the vectored sendmmsg/recvmmsg path is active.
+func (p *Provider) BatchIO() bool { return p.bio.Load() != nil }
 
 // Close drains in-flight packets, then stops the reader and closes the
 // socket. The upper layers must be stopped first (a Send on a closed
@@ -224,10 +345,12 @@ func (p *Provider) Close() error {
 }
 
 // drain blocks until no flow holds an unacked packet or the drain timeout
-// expires. The reader goroutine is still running (the socket is open), so
-// retransmit timers, incoming acks and outgoing ack/credit refreshes all
-// keep making progress while we wait.
+// expires. Pending packets are pushed to the wire first; the reader
+// goroutine is still running (the socket is open), so retransmit timers,
+// incoming acks and outgoing ack/credit refreshes all keep making progress
+// while we wait.
 func (p *Provider) drain() {
+	p.flushPending()
 	deadline := time.Now().Add(p.drainTO)
 	for {
 		pending := false
@@ -236,7 +359,7 @@ func (p *Provider) drain() {
 				continue
 			}
 			fl.mu.Lock()
-			n := len(fl.unacked)
+			n := fl.unacked.len()
 			fl.mu.Unlock()
 			if n > 0 {
 				pending = true
@@ -290,9 +413,17 @@ func (p *Provider) recycleFrame(f *fabric.Frame) {
 	} else if src >= 0 && src < p.size && p.flows[src] != nil {
 		fl := p.flows[src]
 		fl.consumed.Add(1)
-		fl.ackDue.Store(true)
+		p.markAckDue(fl)
 	}
 	p.frames.Enqueue(f) // full free-list drops to the GC, pool stays a cache
+}
+
+// markAckDue flags fl for an ack/credit update, maintaining the dirty-flow
+// count so housekeeping skips clean flows entirely.
+func (p *Provider) markAckDue(fl *flow) {
+	if !fl.ackDue.Swap(true) {
+		p.ackDueFlows.Add(1)
+	}
 }
 
 // ---- send path ----
@@ -304,6 +435,11 @@ var errClosed = errors.New("netfabric: provider closed")
 // with fabric.ErrResource when dst has advertised no remaining credit or
 // the retransmit window is full — retriable back-pressure, exactly like the
 // simulator's full receive ring.
+//
+// Packets do not necessarily hit the wire before Send returns: they queue
+// on the destination flow and flush as one vectored burst when the pending
+// count reaches TxBatch, on the next Poll/PollBatch (the progress loop), or
+// at the latest on the housekeeping tick.
 func (p *Provider) Send(dst int, header, meta uint64, data []byte) error {
 	if p.closed.Load() {
 		return errClosed
@@ -335,7 +471,6 @@ func (p *Provider) Send(dst int, header, meta uint64, data []byte) error {
 		p.sendRetries.Add(1)
 		return fabric.ErrResource
 	}
-	now := time.Now()
 	off := 0
 	for i := 0; i < nfrags; i++ {
 		end := off + p.chunk
@@ -344,13 +479,19 @@ func (p *Provider) Send(dst int, header, meta uint64, data []byte) error {
 		}
 		buf := p.txBufs.Get().([]byte)
 		n := encodeData(buf, p.rank, fl.nextSeq, uint32(off), uint32(len(data)), header, meta, data[off:end])
-		tx := &txPacket{seq: fl.nextSeq, data: buf[:n], lastTx: now}
-		fl.unacked[fl.nextSeq] = tx
+		fl.unacked.push(&txPacket{seq: fl.nextSeq, data: buf[:n]})
 		fl.nextSeq++
-		p.xmit(dst, buf[:n])
 		off = end
 	}
 	fl.msgsSent++
+	if fl.unsent == 0 {
+		p.txPendFlows.Add(1)
+	}
+	fl.unsent += nfrags
+	fl.pendTx.Store(int32(fl.unsent))
+	if fl.unsent >= p.txBatch {
+		p.flushFlowLocked(fl, time.Now())
+	}
 	fl.mu.Unlock()
 	p.sendFrames.Add(1)
 	p.sendBytes.Add(int64(len(data)))
@@ -387,28 +528,123 @@ func (p *Provider) sendSelf(header, meta uint64, data []byte) error {
 	return nil
 }
 
-// xmit writes one datagram, applying fault injection. Callers may hold a
-// flow lock; the injector takes no flow locks.
-func (p *Provider) xmit(dst int, pkt []byte) {
-	if p.fault == nil {
-		p.conn.WriteTo(pkt, p.peers[dst])
+// stampOutgoing refreshes a DATA packet's piggybacked ack/credit for fl's
+// reverse direction immediately before it hits the wire (first transmission
+// or retransmit), and retires any scheduled standalone ack for the flow —
+// this packet carries the same information for free.
+func (p *Provider) stampOutgoing(fl *flow, pkt []byte) {
+	if p.noPiggyback {
 		return
 	}
-	switch p.fault.decide() {
-	case faultDrop:
-		p.dropped.Add(1)
-	case faultDup:
-		p.conn.WriteTo(pkt, p.peers[dst])
-		p.conn.WriteTo(pkt, p.peers[dst])
-	case faultHold:
-		if prev, prevDst := p.fault.hold(pkt, p.peers[dst]); prev != nil {
-			p.conn.WriteTo(prev, prevDst)
+	stampAck(pkt, fl.recvNext.Load(), fl.consumed.Load()+uint64(p.credits))
+	fl.recvSinceAck.Store(0)
+	if fl.ackDue.Swap(false) {
+		p.ackDueFlows.Add(-1)
+	}
+	p.piggyAcks.Add(1)
+}
+
+// flushFlowLocked pushes fl's pending packets to the wire as one vectored
+// burst, stamping each with the freshest piggybacked ack. fl.mu held.
+func (p *Provider) flushFlowLocked(fl *flow, now time.Time) {
+	if fl.unsent == 0 {
+		return
+	}
+	burst := fl.scratch[:0]
+	for i := fl.unacked.len() - fl.unsent; i < fl.unacked.len(); i++ {
+		tx := fl.unacked.at(i)
+		p.stampOutgoing(fl, tx.data)
+		tx.lastTx = now
+		burst = append(burst, tx.data)
+	}
+	fl.unsent = 0
+	fl.pendTx.Store(0)
+	p.txPendFlows.Add(-1)
+	p.xmitBatch(fl.peer, burst)
+	fl.scratch = burst[:0]
+}
+
+// flushPending flushes every flow holding pending packets. O(1) when no
+// flow is dirty; called from the progress path (Poll/PollBatch), the
+// housekeeping tick and Close.
+func (p *Provider) flushPending() {
+	if p.txPendFlows.Load() == 0 {
+		return
+	}
+	now := time.Now()
+	for _, fl := range p.flows {
+		if fl == nil || fl.pendTx.Load() == 0 {
+			continue
 		}
-	default:
-		p.conn.WriteTo(pkt, p.peers[dst])
-		if held, heldDst := p.fault.take(); held != nil {
-			p.conn.WriteTo(held, heldDst)
+		fl.mu.Lock()
+		p.flushFlowLocked(fl, now)
+		fl.mu.Unlock()
+	}
+}
+
+// xmitBatch writes a burst of datagrams to peer rank dst, applying fault
+// injection per datagram. Callers may hold a flow lock; the burst lock is
+// strictly inner.
+func (p *Provider) xmitBatch(dst int, pkts [][]byte) {
+	if len(pkts) == 0 {
+		return
+	}
+	p.xmitMu.Lock()
+	wire := p.wireScratch[:0]
+	dsts := p.dstScratch[:0]
+	if p.fault == nil {
+		for _, pk := range pkts {
+			wire = append(wire, pk)
+			dsts = append(dsts, dst)
 		}
+	} else {
+		for _, pk := range pkts {
+			switch p.fault.decide() {
+			case faultDrop:
+				p.dropped.Add(1)
+			case faultDup:
+				wire = append(wire, pk, pk)
+				dsts = append(dsts, dst, dst)
+			case faultHold:
+				if prev, prevDst := p.fault.hold(pk, dst); prev != nil {
+					wire = append(wire, prev)
+					dsts = append(dsts, prevDst)
+				}
+			default:
+				wire = append(wire, pk)
+				dsts = append(dsts, dst)
+				if held, heldDst := p.fault.take(); held != nil {
+					wire = append(wire, held)
+					dsts = append(dsts, heldDst)
+				}
+			}
+		}
+	}
+	p.writeWire(wire, dsts)
+	p.wireScratch = wire[:0]
+	p.dstScratch = dsts[:0]
+	p.xmitMu.Unlock()
+}
+
+// writeWire moves datagrams to the kernel: one sendmmsg for the whole burst
+// when vectored I/O is up, else one WriteTo each. A vectored failure other
+// than back-pressure downgrades the provider permanently and re-sends the
+// burst the portable way (duplicates are harmless; the window dedups).
+func (p *Provider) writeWire(pkts [][]byte, dsts []int) {
+	if len(pkts) == 0 {
+		return
+	}
+	if m := p.bio.Load(); m != nil {
+		if err := m.writeBatch(pkts, dsts); err == nil {
+			if len(pkts) > 1 {
+				p.sendBatches.Add(1)
+			}
+			return
+		}
+		p.bio.Store(nil)
+	}
+	for i, pk := range pkts {
+		p.conn.WriteTo(pk, p.peers[dsts[i]])
 	}
 }
 
@@ -448,8 +684,11 @@ func (p *Provider) Put(int, uint32, int, []byte, uint64) error {
 
 // ---- receive path ----
 
-// Poll removes and returns one incoming frame, or nil.
+// Poll removes and returns one incoming frame, or nil. As the progress
+// loop's heartbeat it also flushes any pending transmit bursts, so queued
+// packets never wait for the housekeeping tick while a poller is live.
 func (p *Provider) Poll() *fabric.Frame {
+	p.flushPending()
 	p.polls.Add(1)
 	f, ok := p.ring.Dequeue()
 	if !ok {
@@ -459,8 +698,10 @@ func (p *Provider) Poll() *fabric.Frame {
 	return f
 }
 
-// PollBatch drains up to len(dst) incoming frames in one ring pass.
+// PollBatch drains up to len(dst) incoming frames in one ring pass, flushing
+// pending transmit bursts first (see Poll).
 func (p *Provider) PollBatch(dst []*fabric.Frame) int {
+	p.flushPending()
 	p.polls.Add(1)
 	n := p.ring.DequeueBatch(dst)
 	if n > 0 {
@@ -474,19 +715,23 @@ func (p *Provider) PollBatch(dst []*fabric.Frame) int {
 func (p *Provider) Pending() int { return p.ring.Len() }
 
 // reader is the provider's single background goroutine: it drains the
-// socket, runs the reliability protocol, and — on its read-deadline tick —
-// retransmits timed-out packets and re-advertises credits.
+// socket in vectored bursts, runs the reliability protocol, and — on its
+// read-deadline tick — flushes pending transmits, retransmits timed-out
+// packets, sends delayed acks and re-advertises credits.
 func (p *Provider) reader() {
 	defer p.wg.Done()
-	tick := p.rto / 2
-	if tick < 500*time.Microsecond {
-		tick = 500 * time.Microsecond
+	bufs := make([][]byte, readBatchLen)
+	for i := range bufs {
+		bufs[i] = make([]byte, p.readBufLen)
 	}
-	buf := make([]byte, 64<<10)
+	sizes := make([]int, readBatchLen)
+	if m := p.bio.Load(); m != nil {
+		m.bindRead(bufs)
+	}
 	lastKeep := time.Now()
 	for {
-		p.conn.SetReadDeadline(time.Now().Add(tick))
-		n, _, err := p.conn.ReadFrom(buf)
+		p.conn.SetReadDeadline(time.Now().Add(p.tick))
+		n, err := p.readWire(bufs, sizes)
 		if err != nil {
 			// Timeouts are the housekeeping tick and must keep firing while
 			// Close drains unacked packets (closed is already set then), so
@@ -500,19 +745,43 @@ func (p *Provider) reader() {
 			if p.closed.Load() {
 				return
 			}
-			// Transient socket error (e.g. ICMP bounce): keep serving,
-			// but never spin on a persistently failing socket.
+			// Transient socket error (e.g. ICMP bounce): keep serving, but
+			// never spin on a persistently failing socket — and count it,
+			// so a misbehaving wire is visible in NetStats instead of
+			// silently eating reader throughput.
+			p.sockErrors.Add(1)
 			time.Sleep(100 * time.Microsecond)
 			continue
 		}
-		p.handleDatagram(buf[:n])
-		if time.Since(lastKeep) >= tick {
+		for i := 0; i < n; i++ {
+			p.handleDatagram(bufs[i][:sizes[i]])
+		}
+		if time.Since(lastKeep) >= p.tick {
 			p.housekeep()
 			lastKeep = time.Now()
-		} else {
-			p.flushAcks()
 		}
 	}
+}
+
+// readWire pulls a burst of datagrams (recvmmsg when available, one
+// ReadFrom otherwise), honoring the socket read deadline either way.
+func (p *Provider) readWire(bufs [][]byte, sizes []int) (int, error) {
+	if m := p.bio.Load(); m != nil {
+		n, err := m.readBatch(sizes)
+		if err != errBatchUnsupported {
+			if n > 1 {
+				p.recvBatches.Add(1)
+			}
+			return n, err
+		}
+		p.bio.Store(nil)
+	}
+	n, _, err := p.conn.ReadFrom(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
 }
 
 func (p *Provider) handleDatagram(b []byte) {
@@ -528,7 +797,14 @@ func (p *Provider) handleDatagram(b []byte) {
 			p.dropped.Add(1)
 			return
 		}
-		p.onData(p.flows[d.src], &d)
+		fl := p.flows[d.src]
+		// Piggybacked ack/credit for our reverse direction rides on every
+		// data packet; skip the send-side lock when nothing changed.
+		if d.hasAck && (d.pgAck != fl.lastPgAck || d.pgCredit != fl.lastPgCr) {
+			fl.lastPgAck, fl.lastPgCr = d.pgAck, d.pgCredit
+			p.onAck(fl, d.pgAck, d.pgCredit)
+		}
+		p.onData(fl, &d)
 	case pktAck:
 		src, cum, credit, ok := decodeAck(b)
 		if !ok || src < 0 || src >= p.size || src == p.rank {
@@ -542,33 +818,47 @@ func (p *Provider) handleDatagram(b []byte) {
 }
 
 // onData runs the receive side of the sliding window: in-order packets are
-// applied immediately (with any unblocked early arrivals), early packets are
-// buffered, stale ones dropped. Every data arrival schedules an ack.
+// applied immediately (with any unblocked early arrivals), early packets
+// are buffered, stale ones dropped. Every data arrival schedules an ack —
+// piggybacked on reverse traffic when there is any, standalone immediately
+// after ackEvery receives, or on the delayed-ack tick otherwise.
 func (p *Provider) onData(fl *flow, d *dataPkt) {
-	defer fl.ackDue.Store(true)
-	delta := d.seq - fl.nextRecv // serial arithmetic: wrap-safe
+	delta := d.seq - fl.recvNext.Load() // serial arithmetic: wrap-safe
 	switch {
 	case int32(delta) < 0: // stale duplicate: re-ack so the sender advances
 		p.dropped.Add(1)
+		p.markAckDue(fl)
 		return
 	case delta > 0: // early: buffer within the window
 		if _, dup := fl.ooo[d.seq]; dup || delta > p.window {
 			p.dropped.Add(1)
-			return
+		} else {
+			fl.ooo[d.seq] = d.clone()
 		}
-		fl.ooo[d.seq] = d.clone()
+		p.markAckDue(fl)
 		return
 	}
 	p.apply(fl, d)
-	fl.nextRecv++
+	applied := int32(1)
+	fl.recvNext.Add(1)
 	for {
-		nd, ok := fl.ooo[fl.nextRecv]
+		nd, ok := fl.ooo[fl.recvNext.Load()]
 		if !ok {
-			return
+			break
 		}
-		delete(fl.ooo, fl.nextRecv)
+		delete(fl.ooo, fl.recvNext.Load())
 		p.apply(fl, nd)
-		fl.nextRecv++
+		applied++
+		fl.recvNext.Add(1)
+	}
+	// One-way traffic cannot piggyback, so bound the sender's ack latency:
+	// a standalone ack after every ackEvery packets, the delayed tick for
+	// the tail. Flows with reverse data pending skip the standalone — the
+	// next flush carries the ack for free.
+	if n := fl.recvSinceAck.Add(applied); int(n) >= p.ackEvery && fl.pendTx.Load() == 0 {
+		p.sendAckNow(fl, false)
+	} else {
+		p.markAckDue(fl)
 	}
 }
 
@@ -614,20 +904,31 @@ func (p *Provider) apply(fl *flow, d *dataPkt) {
 	}
 }
 
-// onAck runs the send side: retire acked packets, slide the window, and
-// raise the credit limit (monotonic, so reordered acks are harmless).
+// onAck runs the send side: retire acked packets in order from the ring
+// head, slide the window, feed the RTT estimator (Karn's rule: only packets
+// never retransmitted yield samples), and raise the credit limit
+// (monotonic, so reordered acks are harmless).
 func (p *Provider) onAck(fl *flow, cum uint32, credit uint64) {
+	now := time.Now()
 	fl.mu.Lock()
 	// Unsigned delta rejects stale (cum behind base) and corrupt (beyond
-	// the window) cumulative acks in one comparison.
-	if delta := cum - fl.baseSeq; delta > 0 && delta <= p.window {
-		for seq := fl.baseSeq; seq != cum; seq++ {
-			if tx, ok := fl.unacked[seq]; ok {
-				delete(fl.unacked, seq)
-				p.txBufs.Put(tx.data[:cap(tx.data)])
+	// what was actually sent) cumulative acks in one comparison. Pending
+	// never-transmitted packets cannot have been acked.
+	sent := uint32(fl.unacked.len() - fl.unsent)
+	if delta := cum - fl.baseSeq; delta > 0 && delta <= sent {
+		sample := time.Duration(-1)
+		for i := uint32(0); i < delta; i++ {
+			tx := fl.unacked.popFront()
+			if tx.attempts == 0 {
+				sample = now.Sub(tx.lastTx) // newest clean sample wins
 			}
+			p.txBufs.Put(tx.data[:cap(tx.data)])
+			tx.data = nil
 		}
 		fl.baseSeq = cum
+		if sample >= 0 && !p.fixedRTO {
+			fl.observeRTT(sample, p.minRTO, p.maxRTO)
+		}
 	}
 	if credit > fl.creditLimit {
 		fl.creditLimit = credit
@@ -635,10 +936,13 @@ func (p *Provider) onAck(fl *flow, cum uint32, credit uint64) {
 	fl.mu.Unlock()
 }
 
-// housekeep retransmits timed-out packets (bounded burst, exponential
-// backoff) and flushes pending acks, including pure credit refreshes after
-// consumers released frames.
+// housekeep runs on the reader's tick (and between read bursts under load):
+// flush pending transmits, retransmit timed-out packets (bounded burst,
+// exponential backoff), release any reorder-held datagram, and send delayed
+// acks. All-flow scans are skipped outright while the dirty counters say
+// there is nothing to do.
 func (p *Provider) housekeep() {
+	p.flushPending()
 	now := time.Now()
 	budget := 64
 	for _, fl := range p.flows {
@@ -649,54 +953,89 @@ func (p *Provider) housekeep() {
 			continue
 		}
 		fl.mu.Lock()
-		for _, tx := range fl.unacked {
-			timeout := p.rto << uint(tx.attempts)
-			if timeout > p.maxRTO {
-				timeout = p.maxRTO
-			}
-			if now.Sub(tx.lastTx) < timeout {
-				continue
+		sent := fl.unacked.len() - fl.unsent
+		burst := fl.scratch[:0]
+		for i := 0; i < sent && budget > 0; i++ {
+			tx := fl.unacked.at(i)
+			// Seq order is transmission order for first sends, so the scan
+			// stops at the first packet whose timer has not expired —
+			// O(due packets), not O(window). A just-retransmitted head can
+			// shadow a due successor for at most one backoff interval.
+			if now.Sub(tx.lastTx) < fl.timeoutFor(tx, p.maxRTO) {
+				break
 			}
 			if tx.attempts < 16 {
 				tx.attempts++
 			}
 			tx.lastTx = now
+			p.stampOutgoing(fl, tx.data)
+			burst = append(burst, tx.data)
 			p.retransmits.Add(1)
-			p.xmit(fl.peer, tx.data)
-			if budget--; budget == 0 {
-				break
-			}
+			budget--
 		}
+		if len(burst) > 0 {
+			p.xmitBatch(fl.peer, burst)
+		}
+		fl.scratch = burst[:0]
 		fl.mu.Unlock()
 	}
 	// A reorder-held datagram must not outlive the hold window when traffic
 	// goes quiet.
 	if p.fault != nil {
 		if held, dst := p.fault.take(); held != nil {
-			p.conn.WriteTo(held, dst)
+			p.xmitMu.Lock()
+			p.writeWire([][]byte{held}, []int{dst})
+			p.xmitMu.Unlock()
 		}
 	}
 	p.flushAcks()
 }
 
-// flushAcks sends one ack/credit datagram to every peer flagged ackDue.
-// Called only from the reader goroutine (nextRecv is reader-owned).
-func (p *Provider) flushAcks() {
+// sendAckNow emits one standalone ack/credit datagram for fl and clears its
+// ack-due state. Safe from any goroutine (all inputs are atomics).
+func (p *Provider) sendAckNow(fl *flow, delayed bool) {
 	var buf [ackPktLen]byte
+	n := encodeAck(buf[:], p.rank, fl.recvNext.Load(), fl.consumed.Load()+uint64(p.credits))
+	fl.recvSinceAck.Store(0)
+	if fl.ackDue.Swap(false) {
+		p.ackDueFlows.Add(-1)
+	}
+	p.xmitBatch(fl.peer, [][]byte{buf[:n]})
+	p.acksSent.Add(1)
+	if delayed {
+		p.delayedAcks.Add(1)
+	}
+}
+
+// flushAcks sends one standalone ack/credit datagram to every peer still
+// flagged ackDue — the delayed-ack path for one-way flows and pure credit
+// refreshes. O(1) while no flow is dirty.
+func (p *Provider) flushAcks() {
+	if p.ackDueFlows.Load() == 0 {
+		return
+	}
 	for _, fl := range p.flows {
-		if fl == nil || !fl.ackDue.Swap(false) {
+		if fl == nil || !fl.ackDue.Load() {
 			continue
 		}
-		credit := fl.consumed.Load() + uint64(p.credits)
-		n := encodeAck(buf[:], p.rank, fl.nextRecv, credit)
-		p.xmit(fl.peer, buf[:n])
-		p.acksSent.Add(1)
+		p.sendAckNow(fl, true)
 	}
 }
 
 // Stats returns a snapshot of the provider's counters in the fabric's
 // schema, transport counters included.
 func (p *Provider) Stats() fabric.Stats {
+	var rtt time.Duration
+	for _, fl := range p.flows {
+		if fl == nil {
+			continue
+		}
+		fl.mu.Lock()
+		if fl.srtt > rtt {
+			rtt = fl.srtt
+		}
+		fl.mu.Unlock()
+	}
 	return fabric.Stats{
 		SendFrames:     p.sendFrames.Load(),
 		SendBytes:      p.sendBytes.Load(),
@@ -709,6 +1048,12 @@ func (p *Provider) Stats() fabric.Stats {
 		PacketsDropped: p.dropped.Load(),
 		AcksSent:       p.acksSent.Load(),
 		CreditStalls:   p.creditStalls.Load(),
+		SendBatches:    p.sendBatches.Load(),
+		RecvBatches:    p.recvBatches.Load(),
+		PiggybackAcks:  p.piggyAcks.Load(),
+		DelayedAcks:    p.delayedAcks.Load(),
+		SockErrors:     p.sockErrors.Load(),
+		RTTNanos:       rtt.Nanoseconds(),
 	}
 }
 
@@ -724,14 +1069,20 @@ const (
 	EnvDup   = "LCI_DUP"
 	EnvReord = "LCI_REORDER"
 	EnvSeed  = "LCI_FAULT_SEED"
+
+	// Hot-path ablation knobs, read by FromEnv so the launcher's
+	// environment reaches every worker (CI runs the smoke job both ways).
+	EnvNoBatchIO   = "LCI_NO_BATCH_IO"
+	EnvNoPiggyback = "LCI_NO_PIGGYBACK"
+	EnvFixedRTO    = "LCI_FIXED_RTO"
 )
 
 // InEnv reports whether the process was spawned by the SPMD launcher.
 func InEnv() bool { return os.Getenv(EnvRank) != "" }
 
 // FromEnv builds the provider for a launcher-spawned worker process: rank,
-// peer addresses, the inherited socket and fault-injection rates all come
-// from the environment.
+// peer addresses, the inherited socket, fault-injection rates and ablation
+// knobs all come from the environment.
 func FromEnv() (*Provider, error) {
 	rank, err := strconv.Atoi(os.Getenv(EnvRank))
 	if err != nil {
@@ -748,6 +1099,9 @@ func FromEnv() (*Provider, error) {
 	cfg.Fault.Loss = envFloat(EnvLoss)
 	cfg.Fault.Dup = envFloat(EnvDup)
 	cfg.Fault.Reorder = envFloat(EnvReord)
+	cfg.DisableBatchIO = envBool(EnvNoBatchIO)
+	cfg.DisablePiggyback = envBool(EnvNoPiggyback)
+	cfg.FixedRTO = envBool(EnvFixedRTO)
 	if s := os.Getenv(EnvSeed); s != "" {
 		seed, err := strconv.ParseInt(s, 10, 64)
 		if err != nil {
@@ -781,4 +1135,12 @@ func envFloat(name string) float64 {
 		return 0
 	}
 	return v
+}
+
+func envBool(name string) bool {
+	switch strings.ToLower(os.Getenv(name)) {
+	case "", "0", "false", "no", "off":
+		return false
+	}
+	return true
 }

@@ -248,7 +248,7 @@ func TestCloseDrainsUnacked(t *testing.T) {
 			continue
 		}
 		fl.mu.Lock()
-		left := len(fl.unacked)
+		left := fl.unacked.len()
 		fl.mu.Unlock()
 		if left > 0 {
 			t.Errorf("peer %d: Close returned with %d unacked packets", fl.peer, left)

@@ -10,11 +10,13 @@ import (
 // TestQuietLinkNoRetransmit: with a prompt consumer and no injected faults,
 // the retransmit timer must stay silent — spurious retransmits on a clean
 // link would mean the ack path or the timer arithmetic is broken. The RTO
-// is raised well above the default 5ms: under -race on a loaded machine the
-// peer's reader can easily stall past 5ms, and a single late ack fires a
-// full 64-packet housekeep burst that has nothing to do with broken timers.
+// seed is raised well above the default 5ms and MinRTO pins the adaptive
+// estimator's floor there too: under -race on a loaded machine the peer's
+// reader can easily stall past the loopback-derived RTO, and a single late
+// ack fires a full 64-packet housekeep burst that has nothing to do with
+// broken timers.
 func TestQuietLinkNoRetransmit(t *testing.T) {
-	a, b := pair(t, Config{RTO: 50 * time.Millisecond})
+	a, b := pair(t, Config{RTO: 50 * time.Millisecond, MinRTO: 50 * time.Millisecond})
 	for i := 0; i < 500; i++ {
 		sendRetry(t, a, b, 1, uint64(i), 0, pattern(i, 200), func(f *fabric.Frame) { f.Release() })
 		if f := b.Poll(); f != nil {

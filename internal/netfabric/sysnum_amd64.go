@@ -1,0 +1,10 @@
+//go:build linux
+
+package netfabric
+
+// The stdlib syscall table for linux/amd64 was frozen before sendmmsg
+// (kernel 3.0) was assigned, so the numbers are spelled out here.
+const (
+	sysRecvmmsg uintptr = 299
+	sysSendmmsg uintptr = 307
+)

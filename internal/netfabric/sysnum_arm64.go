@@ -1,0 +1,9 @@
+//go:build linux
+
+package netfabric
+
+// linux/arm64 syscall numbers for vectored datagram I/O (generic unistd).
+const (
+	sysRecvmmsg uintptr = 243
+	sysSendmmsg uintptr = 269
+)

@@ -8,7 +8,7 @@ import "encoding/binary"
 //	byte 0  magic (0xA7)
 //	byte 1  wire version
 //	byte 2  packet type (pktData | pktAck)
-//	byte 3  flags (reserved)
+//	byte 3  flags (flagAck: the piggyback fields are valid)
 //
 // DATA packets carry one MTU-sized fragment of one logical message. Each
 // fragment is self-describing (it repeats the message's header/meta words
@@ -16,7 +16,16 @@ import "encoding/binary"
 // of a message occupy consecutive sequence numbers of the flow and are
 // applied in order by the sliding-window receiver.
 //
-//	src u32 | seq u32 | fragOff u32 | msgLen u32 | header u64 | meta u64 | chunk
+// Since wire version 2 every DATA packet also reserves room for the reverse
+// direction's cumulative ack and credit advertisement ("piggybacking"): on
+// bidirectional traffic the ack path costs no extra datagrams at all, and
+// standalone ACK packets are only needed for one-way flows (sent on the
+// delayed-ack timer or after ackEvery receives). The fields are stamped at
+// flush time — not at Send time — so a packet always carries the freshest
+// receive state, including on retransmission. flagAck distinguishes a
+// stamped packet from one whose sender has piggybacking ablated.
+//
+//	src u32 | seq u32 | fragOff u32 | msgLen u32 | header u64 | meta u64 | ack u32 | credit u64 | chunk
 //
 // ACK packets carry the flow's cumulative ack (next expected sequence
 // number) and the receiver-advertised credit: the absolute count of
@@ -27,12 +36,17 @@ import "encoding/binary"
 //	src u32 | cumAck u32 | credit u64
 const (
 	magicByte   = 0xA7
-	wireVersion = 1
+	wireVersion = 2 // v2: DATA packets carry piggybacked ack + credit
 
 	pktData = 1
 	pktAck  = 2
 
-	dataHdrLen = 4 + 4 + 4 + 4 + 4 + 8 + 8
+	flagAck = 1 << 0 // DATA: piggybacked ack/credit fields are valid
+
+	dataAckOff    = 36 // offset of the piggybacked ack field
+	dataCreditOff = 40 // offset of the piggybacked credit field
+
+	dataHdrLen = 4 + 4 + 4 + 4 + 4 + 8 + 8 + 4 + 8
 	ackPktLen  = 4 + 4 + 4 + 8
 )
 
@@ -45,6 +59,11 @@ type dataPkt struct {
 	header  uint64
 	meta    uint64
 	chunk   []byte // aliases the read buffer; clone before retaining
+
+	// Piggybacked reverse-direction ack/credit (valid when hasAck).
+	hasAck   bool
+	pgAck    uint32
+	pgCredit uint64
 }
 
 // clone deep-copies a packet so it can outlive the read buffer (out-of-order
@@ -62,7 +81,9 @@ func putCommon(b []byte, typ byte) {
 	b[3] = 0
 }
 
-// encodeData writes a DATA packet into b and returns its length.
+// encodeData writes a DATA packet into b and returns its length. The
+// piggyback ack/credit fields are left zero with flagAck clear; stampAck
+// fills them at flush time.
 func encodeData(b []byte, src int, seq, fragOff, msgLen uint32, header, meta uint64, chunk []byte) int {
 	putCommon(b, pktData)
 	binary.LittleEndian.PutUint32(b[4:], uint32(src))
@@ -71,11 +92,22 @@ func encodeData(b []byte, src int, seq, fragOff, msgLen uint32, header, meta uin
 	binary.LittleEndian.PutUint32(b[16:], msgLen)
 	binary.LittleEndian.PutUint64(b[20:], header)
 	binary.LittleEndian.PutUint64(b[28:], meta)
+	binary.LittleEndian.PutUint32(b[dataAckOff:], 0)
+	binary.LittleEndian.PutUint64(b[dataCreditOff:], 0)
 	copy(b[dataHdrLen:], chunk)
 	return dataHdrLen + len(chunk)
 }
 
-// encodeAck writes an ACK packet into b and returns its length.
+// stampAck overwrites an encoded DATA packet's piggyback fields with the
+// current cumulative ack and credit for the reverse direction and marks them
+// valid. Called immediately before every (re)transmission of the packet.
+func stampAck(b []byte, ack uint32, credit uint64) {
+	b[3] |= flagAck
+	binary.LittleEndian.PutUint32(b[dataAckOff:], ack)
+	binary.LittleEndian.PutUint64(b[dataCreditOff:], credit)
+}
+
+// encodeAck writes a standalone ACK packet into b and returns its length.
 func encodeAck(b []byte, src int, cumAck uint32, credit uint64) int {
 	putCommon(b, pktAck)
 	binary.LittleEndian.PutUint32(b[4:], uint32(src))
@@ -98,13 +130,18 @@ func decodeData(b []byte) (dataPkt, bool) {
 		meta:    binary.LittleEndian.Uint64(b[28:]),
 		chunk:   b[dataHdrLen:],
 	}
+	if b[3]&flagAck != 0 {
+		d.hasAck = true
+		d.pgAck = binary.LittleEndian.Uint32(b[dataAckOff:])
+		d.pgCredit = binary.LittleEndian.Uint64(b[dataCreditOff:])
+	}
 	if int(d.fragOff)+len(d.chunk) > int(d.msgLen) {
 		return dataPkt{}, false
 	}
 	return d, true
 }
 
-// decodeAck parses an ACK packet.
+// decodeAck parses a standalone ACK packet.
 func decodeAck(b []byte) (src int, cumAck uint32, credit uint64, ok bool) {
 	if len(b) < ackPktLen {
 		return 0, 0, 0, false
