@@ -15,13 +15,24 @@
 //
 //	lci-launch -n 4 -apps bfs,pagerank -graph web -scale 10
 //	lci-launch -n 4 -apps bfs -loss 0.05 -dup 0.02 -reorder 0.02
+//	lci-launch -n 4 -metrics-addr 127.0.0.1:9380 -repeat 50
+//
+// With -metrics-addr the parent pre-binds one TCP listener per rank (rank r
+// serves on port+r; port 0 picks ephemeral ports) and each child serves its
+// telemetry registry there: /metrics (Prometheus text), /metrics.json,
+// /debug/pprof/*, and on rank 0 /cluster + /cluster.json, which scrape every
+// peer and merge. At exit the job gathers all ranks' snapshots over the
+// communication layer itself and rank 0 prints the cluster-wide report
+// (with -v) and writes it as JSON (with -metrics-out).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"strconv"
@@ -36,22 +47,34 @@ import (
 	"lcigraph/internal/graph"
 	"lcigraph/internal/netfabric"
 	"lcigraph/internal/partition"
+	"lcigraph/internal/telemetry"
+)
+
+// Environment carrying the pre-bound metrics listeners to the children:
+// the inherited fd of this rank's TCP listener and the comma-separated
+// actual addresses of every rank's endpoint (rank 0 scrapes its peers).
+const (
+	envMetricsFD    = "LCI_METRICS_FD"
+	envMetricsAddrs = "LCI_METRICS_ADDRS"
 )
 
 type options struct {
-	n         int
-	apps      string
-	graph     string
-	scale     int
-	seed      int64
-	threads   int
-	source    uint
-	prIters   int
-	loss      float64
-	dup       float64
-	reorder   float64
-	faultSeed int64
-	verbose   bool
+	n           int
+	apps        string
+	graph       string
+	scale       int
+	seed        int64
+	threads     int
+	source      uint
+	prIters     int
+	repeat      int
+	loss        float64
+	dup         float64
+	reorder     float64
+	faultSeed   int64
+	verbose     bool
+	metricsAddr string
+	metricsOut  string
 }
 
 func parseFlags() *options {
@@ -64,11 +87,16 @@ func parseFlags() *options {
 	flag.IntVar(&o.threads, "threads", 2, "compute threads per rank")
 	flag.UintVar(&o.source, "source", 0, "bfs/sssp source vertex")
 	flag.IntVar(&o.prIters, "pr-iters", 10, "pagerank iterations")
+	flag.IntVar(&o.repeat, "repeat", 1, "run the app list this many times (live-metrics window)")
 	flag.Float64Var(&o.loss, "loss", 0, "injected datagram loss rate [0,1)")
 	flag.Float64Var(&o.dup, "dup", 0, "injected duplication rate [0,1)")
 	flag.Float64Var(&o.reorder, "reorder", 0, "injected reorder rate [0,1)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 0, "fault-injection PRNG seed (0 = default)")
-	flag.BoolVar(&o.verbose, "v", false, "per-rank transport counters")
+	flag.BoolVar(&o.verbose, "v", false, "cluster-wide telemetry report at exit")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "",
+		"serve live telemetry over HTTP; rank r listens on port+r (port 0: ephemeral)")
+	flag.StringVar(&o.metricsOut, "metrics-out", "",
+		"write the merged cluster telemetry snapshot to this JSON file (rank 0)")
 	flag.Parse()
 	return o
 }
@@ -102,6 +130,47 @@ func parent(o *options) int {
 	}
 	addrList := strings.Join(addrs, ",")
 
+	// With -metrics-addr the parent also pre-binds one TCP listener per
+	// rank, for the same reason it pre-binds the UDP sockets: children
+	// inherit a ready listener and there is no port race or scrape window
+	// where a rank is not yet serving.
+	var mlns []*net.TCPListener
+	var maddrList string
+	if o.metricsAddr != "" {
+		host, portStr, err := net.SplitHostPort(o.metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lci-launch: -metrics-addr %q: %v\n", o.metricsAddr, err)
+			return 2
+		}
+		base, err := strconv.Atoi(portStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lci-launch: -metrics-addr port %q: %v\n", portStr, err)
+			return 2
+		}
+		scrapeHost := host
+		if scrapeHost == "" || scrapeHost == "0.0.0.0" || scrapeHost == "::" {
+			scrapeHost = "127.0.0.1"
+		}
+		mlns = make([]*net.TCPListener, o.n)
+		maddrs := make([]string, o.n)
+		for i := range mlns {
+			port := 0
+			if base != 0 {
+				port = base + i
+			}
+			ln, err := net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(port)))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lci-launch: bind metrics rank %d: %v\n", i, err)
+				return 2
+			}
+			mlns[i] = ln.(*net.TCPListener)
+			_, p, _ := net.SplitHostPort(ln.Addr().String())
+			maddrs[i] = net.JoinHostPort(scrapeHost, p)
+		}
+		maddrList = strings.Join(maddrs, ",")
+		fmt.Fprintf(os.Stderr, "lci-launch: metrics on %s (rank 0 merges at /cluster)\n", maddrList)
+	}
+
 	cmds := make([]*exec.Cmd, o.n)
 	// A mid-loop failure must not leave earlier ranks orphaned: they would
 	// block forever in Exchange waiting for peers that will never exist.
@@ -134,14 +203,36 @@ func parent(o *options) int {
 			netfabric.EnvReord+"="+fmt.Sprint(o.reorder),
 			netfabric.EnvSeed+"="+strconv.FormatInt(o.faultSeed, 10),
 		)
+		var mf *os.File
+		if mlns != nil {
+			mf, err = mlns[i].File()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lci-launch: dup metrics listener rank %d: %v\n", i, err)
+				f.Close()
+				killStarted()
+				return 2
+			}
+			cmd.ExtraFiles = append(cmd.ExtraFiles, mf) // child fd 4
+			cmd.Env = append(cmd.Env,
+				envMetricsFD+"=4",
+				envMetricsAddrs+"="+maddrList,
+			)
+		}
 		if err := cmd.Start(); err != nil {
 			fmt.Fprintf(os.Stderr, "lci-launch: start rank %d: %v\n", i, err)
 			f.Close()
+			if mf != nil {
+				mf.Close()
+			}
 			killStarted()
 			return 2
 		}
 		f.Close()
 		conns[i].Close()
+		if mf != nil {
+			mf.Close()
+			mlns[i].Close()
+		}
 		cmds[i] = cmd
 	}
 
@@ -171,49 +262,156 @@ func child(o *options) int {
 	}
 	rank, size := prov.Rank(), prov.Size()
 
+	reg := telemetry.New(rank) // honors LCI_NO_TELEMETRY
+	prov.RegisterMetrics(reg)
+	srv := serveMetrics(reg, rank)
+
 	g := graph.Named(o.graph, o.scale, o.seed)
 	pt := partition.Build(g, size, partition.VertexCut)
 	hg := pt.Hosts[rank]
-	layer := comm.NewLCILayer(prov, bench.LCIOptions(size, o.threads))
+	opt := bench.LCIOptions(size, o.threads)
+	opt.Telemetry = reg
+	layer := comm.NewLCILayer(prov, opt)
 
 	appList := strings.Split(o.apps, ",")
 	failed := false
+	gather := o.verbose || o.metricsAddr != "" || o.metricsOut != ""
+	var merged *telemetry.Snapshot
 	cluster.RunRank(rank, size, o.threads, layer, func(h *cluster.Host) {
-		for _, app := range appList {
-			app = strings.TrimSpace(app)
-			if app == "" {
-				continue
-			}
-			rt := abelian.New(h, hg, partition.VertexCut)
-			bad, detail := runApp(rt, g, hg, app, o)
-			totalBad := h.AllreduceSum(bad)
-			if totalBad > 0 {
-				failed = true
-			}
-			if h.Rank == 0 {
-				verdict := "PASS"
-				if totalBad > 0 {
-					verdict = fmt.Sprintf("FAIL (%d master mismatches)", totalBad)
+		for it := 0; it < o.repeat; it++ {
+			for _, app := range appList {
+				app = strings.TrimSpace(app)
+				if app == "" {
+					continue
 				}
-				fmt.Printf("lci-launch: %-10s n=%d graph=%s scale=%d rounds=%d  %s%s\n",
-					app, size, o.graph, o.scale, rt.Rounds, verdict, detail)
+				rt := abelian.New(h, hg, partition.VertexCut)
+				bad, detail := runApp(rt, g, hg, app, o)
+				totalBad := h.AllreduceSum(bad)
+				if totalBad > 0 {
+					failed = true
+				}
+				// With -repeat the later iterations only report failures;
+				// the traffic still lands in the live metrics.
+				if h.Rank == 0 && (it == 0 || totalBad > 0) {
+					verdict := "PASS"
+					if totalBad > 0 {
+						verdict = fmt.Sprintf("FAIL (%d master mismatches)", totalBad)
+					}
+					fmt.Printf("lci-launch: %-10s n=%d graph=%s scale=%d rounds=%d  %s%s\n",
+						app, size, o.graph, o.scale, rt.Rounds, verdict, detail)
+				}
+			}
+		}
+		if gather {
+			// Cluster-wide aggregation rides the communication layer itself:
+			// every rank serializes its snapshot and rank 0 gathers them over
+			// the collective tag, then merges. This works with no HTTP
+			// endpoints at all (-v without -metrics-addr).
+			snap, err := json.Marshal(reg.Snapshot())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lci-launch: marshal snapshot: %v\n", err)
+				snap = []byte("{}")
+			}
+			parts := h.GatherBytes(0, snap, 1<<20)
+			if h.Rank == 0 {
+				snaps := make([]*telemetry.Snapshot, 0, len(parts))
+				for r, p := range parts {
+					var s telemetry.Snapshot
+					if err := json.Unmarshal(p, &s); err != nil {
+						fmt.Fprintf(os.Stderr, "lci-launch: decode rank %d snapshot: %v\n", r, err)
+						continue
+					}
+					snaps = append(snaps, &s)
+				}
+				merged = telemetry.Merge(snaps...)
 			}
 		}
 	})
 
-	st := prov.Stats()
-	if o.verbose || st.Retransmits > 0 || st.CreditStalls > 0 {
+	if st := prov.Stats(); st.Retransmits > 0 || st.CreditStalls > 0 {
 		fmt.Fprintf(os.Stderr,
 			"[rank %d] frames=%d bytes=%d retransmits=%d dropped=%d acks=%d pgyAcks=%d batches=%d/%d creditStalls=%d sockErrs=%d srtt=%s\n",
 			rank, st.SendFrames, st.SendBytes, st.Retransmits, st.PacketsDropped,
 			st.AcksSent, st.PiggybackAcks, st.SendBatches, st.RecvBatches,
 			st.CreditStalls, st.SockErrors, time.Duration(st.RTTNanos))
 	}
+	if merged != nil {
+		if o.verbose || o.metricsAddr != "" {
+			fmt.Fprint(os.Stderr, merged.Report())
+		}
+		if o.metricsOut != "" {
+			data, err := json.MarshalIndent(merged, "", "  ")
+			if err == nil {
+				err = os.WriteFile(o.metricsOut, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lci-launch: write %s: %v\n", o.metricsOut, err)
+			}
+		}
+	}
+	if srv != nil {
+		srv.Close()
+	}
 	prov.Close()
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// serveMetrics starts the live telemetry endpoint on the TCP listener the
+// parent pre-bound and passed down as envMetricsFD. Rank 0 additionally
+// serves /cluster(.json), scraping every peer's /metrics.json and merging.
+// Returns nil when no listener was inherited.
+func serveMetrics(reg *telemetry.Registry, rank int) *http.Server {
+	fdStr := os.Getenv(envMetricsFD)
+	if fdStr == "" {
+		return nil
+	}
+	fd, err := strconv.Atoi(fdStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lci-launch: %s=%q: %v\n", envMetricsFD, fdStr, err)
+		return nil
+	}
+	f := os.NewFile(uintptr(fd), "metrics-listener")
+	ln, err := net.FileListener(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lci-launch: metrics listener: %v\n", err)
+		return nil
+	}
+	var clusterFn func() (*telemetry.Snapshot, error)
+	if rank == 0 {
+		addrs := strings.Split(os.Getenv(envMetricsAddrs), ",")
+		clusterFn = func() (*telemetry.Snapshot, error) { return scrapeCluster(reg, addrs) }
+	}
+	srv := &http.Server{Handler: telemetry.Handler(reg, clusterFn)}
+	go srv.Serve(ln)
+	return srv
+}
+
+// scrapeCluster merges this rank's live snapshot with every peer's, fetched
+// from their /metrics.json endpoints.
+func scrapeCluster(reg *telemetry.Registry, addrs []string) (*telemetry.Snapshot, error) {
+	snaps := []*telemetry.Snapshot{reg.Snapshot()}
+	client := &http.Client{Timeout: 2 * time.Second}
+	for r, a := range addrs {
+		if r == 0 || a == "" {
+			continue
+		}
+		resp, err := client.Get("http://" + a + "/metrics.json")
+		if err != nil {
+			return nil, fmt.Errorf("scrape rank %d: %w", r, err)
+		}
+		var s telemetry.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&s)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("decode rank %d: %w", r, err)
+		}
+		snaps = append(snaps, &s)
+	}
+	return telemetry.Merge(snaps...), nil
 }
 
 // runApp runs one app on this rank's runtime and returns the number of

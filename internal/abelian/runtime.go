@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"lcigraph/internal/cluster"
+	"lcigraph/internal/comm"
 	"lcigraph/internal/partition"
+	"lcigraph/internal/telemetry"
 	"lcigraph/internal/trace"
 )
 
@@ -41,6 +43,14 @@ type Runtime struct {
 	Trace       *trace.Trace
 	lastCompute time.Duration
 	lastComm    time.Duration
+
+	// Per-round traffic comes from the layer's message-size histogram
+	// (count = messages, sum = payload bytes), differenced between
+	// RecordRound calls. Resolved lazily from the layer's telemetry.
+	msgBytes  *telemetry.Histogram
+	metOnce   bool
+	lastMsgs  int64
+	lastBytes int64
 }
 
 // New builds a runtime for host h over its partition.
@@ -73,14 +83,26 @@ func (rt *Runtime) RecordRound() {
 	if rt.Trace == nil {
 		return
 	}
+	if !rt.metOnce {
+		rt.metOnce = true
+		if tp, ok := rt.Host.Layer.(comm.TelemetryProvider); ok {
+			if reg := tp.Telemetry(); reg.Enabled() {
+				rt.msgBytes = reg.Histogram(comm.MsgBytesMetric(rt.Host.Layer.Name()))
+			}
+		}
+	}
+	msgs, bytes := rt.msgBytes.Count(), rt.msgBytes.Sum() // nil-safe: 0 when dark
 	rt.Trace.Append(trace.Round{
 		Host:    rt.Host.Rank,
 		Round:   rt.Rounds,
 		Compute: rt.ComputeTime - rt.lastCompute,
 		Comm:    rt.CommTime - rt.lastComm,
+		Bytes:   bytes - rt.lastBytes,
+		Msgs:    msgs - rt.lastMsgs,
 	})
 	rt.lastCompute = rt.ComputeTime
 	rt.lastComm = rt.CommTime
+	rt.lastMsgs, rt.lastBytes = msgs, bytes
 }
 
 // EndRound closes a BSP round: it synchronizes the given fields (reduce,

@@ -45,15 +45,16 @@ func TestDatapathReport(t *testing.T) {
 // epoch under each data-path configuration (go test -bench Datapath -benchmem).
 func BenchmarkDatapath(b *testing.B) {
 	for _, v := range []struct {
-		name           string
-		pool, coalesce bool
+		name                 string
+		pool, coalesce, tele bool
 	}{
-		{"baseline", false, false},
-		{"pooled", true, false},
-		{"pooled+coalesced", true, true},
+		{"baseline", false, false, true},
+		{"pooled", true, false, true},
+		{"pooled+coalesced", true, true, true},
+		{"pooled+coalesced/no-telemetry", true, true, false},
 	} {
 		b.Run(v.name, func(b *testing.B) {
-			r := runDatapathVariant(4, 64, 64, b.N, v.pool, v.coalesce)
+			r := runDatapathVariant(4, 64, 64, b.N, v.pool, v.coalesce, v.tele)
 			b.ReportMetric(r.AllocsPerMsg, "allocs/msg")
 			b.ReportMetric(r.FramesPerMsg, "frames/msg")
 			b.ReportMetric(r.NsPerMsg, "ns/msg")

@@ -125,16 +125,23 @@ func fillVariant(v *NetfabricVariant, hosts, perPeer, epochs int, wall time.Dura
 
 func netfabricVariantSim(hosts, perPeer, size, epochs int) NetfabricVariant {
 	fab := fabric.New(hosts, fabric.TestProfile())
+	feps := make([]fabric.Provider, hosts)
+	for r := range feps {
+		feps[r] = fab.Endpoint(r)
+	}
+	regs := hostRegistries(feps)
 	layers := make([]*comm.LCILayer, hosts)
 	for r := range layers {
-		layers[r] = comm.NewLCILayer(fab.Endpoint(r), LCIOptions(hosts, 2))
+		opt := LCIOptions(hosts, 2)
+		opt.Telemetry = regs[r]
+		layers[r] = comm.NewLCILayer(feps[r], opt)
 	}
 	wall := runNetfabricEpochs(layers, perPeer, size, epochs)
 	for _, l := range layers {
 		l.Stop()
 	}
 	v := NetfabricVariant{Name: "sim", Transport: "sim"}
-	fillVariant(&v, hosts, perPeer, epochs, wall, collectNet(fab))
+	fillVariant(&v, hosts, perPeer, epochs, wall, NetStatsFromSnapshot(mergeRegistries(regs)))
 	return v
 }
 
@@ -143,18 +150,22 @@ func netfabricVariantUDP(name string, hosts, perPeer, size, epochs int, cfg netf
 	if err != nil {
 		return NetfabricVariant{}, err
 	}
+	feps := make([]fabric.Provider, hosts)
+	for r := range feps {
+		feps[r] = provs[r]
+	}
+	regs := hostRegistries(feps)
 	layers := make([]*comm.LCILayer, hosts)
 	for r := range layers {
-		layers[r] = comm.NewLCILayer(provs[r], LCIOptions(hosts, 2))
+		opt := LCIOptions(hosts, 2)
+		opt.Telemetry = regs[r]
+		layers[r] = comm.NewLCILayer(feps[r], opt)
 	}
 	wall := runNetfabricEpochs(layers, perPeer, size, epochs)
-	var net NetStats
 	for _, l := range layers {
 		l.Stop()
 	}
-	for _, p := range provs {
-		net.add(p.Stats())
-	}
+	net := NetStatsFromSnapshot(mergeRegistries(regs))
 	netfabric.CloseGroup(provs)
 	v := NetfabricVariant{Name: name, Transport: "udp", Loss: cfg.Fault.Loss}
 	fillVariant(&v, hosts, perPeer, epochs, wall, net)

@@ -21,6 +21,7 @@ import (
 	"lcigraph/internal/mpi"
 	"lcigraph/internal/netfabric"
 	"lcigraph/internal/partition"
+	"lcigraph/internal/telemetry"
 	"lcigraph/internal/trace"
 )
 
@@ -87,8 +88,12 @@ type Result struct {
 	MemMin  int64
 	Rounds  int
 	Net     NetStats
-	Dist    []uint64  // bfs/cc/sssp results per global vertex
-	Ranks   []float64 // pagerank results per global vertex
+	// Snapshot is the merged cross-host telemetry for the run; Net is
+	// derived from it (NetStatsFromSnapshot), so the bench tables and the
+	// launcher's -v report render from one source.
+	Snapshot *telemetry.Snapshot
+	Dist     []uint64  // bfs/cc/sssp results per global vertex
+	Ranks    []float64 // pagerank results per global vertex
 }
 
 // NetStats aggregates the fabric's wire-level counters across all hosts —
@@ -119,47 +124,55 @@ type NetStats struct {
 	SockErrors    int64 // transient socket errors absorbed by readers
 }
 
-func collectNet(fab *fabric.Fabric) NetStats {
-	var n NetStats
-	for r := 0; r < fab.Size(); r++ {
-		n.add(fab.Endpoint(r).Stats())
+// NetStatsFromSnapshot derives the legacy NetStats view from a telemetry
+// snapshot: the counters live under their canonical registry names
+// (internal/fabric, internal/comm) and this is the only place that maps
+// them back onto the struct the tables and reports consume.
+func NetStatsFromSnapshot(s *telemetry.Snapshot) NetStats {
+	return NetStats{
+		Frames:          s.Counter(fabric.MetricSendFrames),
+		FrameBytes:      s.Counter(fabric.MetricSendBytes),
+		Puts:            s.Counter(fabric.MetricPuts),
+		PutBytes:        s.Counter(fabric.MetricPutBytes),
+		SendRetries:     s.Counter(fabric.MetricSendRetries) + s.Counter(fabric.MetricPutRetries),
+		FramesRecycled:  s.Counter(fabric.MetricFramesRecycled),
+		BatchPolls:      s.Counter(fabric.MetricBatchPolls),
+		MsgsCoalesced:   s.Counter(comm.MetricMsgsCoalesced),
+		CoalescedFrames: s.Counter(comm.MetricBundles),
+		Retransmits:     s.Counter(fabric.MetricRetransmits),
+		Drops:           s.Counter(fabric.MetricPacketsDropped),
+		Acks:            s.Counter(fabric.MetricAcksSent),
+		CreditStalls:    s.Counter(fabric.MetricCreditStalls),
+		SendBatches:     s.Counter(fabric.MetricSendBatches),
+		RecvBatches:     s.Counter(fabric.MetricRecvBatches),
+		PiggybackAcks:   s.Counter(fabric.MetricPiggybackAcks),
+		DelayedAcks:     s.Counter(fabric.MetricDelayedAcks),
+		SockErrors:      s.Counter(fabric.MetricSockErrors),
 	}
-	return n
 }
 
-// add folds one endpoint's counters (simulated or real transport) into n.
-func (n *NetStats) add(st fabric.Stats) {
-	n.Frames += st.SendFrames
-	n.FrameBytes += st.SendBytes
-	n.Puts += st.Puts
-	n.PutBytes += st.PutBytes
-	n.SendRetries += st.SendRetries + st.PutRetries
-	n.FramesRecycled += st.FramesRecycled
-	n.BatchPolls += st.BatchPolls
-	n.Retransmits += st.Retransmits
-	n.Drops += st.PacketsDropped
-	n.Acks += st.AcksSent
-	n.CreditStalls += st.CreditStalls
-	n.SendBatches += st.SendBatches
-	n.RecvBatches += st.RecvBatches
-	n.PiggybackAcks += st.PiggybackAcks
-	n.DelayedAcks += st.DelayedAcks
-	n.SockErrors += st.SockErrors
-}
-
-// coalesceStater is implemented by the layers and streams that pack small
-// messages into bundles (LCILayer, LCIStream).
-type coalesceStater interface {
-	CoalesceStats() comm.CoalesceStats
-}
-
-// addCoalesce folds one endpoint's coalescer counters into n.
-func (n *NetStats) addCoalesce(v any) {
-	if cs, ok := v.(coalesceStater); ok {
-		s := cs.CoalesceStats()
-		n.MsgsCoalesced += s.MsgsCoalesced
-		n.CoalescedFrames += s.CoalescedFrames
+// hostRegistries builds one registry per host (honoring LCI_NO_TELEMETRY)
+// and registers each host's fabric provider into its own, so in-process
+// multi-host runs keep per-rank metrics separable until the final merge.
+func hostRegistries(feps []fabric.Provider) []*telemetry.Registry {
+	regs := make([]*telemetry.Registry, len(feps))
+	for r, fep := range feps {
+		regs[r] = telemetry.New(r)
+		if mr, ok := fep.(fabric.MetricsRegistrar); ok {
+			mr.RegisterMetrics(regs[r])
+		}
 	}
+	return regs
+}
+
+// mergeRegistries freezes every host registry and folds the snapshots into
+// the run-wide view.
+func mergeRegistries(regs []*telemetry.Registry) *telemetry.Snapshot {
+	snaps := make([]*telemetry.Snapshot, len(regs))
+	for i, reg := range regs {
+		snaps[i] = reg.Snapshot()
+	}
+	return telemetry.Merge(snaps...)
 }
 
 // MaxCompute returns the largest per-host compute time.
@@ -209,9 +222,10 @@ func LCIOptions(p, threads int) lci.Options {
 
 // transport builds the per-rank fabric providers for cfg: simulator
 // endpoints, or real loopback UDP endpoints when cfg.Transport is "udp".
-// close tears the UDP sockets down (a no-op for the simulator), and stats
-// aggregates the wire counters either way.
-func transport(cfg *Config) (feps []fabric.Provider, stats func() NetStats, close func()) {
+// close tears the UDP sockets down (a no-op for the simulator). Wire
+// counters come out of each provider's telemetry registration, not a
+// separate return value.
+func transport(cfg *Config) (feps []fabric.Provider, close func()) {
 	if cfg.Transport == "udp" {
 		provs, err := netfabric.NewLoopbackGroup(cfg.Hosts, netfabric.Config{Fault: cfg.Fault})
 		if err != nil {
@@ -221,21 +235,14 @@ func transport(cfg *Config) (feps []fabric.Provider, stats func() NetStats, clos
 		for r := range feps {
 			feps[r] = provs[r]
 		}
-		stats = func() NetStats {
-			var n NetStats
-			for _, p := range provs {
-				n.add(p.Stats())
-			}
-			return n
-		}
-		return feps, stats, func() { netfabric.CloseGroup(provs) }
+		return feps, func() { netfabric.CloseGroup(provs) }
 	}
 	fab := fabric.New(cfg.Hosts, cfg.Profile)
 	feps = make([]fabric.Provider, cfg.Hosts)
 	for r := range feps {
 		feps[r] = fab.Endpoint(r)
 	}
-	return feps, func() NetStats { return collectNet(fab) }, func() {}
+	return feps, func() {}
 }
 
 // RunAbelian executes one Abelian run (vertex-cut partition, Fig. 3
@@ -243,8 +250,9 @@ func transport(cfg *Config) (feps []fabric.Provider, stats func() NetStats, clos
 func RunAbelian(g *graph.Graph, cfg Config) *Result {
 	cfg.fill()
 	pt := partition.Build(g, cfg.Hosts, partition.VertexCut)
-	feps, netStats, closeNet := transport(&cfg)
+	feps, closeNet := transport(&cfg)
 	defer closeNet()
+	regs := hostRegistries(feps)
 
 	var world *mpi.World
 	switch cfg.Layer {
@@ -256,19 +264,24 @@ func RunAbelian(g *graph.Graph, cfg Config) *Result {
 	mk := func(r int) comm.Layer {
 		switch cfg.Layer {
 		case LCI:
-			l := comm.NewLCILayer(feps[r], LCIOptions(cfg.Hosts, cfg.Threads))
+			opt := LCIOptions(cfg.Hosts, cfg.Threads)
+			opt.Telemetry = regs[r]
+			l := comm.NewLCILayer(feps[r], opt)
 			if cfg.NoCoalescing {
 				l.SetCoalescing(false)
 			}
 			return l
 		case MPIProbe:
 			pl := comm.NewProbeLayer(world.Comm(r))
+			pl.SetTelemetry(regs[r])
 			if cfg.NoAggregation {
 				pl.SetAggregation(0, 0)
 			}
 			return pl
 		case MPIRMA:
-			return comm.NewRMALayer(world.Comm(r))
+			rl := comm.NewRMALayer(world.Comm(r))
+			rl.SetTelemetry(regs[r])
+			return rl
 		default:
 			panic("bench: unknown layer " + cfg.Layer)
 		}
@@ -287,10 +300,8 @@ func RunAbelian(g *graph.Graph, cfg Config) *Result {
 	rounds := make([]int, cfg.Hosts)
 	mems := make([]int64, cfg.Hosts)
 	walls := make([]time.Duration, cfg.Hosts)
-	layers := make([]comm.Layer, cfg.Hosts)
-	mkL := func(r int) comm.Layer { layers[r] = mk(r); return layers[r] }
 
-	cluster.Run(cfg.Hosts, cfg.Threads, mkL, func(h *cluster.Host) {
+	cluster.Run(cfg.Hosts, cfg.Threads, mk, func(h *cluster.Host) {
 		// Exclude setup (layer construction, pool allocation) from the
 		// measurement, as the paper excludes graph construction time.
 		h.Barrier()
@@ -334,10 +345,8 @@ func RunAbelian(g *graph.Graph, cfg Config) *Result {
 	res.Wall = maxDur(walls)
 	res.Rounds = rounds[0]
 	res.MemMax, res.MemMin = minMax(mems)
-	res.Net = netStats()
-	for _, l := range layers {
-		res.Net.addCoalesce(l)
-	}
+	res.Snapshot = mergeRegistries(regs)
+	res.Net = NetStatsFromSnapshot(res.Snapshot)
 	return res
 }
 
@@ -346,8 +355,9 @@ func RunAbelian(g *graph.Graph, cfg Config) *Result {
 func RunGemini(g *graph.Graph, cfg Config) *Result {
 	cfg.fill()
 	pt := partition.Build(g, cfg.Hosts, partition.EdgeCutByDst)
-	feps, netStats, closeNet := transport(&cfg)
+	feps, closeNet := transport(&cfg)
 	defer closeNet()
+	regs := hostRegistries(feps)
 
 	var world *mpi.World
 	if cfg.Layer == MPIProbe {
@@ -356,13 +366,17 @@ func RunGemini(g *graph.Graph, cfg Config) *Result {
 	mkStream := func(r int) comm.Stream {
 		switch cfg.Layer {
 		case LCI:
-			s := comm.NewLCIStream(feps[r], LCIOptions(cfg.Hosts, cfg.Threads))
+			opt := LCIOptions(cfg.Hosts, cfg.Threads)
+			opt.Telemetry = regs[r]
+			s := comm.NewLCIStream(feps[r], opt)
 			if cfg.NoCoalescing {
 				s.SetCoalescing(false)
 			}
 			return s
 		case MPIProbe:
-			return comm.NewMPIStream(world.Comm(r))
+			ms := comm.NewMPIStream(world.Comm(r))
+			ms.SetTelemetry(regs[r])
+			return ms
 		default:
 			panic("bench: gemini supports lci and mpi-probe, got " + cfg.Layer)
 		}
@@ -381,13 +395,11 @@ func RunGemini(g *graph.Graph, cfg Config) *Result {
 	rounds := make([]int, cfg.Hosts)
 	mems := make([]int64, cfg.Hosts)
 	walls := make([]time.Duration, cfg.Hosts)
-	streams := make([]comm.Stream, cfg.Hosts)
 
 	cluster.Run(cfg.Hosts, cfg.Threads, func(r int) comm.Layer { return nopLayer{} },
 		func(h *cluster.Host) {
 			hg := pt.Hosts[h.Rank]
 			s := mkStream(h.Rank)
-			streams[h.Rank] = s
 			h.Barrier()
 			start := time.Now()
 			var e *gemini.Engine
@@ -436,10 +448,8 @@ func RunGemini(g *graph.Graph, cfg Config) *Result {
 	res.Wall = maxDur(walls)
 	res.Rounds = rounds[0]
 	res.MemMax, res.MemMin = minMax(mems)
-	res.Net = netStats()
-	for _, s := range streams {
-		res.Net.addCoalesce(s)
-	}
+	res.Snapshot = mergeRegistries(regs)
+	res.Net = NetStatsFromSnapshot(res.Snapshot)
 	return res
 }
 

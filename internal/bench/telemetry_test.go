@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"testing"
+
+	"lcigraph/internal/comm"
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/graph"
+	"lcigraph/internal/netfabric"
+	"lcigraph/internal/trace"
+)
+
+// TestCounterConservationSim checks frame conservation on the simulator:
+// after a full Abelian run quiesces and tears down, every pooled frame the
+// fabric handed out (eager sends and put completions alike) must have been
+// released back to the pool, and none may still be held by a consumer.
+// Run under -race this doubles as a data-race check on the telemetry hot
+// path.
+func TestCounterConservationSim(t *testing.T) {
+	g := testGraph()
+	r := RunAbelian(g, testCfg("pagerank", LCI))
+	if err := Verify(g, r); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Snapshot
+	sent := s.Counter(fabric.MetricSendFrames) + s.Counter(fabric.MetricPuts)
+	recycled := s.Counter(fabric.MetricFramesRecycled)
+	if sent == 0 {
+		t.Fatal("no frames counted: telemetry registration is dark")
+	}
+	if sent != recycled {
+		t.Errorf("frame conservation violated: sends+puts %d != recycled %d", sent, recycled)
+	}
+	if out := s.Gauge(fabric.MetricFramesOutstanding); out != 0 {
+		t.Errorf("%d pooled frames still outstanding after drain", out)
+	}
+}
+
+// TestCounterConservationUDPLossy checks the same invariant over real UDP
+// sockets with fault injection: the reliability layer must deliver every
+// accepted message exactly once despite wire loss, so sender-side accepted
+// frames equal receiver-side recycled frames — and the injected loss must
+// actually show up in the drop counter.
+func TestCounterConservationUDPLossy(t *testing.T) {
+	// A graph big enough that every round's field sync fragments into many
+	// datagrams — at hundreds of wire packets, a 5% injector dropping none
+	// of them is statistically impossible.
+	g := graph.Named("web", 11, 7)
+	cfg := Config{App: "pagerank", Layer: LCI, Hosts: 4, Threads: 2,
+		Transport: "udp", Source: 1, PRIters: 10,
+		Fault: netfabric.Fault{Loss: 0.05, Dup: 0.02, Reorder: 0.02, Seed: 11}}
+	r := RunAbelian(g, cfg)
+	if err := Verify(g, r); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Snapshot
+	sent := s.Counter(fabric.MetricSendFrames)
+	recycled := s.Counter(fabric.MetricFramesRecycled)
+	if sent == 0 {
+		t.Fatal("no frames counted: telemetry registration is dark")
+	}
+	if sent != recycled {
+		t.Errorf("frame conservation violated under loss: sent %d != recycled %d", sent, recycled)
+	}
+	if s.Counter(fabric.MetricPacketsDropped) == 0 {
+		t.Error("5% injected loss dropped no datagrams")
+	}
+	if s.Counter(fabric.MetricRetransmits) == 0 {
+		t.Error("loss recovery performed no retransmits")
+	}
+}
+
+// TestRunSnapshotAndTraceVolumes checks the snapshot plumbing end to end: a
+// run's merged snapshot carries the per-layer message-size histogram, the
+// derived NetStats agree with it, and traced rounds are annotated with the
+// per-round message/byte deltas taken from that histogram.
+func TestRunSnapshotAndTraceVolumes(t *testing.T) {
+	g := testGraph()
+	cfg := testCfg("bfs", LCI)
+	tr := trace.New()
+	cfg.Trace = tr
+	r := RunAbelian(g, cfg)
+	if err := Verify(g, r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot == nil || r.Snapshot.Ranks != cfg.Hosts {
+		t.Fatalf("snapshot missing or wrong rank count: %+v", r.Snapshot)
+	}
+	h := r.Snapshot.Hist(comm.MsgBytesMetric("lci"))
+	if h.Count == 0 || h.Sum == 0 {
+		t.Fatalf("lci message-size histogram empty: %+v", h)
+	}
+	if r.Net.Frames == 0 || r.Net.Frames != r.Snapshot.Counter(fabric.MetricSendFrames) {
+		t.Errorf("NetStats not derived from snapshot: frames %d vs counter %d",
+			r.Net.Frames, r.Snapshot.Counter(fabric.MetricSendFrames))
+	}
+	sum := tr.Summarize()
+	if sum.Rounds == 0 {
+		t.Fatal("trace recorded no rounds")
+	}
+	if sum.Msgs == 0 || sum.Bytes == 0 {
+		t.Errorf("traced rounds carry no traffic: msgs=%d bytes=%d", sum.Msgs, sum.Bytes)
+	}
+	if sum.Msgs > h.Count || sum.Bytes > h.Sum {
+		t.Errorf("traced volumes exceed histogram totals: msgs %d>%d or bytes %d>%d",
+			sum.Msgs, h.Count, sum.Bytes, h.Sum)
+	}
+}

@@ -40,12 +40,14 @@ type Host struct {
 type syncer interface {
 	barrier(h *Host)
 	allreduce(h *Host, v int64, op func(a, b int64) int64) int64
+	gather(h *Host, root int, payload []byte, maxLen int) [][]byte
 }
 
 // localJob implements collectives over shared memory for in-process jobs.
 type localJob struct {
-	bar  *Barrier
-	vals []int64
+	bar   *Barrier
+	vals  []int64
+	parts [][]byte
 }
 
 func (j *localJob) barrier(h *Host) { j.bar.Wait() }
@@ -59,6 +61,18 @@ func (j *localJob) allreduce(h *Host, v int64, op func(a, b int64) int64) int64 
 	}
 	j.bar.Wait() // nobody overwrites vals until all have read
 	return acc
+}
+
+func (j *localJob) gather(h *Host, root int, payload []byte, maxLen int) [][]byte {
+	j.parts[h.Rank] = payload
+	j.bar.Wait()
+	var out [][]byte
+	if h.Rank == root {
+		out = make([][]byte, h.P)
+		copy(out, j.parts)
+	}
+	j.bar.Wait() // nobody reuses parts until the root has read
+	return out
 }
 
 // netJob implements collectives as an allgather over the communication
@@ -100,11 +114,44 @@ func (n netJob) barrier(h *Host) {
 	n.allreduce(h, 0, func(a, b int64) int64 { return 0 })
 }
 
+// gather ships every rank's payload to root over the layer. Exchange is
+// collective per tag, so every rank calls it: non-roots send their payload
+// to root and expect nothing; root sends nothing and collects P-1 payloads
+// (bounded by maxLen each). Payloads above the eager limit simply ride the
+// layer's rendezvous path.
+func (netJob) gather(h *Host, root int, payload []byte, maxLen int) [][]byte {
+	out := make([][]byte, h.P)
+	expect := make([]bool, h.P)
+	recvMax := make([]int, h.P)
+	if h.Rank == root {
+		for p := 0; p < h.P; p++ {
+			if p != h.Rank {
+				expect[p] = true
+				recvMax[p] = maxLen
+			}
+		}
+	} else {
+		b := h.Layer.AllocBuf(len(payload))
+		copy(b, payload)
+		out[root] = b
+	}
+	var parts [][]byte
+	if h.Rank == root {
+		parts = make([][]byte, h.P)
+		parts[root] = payload
+	}
+	h.Layer.Exchange(CollectiveTag, out, expect, recvMax,
+		func(peer int, data []byte) {
+			parts[peer] = append([]byte(nil), data...)
+		})
+	return parts
+}
+
 // Run executes body on p hosts concurrently in this process, each with
 // threads compute workers and the layer built by mkLayer, and tears
 // everything down when all bodies return.
 func Run(p, threads int, mkLayer func(rank int) comm.Layer, body func(h *Host)) {
-	j := &localJob{bar: NewBarrier(p), vals: make([]int64, p)}
+	j := &localJob{bar: NewBarrier(p), vals: make([]int64, p), parts: make([][]byte, p)}
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
@@ -152,6 +199,15 @@ func (h *Host) Barrier() { h.sync.barrier(h) }
 // (global active-vertex counts) at the end of each BSP round.
 func (h *Host) Allreduce(v int64, op func(a, b int64) int64) int64 {
 	return h.sync.allreduce(h, v, op)
+}
+
+// GatherBytes collects every rank's payload at root (a collective — every
+// rank must call it). On root it returns P slices indexed by rank (root's
+// own entry aliases payload); on other ranks it returns nil. maxLen bounds
+// each contribution; it is the receive allocation hint for out-of-process
+// jobs. It backs the cross-rank telemetry aggregation in cmd/lci-launch.
+func (h *Host) GatherBytes(root int, payload []byte, maxLen int) [][]byte {
+	return h.sync.gather(h, root, payload, maxLen)
 }
 
 // AllreduceSum is Allreduce with addition.

@@ -75,6 +75,54 @@ func TestAllreduce(t *testing.T) {
 	})
 }
 
+func checkGather(t *testing.T, h *Host, parts [][]byte, mk func(rank int) []byte) {
+	t.Helper()
+	if h.Rank != 0 {
+		if parts != nil {
+			t.Errorf("rank %d: non-root gather returned parts", h.Rank)
+		}
+		return
+	}
+	if len(parts) != h.P {
+		t.Errorf("root gathered %d parts, want %d", len(parts), h.P)
+		return
+	}
+	for r, got := range parts {
+		want := mk(r)
+		if string(got) != string(want) {
+			t.Errorf("rank %d part mismatch: %d bytes vs %d", r, len(got), len(want))
+		}
+	}
+}
+
+func TestGatherBytesLocal(t *testing.T) {
+	const p = 5
+	mk := func(r int) []byte { return []byte{byte(r), byte(r + 1), byte(r + 2)} }
+	Run(p, 1, lciLayers(p), func(h *Host) {
+		parts := h.GatherBytes(0, mk(h.Rank), 16)
+		checkGather(t, h, parts, mk)
+	})
+}
+
+func TestRunRankGather(t *testing.T) {
+	const p = 4
+	// Payloads big enough to exercise the rendezvous path under the test
+	// profile, and rank-dependent sizes so misrouted parts are caught.
+	mk := func(r int) []byte {
+		b := make([]byte, 9000+100*r)
+		for i := range b {
+			b[i] = byte(r + i)
+		}
+		return b
+	}
+	runRanks(t, p, func(h *Host) {
+		for round := 0; round < 3; round++ {
+			parts := h.GatherBytes(0, mk(h.Rank), 16<<10)
+			checkGather(t, h, parts, mk)
+		}
+	})
+}
+
 func TestBarrierReuse(t *testing.T) {
 	b := NewBarrier(3)
 	done := make(chan int, 3)

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"sync"
 	"sync/atomic"
+
+	"lcigraph/internal/telemetry"
 )
 
 // This file holds the eager coalescer and the record framing it shares with
@@ -126,6 +128,7 @@ type coalescer struct {
 
 	msgsCoalesced   atomic.Int64
 	coalescedFrames atomic.Int64
+	recHist         *telemetry.Histogram // records per shipped bundle
 }
 
 // coalRec is one parked message held by reference.
@@ -231,6 +234,7 @@ func (c *coalescer) flushLocked(worker int, d *coalDest, dst int, block, drain b
 		}
 		c.msgsCoalesced.Add(int64(n))
 		c.coalescedFrames.Add(1)
+		c.recHist.Observe(int64(n))
 		d.buf, d.nrec = nil, 0
 		return true
 	}

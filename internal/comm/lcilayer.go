@@ -7,6 +7,7 @@ import (
 	lci "lcigraph/internal/core"
 	"lcigraph/internal/fabric"
 	"lcigraph/internal/memtrack"
+	"lcigraph/internal/telemetry"
 )
 
 // LCILayer is the §III-D communication layer: the calling thread uses
@@ -37,6 +38,8 @@ type LCILayer struct {
 	// coal packs small fused per-peer messages of one epoch into
 	// near-eager-limit bundles; FinishFused flushes it structurally.
 	coal *coalescer
+
+	met layerMetrics
 
 	stop chan struct{}
 }
@@ -83,9 +86,14 @@ func NewLCILayer(fep fabric.Provider, opt lci.Options) *LCILayer {
 	l.coal = newCoalescer(fep.Size(), l.ep.EagerLimit(), l.emit,
 		l.tracker.Free,
 		func(n int) []byte { return make([]byte, n) }, func([]byte) {})
+	l.met = newLayerMetrics(opt.Telemetry, l.Name())
+	l.coal.initTelemetry(l.met.reg)
 	go l.ep.Serve(l.stop)
 	return l
 }
+
+// Telemetry returns the layer's metrics registry.
+func (l *LCILayer) Telemetry() *telemetry.Registry { return l.met.reg }
 
 // SetCoalescing toggles fused-send coalescing (ablation knob). Call before
 // any traffic.
@@ -190,6 +198,7 @@ func (l *LCILayer) Exchange(tag uint32, out [][]byte, expect []bool, recvMax []i
 		if p == l.rank || buf == nil {
 			continue
 		}
+		l.met.msgBytes.Observe(int64(len(buf)))
 		l.sendOne(l.worker, p, eff, buf, true)
 	}
 
@@ -220,9 +229,11 @@ func (l *LCILayer) sendOne(worker, peer int, eff uint32, buf []byte, mayPoll boo
 // reusable (nil means "free buf's tracked bytes"). A non-block emit returns
 // false on pool exhaustion instead of retrying.
 func (l *LCILayer) emit(worker, dst int, tag uint32, data []byte, done func(), block, drain bool) bool {
+	var spins int64
 	for {
 		r, ok := l.ep.SendEnq(worker, dst, tag, data)
 		if ok {
+			l.met.observeSpins(spins)
 			if r.Done() {
 				sendInFlight{buf: data, done: done}.finish(&l.tracker)
 			} else {
@@ -235,6 +246,7 @@ func (l *LCILayer) emit(worker, dst int, tag uint32, data []byte, done func(), b
 		if !block {
 			return false
 		}
+		spins++
 		// Pool exhausted: retriable, never fatal.
 		if !drain || !l.poll() {
 			runtime.Gosched()
@@ -257,6 +269,7 @@ func (l *LCILayer) SendFused(thread, peer int, eff uint32, buf []byte) {
 	if peer == l.rank || buf == nil {
 		return
 	}
+	l.met.msgBytes.Observe(int64(len(buf)))
 	l.coal.add(l.workers[thread%maxStreamThreads], peer, eff, buf, nil)
 }
 

@@ -1,0 +1,74 @@
+package comm
+
+import "lcigraph/internal/telemetry"
+
+// Registry names for the communication layers (DESIGN.md §11). The
+// message-size histogram is per layer/stream (label `layer`), so one
+// process running an LCI layer next to an MPI baseline keeps their traffic
+// profiles separate; everything else is shared across layers.
+const (
+	MetricBundleRecords  = "lci_comm_bundle_records"
+	MetricSendRetrySpins = "lci_comm_send_retry_spins"
+	MetricMsgsCoalesced  = "lci_comm_msgs_coalesced_total"
+	MetricBundles        = "lci_comm_bundles_total"
+)
+
+// MsgBytesMetric returns the per-layer logical message-size histogram name.
+// The histogram's count is the number of logical messages and its sum the
+// logical payload bytes, so one observation per send covers Fig. 4's
+// messages/bytes axes at once.
+func MsgBytesMetric(layer string) string {
+	return `lci_comm_msg_bytes{layer="` + layer + `"}`
+}
+
+// TelemetryProvider is implemented by layers and streams wired to a
+// registry. Harnesses type-assert for it, keeping the Layer and Stream
+// interfaces (and their test fakes) unchanged.
+type TelemetryProvider interface {
+	Telemetry() *telemetry.Registry
+}
+
+// layerMetrics is the per-layer handle set. The zero value is a no-op
+// (nil-safe telemetry methods), so a disabled registry costs one branch per
+// send.
+type layerMetrics struct {
+	reg        *telemetry.Registry
+	msgBytes   *telemetry.Histogram
+	retrySpins *telemetry.Histogram
+}
+
+func newLayerMetrics(reg *telemetry.Registry, layer string) layerMetrics {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	m := layerMetrics{reg: reg}
+	if !reg.Enabled() {
+		return m
+	}
+	m.msgBytes = reg.Histogram(MsgBytesMetric(layer))
+	m.retrySpins = reg.Histogram(MetricSendRetrySpins)
+	return m
+}
+
+// observeSpins records how long a send spun on pool exhaustion before being
+// accepted. Unblocked sends (the overwhelmingly common case) skip the
+// histogram entirely, so the spin distribution shows only actual
+// back-pressure events.
+func (m *layerMetrics) observeSpins(spins int64) {
+	if spins > 0 {
+		m.retrySpins.Observe(spins)
+	}
+}
+
+// initTelemetry wires the coalescer's counters and bundle-occupancy
+// histogram into reg. The existing atomics stay authoritative (read at
+// snapshot time); only the records-per-bundle distribution needs a live
+// histogram.
+func (c *coalescer) initTelemetry(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	c.recHist = reg.Histogram(MetricBundleRecords)
+	reg.CounterFunc(MetricMsgsCoalesced, c.msgsCoalesced.Load)
+	reg.CounterFunc(MetricBundles, c.coalescedFrames.Load)
+}

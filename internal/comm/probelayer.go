@@ -8,6 +8,7 @@ import (
 	"lcigraph/internal/concurrent"
 	"lcigraph/internal/memtrack"
 	"lcigraph/internal/mpi"
+	"lcigraph/internal/telemetry"
 )
 
 // ProbeLayer is the §III-B baseline: two-sided MPI in THREAD_FUNNELED mode.
@@ -33,6 +34,9 @@ type ProbeLayer struct {
 
 	aggLimit   int
 	aggTimeout time.Duration
+
+	met     layerMetrics
+	recHist *telemetry.Histogram // records per shipped MPI bundle
 }
 
 type sendReq struct {
@@ -61,8 +65,19 @@ func NewProbeLayer(c *mpi.Comm) *ProbeLayer {
 		aggLimit:   c.Impl().EagerLimit,
 		aggTimeout: 50 * time.Microsecond,
 	}
+	l.SetTelemetry(nil)
 	go l.commThread()
 	return l
+}
+
+// Telemetry returns the layer's metrics registry.
+func (l *ProbeLayer) Telemetry() *telemetry.Registry { return l.met.reg }
+
+// SetTelemetry rewires the layer onto reg (nil selects the process default).
+// Call before any traffic.
+func (l *ProbeLayer) SetTelemetry(reg *telemetry.Registry) {
+	l.met = newLayerMetrics(reg, l.Name())
+	l.recHist = l.met.reg.Histogram(MetricBundleRecords)
 }
 
 // Name implements Layer.
@@ -107,6 +122,7 @@ func (l *ProbeLayer) Exchange(tag uint32, out [][]byte, expect []bool, recvMax [
 		if p == l.rank || buf == nil {
 			continue
 		}
+		l.met.msgBytes.Observe(int64(len(buf)))
 		l.inflight.Add(1)
 		l.sendq.Push(sendReq{dst: p, eff: eff, data: buf, track: len(buf)})
 	}
@@ -171,7 +187,9 @@ func (l *ProbeLayer) commThread() {
 		if err != nil {
 			panic("probe layer: " + err.Error())
 		}
-		sends = append(sends, pendingSend{req: req, buf: buf, msgs: countRecords(buf)})
+		n := countRecords(buf)
+		l.recHist.Observe(int64(n))
+		sends = append(sends, pendingSend{req: req, buf: buf, msgs: n})
 	}
 
 	stopping := false

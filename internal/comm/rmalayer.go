@@ -7,6 +7,7 @@ import (
 
 	"lcigraph/internal/memtrack"
 	"lcigraph/internal/mpi"
+	"lcigraph/internal/telemetry"
 )
 
 // RMALayer is the §III-C one-sided baseline. For each communication tag it
@@ -30,6 +31,7 @@ type RMALayer struct {
 	tracker memtrack.Tracker
 	wins    map[uint32]*tagWins
 	others  []int
+	met     layerMetrics
 	stop    chan struct{}
 	done    chan struct{}
 }
@@ -56,6 +58,7 @@ func NewRMALayer(c *mpi.Comm) *RMALayer {
 			l.others = append(l.others, p)
 		}
 	}
+	l.met = newLayerMetrics(nil, l.Name())
 	// The dedicated communication thread continuously polls the network to
 	// ensure forward progress for RMA operations.
 	go func() {
@@ -86,6 +89,15 @@ func NewRMALayer(c *mpi.Comm) *RMALayer {
 
 // Name implements Layer.
 func (l *RMALayer) Name() string { return "mpi-rma" }
+
+// Telemetry returns the layer's metrics registry.
+func (l *RMALayer) Telemetry() *telemetry.Registry { return l.met.reg }
+
+// SetTelemetry rewires the layer onto reg (nil selects the process default).
+// Call before any traffic.
+func (l *RMALayer) SetTelemetry(reg *telemetry.Registry) {
+	l.met = newLayerMetrics(reg, l.Name())
+}
 
 // Tracker implements Layer.
 func (l *RMALayer) Tracker() *memtrack.Tracker { return &l.tracker }
@@ -152,6 +164,7 @@ func (l *RMALayer) Exchange(tag uint32, out [][]byte, expect []bool, recvMax []i
 		data := out[p]
 		putLen(hdr[:], len(data))
 		if len(data) > 0 {
+			l.met.msgBytes.Observe(int64(len(data)))
 			if err := self.Put(p, 8, data); err != nil {
 				panic("rma layer: " + err.Error())
 			}

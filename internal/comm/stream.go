@@ -9,6 +9,7 @@ import (
 	"lcigraph/internal/fabric"
 	"lcigraph/internal/memtrack"
 	"lcigraph/internal/mpi"
+	"lcigraph/internal/telemetry"
 )
 
 // Stream is the communication shape Gemini uses (§IV-B1): many compute
@@ -60,6 +61,8 @@ type LCIStream struct {
 	ready     []Message
 	readyHead int
 
+	met layerMetrics
+
 	stop      chan struct{}
 	flushDone chan struct{}
 }
@@ -76,10 +79,15 @@ func NewLCIStream(fep fabric.Provider, opt lci.Options) *LCIStream {
 	s.coal = newCoalescer(fep.Size(), s.ep.EagerLimit(), s.emit,
 		s.tracker.Free,
 		func(n int) []byte { return make([]byte, n) }, func([]byte) {})
+	s.met = newLayerMetrics(opt.Telemetry, s.Name())
+	s.coal.initTelemetry(s.met.reg)
 	go s.ep.Serve(s.stop)
 	go s.flushLoop()
 	return s
 }
+
+// Telemetry returns the stream's metrics registry.
+func (s *LCIStream) Telemetry() *telemetry.Registry { return s.met.reg }
 
 // SetCoalescing toggles send coalescing (ablation knob). Call before any
 // traffic.
@@ -134,15 +142,18 @@ func (s *LCIStream) Stop() {
 
 // SendMsg implements Stream.
 func (s *LCIStream) SendMsg(thread, peer int, tag uint32, data []byte) {
+	s.met.msgBytes.Observe(int64(len(data)))
 	s.coal.add(s.workers[thread%maxStreamThreads], peer, tag, data, nil)
 }
 
 // emit is the coalescer's send hook: one SEND-ENQ with the stream's retry
 // and in-flight bookkeeping. done runs once data is reusable.
 func (s *LCIStream) emit(worker, dst int, tag uint32, data []byte, done func(), block, _ bool) bool {
+	var spins int64
 	for {
 		r, ok := s.ep.SendEnq(worker, dst, tag, data)
 		if ok {
+			s.met.observeSpins(spins)
 			if r.Done() {
 				sendInFlight{buf: data, done: done}.finish(&s.tracker)
 			} else {
@@ -155,6 +166,7 @@ func (s *LCIStream) emit(worker, dst int, tag uint32, data []byte, done func(), 
 		if !block {
 			return false
 		}
+		spins++
 		s.reapSends()
 		runtime.Gosched()
 	}
@@ -246,6 +258,8 @@ type MPIStream struct {
 	pendSend []pendingMPISend
 
 	pendRecv []pendingRecv
+
+	met layerMetrics
 }
 
 type pendingMPISend struct {
@@ -255,7 +269,18 @@ type pendingMPISend struct {
 
 // NewMPIStream builds the MPI stream over comm c (ThreadMultiple mode).
 func NewMPIStream(c *mpi.Comm) *MPIStream {
-	return &MPIStream{c: c}
+	s := &MPIStream{c: c}
+	s.met = newLayerMetrics(nil, s.Name())
+	return s
+}
+
+// Telemetry returns the stream's metrics registry.
+func (s *MPIStream) Telemetry() *telemetry.Registry { return s.met.reg }
+
+// SetTelemetry rewires the stream onto reg (harnesses running several
+// in-process ranks give each its own registry). Call before any traffic.
+func (s *MPIStream) SetTelemetry(reg *telemetry.Registry) {
+	s.met = newLayerMetrics(reg, s.Name())
 }
 
 // Name implements Stream.
@@ -286,6 +311,7 @@ func (s *MPIStream) Stop() {
 
 // SendMsg implements Stream.
 func (s *MPIStream) SendMsg(thread, peer int, tag uint32, data []byte) {
+	s.met.msgBytes.Observe(int64(len(data)))
 	req, err := s.c.Isend(data, peer, int(tag))
 	if err != nil {
 		panic("mpi stream: " + err.Error())

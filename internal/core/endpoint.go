@@ -3,9 +3,11 @@ package lci
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"lcigraph/internal/concurrent"
 	"lcigraph/internal/fabric"
+	"lcigraph/internal/telemetry"
 )
 
 // Allocator provides the receive-side buffers for rendezvous messages (the
@@ -37,6 +39,10 @@ type Options struct {
 	Workers int
 	// Allocator provides rendezvous receive buffers.
 	Allocator Allocator
+	// Telemetry is the metrics registry the endpoint reports into. Nil
+	// selects the process-wide default registry (which honours
+	// LCI_NO_TELEMETRY); pass telemetry.NewDisabled to opt out explicitly.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Options) fill() {
@@ -154,6 +160,12 @@ type Endpoint struct {
 	statRendezvous atomic.Int64
 	statSendFails  atomic.Int64
 	statRecvs      atomic.Int64
+
+	// m holds the telemetry handles (zero value when disabled: all methods
+	// are nil-safe no-ops). progressSeq is the sampling clock for the timed
+	// progress iterations; it is touched only by the server goroutine.
+	m           coreMetrics
+	progressSeq uint64
 }
 
 // Stats are endpoint-level counters for observability and tests.
@@ -199,6 +211,11 @@ func NewEndpoint(fep fabric.Provider, opt Options) *Endpoint {
 		eagerLimit: eager,
 	}
 	e.serverWorker = e.pool.RegisterWorker()
+	reg := opt.Telemetry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	e.initMetrics(reg)
 	return e
 }
 
@@ -237,14 +254,22 @@ func (e *Endpoint) SendEnq(worker, dst int, tag uint32, buf []byte) (*Request, b
 		pkt.header = packHeader(EGR, tag)
 		pkt.meta = 0
 		r.markDone()
-		e.statEager.Add(1)
+		// Sample injection latency (SEND-ENQ to fabric accept, outbox
+		// deferral included) every Nth eager send off the counter we
+		// already pay for; unsampled sends skip the clock reads entirely.
+		var t0 time.Time
+		if n := e.statEager.Add(1); e.m.eagerLat != nil && n&eagerSampleMask == 0 {
+			t0 = time.Now()
+		}
 		if err := e.fep.Send(dst, pkt.header, pkt.meta, pkt.payload()); err != nil {
 			if err != fabric.ErrResource {
 				panic(fmt.Sprintf("lci: eager send: %v", err))
 			}
+			pkt.t0 = t0
 			e.out.Push(outItem{kind: outPacket, dst: dst, pkt: pkt})
 			return r, true
 		}
+		e.observeEagerLatency(t0)
 		e.pool.Free(worker, pkt)
 		return r, true
 	}
@@ -328,6 +353,7 @@ func (e *Endpoint) RecvDeq() (*Request, bool) {
 		}
 		header := packHeader(RTR, rid)
 		meta := packMeta(sid, rkey)
+		e.m.txRTR.Add(1)
 		if err := e.fep.Send(f.Src, header, meta, nil); err != nil {
 			if err != fabric.ErrResource {
 				panic(fmt.Sprintf("lci: rtr send: %v", err))

@@ -1,0 +1,123 @@
+package lci
+
+import (
+	"time"
+
+	"lcigraph/internal/telemetry"
+)
+
+// Registry names for the endpoint's own metrics (DESIGN.md §11).
+const (
+	MetricTxEGR = `lci_core_tx_packets_total{proto="egr"}`
+	MetricTxRTS = `lci_core_tx_packets_total{proto="rts"}`
+	MetricTxRTR = `lci_core_tx_packets_total{proto="rtr"}`
+	MetricTxFRG = `lci_core_tx_packets_total{proto="frg"}`
+
+	MetricRxEGR     = `lci_core_rx_packets_total{proto="egr"}`
+	MetricRxRTS     = `lci_core_rx_packets_total{proto="rts"}`
+	MetricRxRTR     = `lci_core_rx_packets_total{proto="rtr"}`
+	MetricRxFRG     = `lci_core_rx_packets_total{proto="frg"}`
+	MetricRxPutDone = `lci_core_rx_packets_total{proto="put_done"}`
+
+	MetricSendFailures = "lci_core_send_failures_total"
+	MetricRecvDeq      = "lci_core_recv_deq_total"
+
+	MetricPollsBusy = `lci_core_progress_polls_total{state="busy"}`
+	MetricPollsIdle = `lci_core_progress_polls_total{state="idle"}`
+
+	MetricPoolFree     = "lci_core_pool_free"
+	MetricPoolCapacity = "lci_core_pool_capacity"
+	MetricQueueDepth   = "lci_core_queue_depth"
+
+	MetricProgressIterNS = "lci_core_progress_iter_ns"
+	MetricEagerLatencyNS = "lci_core_eager_latency_ns"
+)
+
+// Sampling strides for the timed paths. Calling time.Now() per message (or
+// per progress poll) would dwarf the 64-byte datapath itself, so latency
+// histograms sample every Nth event; the untimed events still count through
+// the cheap atomic counters.
+const (
+	eagerSampleMask    = 64 - 1  // time every 64th eager send
+	progressSampleMask = 256 - 1 // time every 256th progress iteration
+)
+
+// coreMetrics holds the endpoint's live metric handles. The zero value (all
+// nil) is fully operative as a no-op: telemetry.Counter and Histogram
+// methods are nil-safe, so a disabled registry costs one predictable-branch
+// nil check per site.
+type coreMetrics struct {
+	rxEGR, rxRTS, rxRTR, rxFRG, rxPutDone *telemetry.Counter
+	txRTR, txFRG                          *telemetry.Counter
+	busy, idle                            *telemetry.Counter
+	progressIter                          *telemetry.Histogram
+	eagerLat                              *telemetry.Histogram
+
+	// Busy/idle poll tallies accumulate in plain fields — Progress runs on
+	// one goroutine, and a spinning progress loop calls it millions of times
+	// a second, so even an uncontended atomic per iteration is measurable on
+	// the 64 B datapath. flushPolls folds them into the registry counters
+	// once per sampling window (the counters lag by < progressSampleMask+1
+	// polls, irrelevant against the idle spin rate).
+	busyN, idleN int64
+}
+
+// countPoll classifies one Progress call as busy or idle; the ratio is the
+// paper's progress-engine utilization signal.
+func (m *coreMetrics) countPoll(worked bool) {
+	if worked {
+		m.busyN++
+	} else {
+		m.idleN++
+	}
+}
+
+// flushPolls publishes the accumulated busy/idle tallies.
+func (m *coreMetrics) flushPolls() {
+	if m.busyN > 0 {
+		m.busy.Add(m.busyN)
+		m.busyN = 0
+	}
+	if m.idleN > 0 {
+		m.idle.Add(m.idleN)
+		m.idleN = 0
+	}
+}
+
+// initMetrics wires the endpoint into reg. The existing stat atomics stay
+// the source of truth for TX/EGR/RTS, failures, and receives — they are
+// re-read at snapshot time via counter funcs; only packet types with no
+// pre-existing counter (RTR, FRG, per-proto RX) get live registry counters.
+func (e *Endpoint) initMetrics(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	e.m = coreMetrics{
+		rxEGR:        reg.Counter(MetricRxEGR),
+		rxRTS:        reg.Counter(MetricRxRTS),
+		rxRTR:        reg.Counter(MetricRxRTR),
+		rxFRG:        reg.Counter(MetricRxFRG),
+		rxPutDone:    reg.Counter(MetricRxPutDone),
+		txRTR:        reg.Counter(MetricTxRTR),
+		txFRG:        reg.Counter(MetricTxFRG),
+		busy:         reg.Counter(MetricPollsBusy),
+		idle:         reg.Counter(MetricPollsIdle),
+		progressIter: reg.Histogram(MetricProgressIterNS),
+		eagerLat:     reg.Histogram(MetricEagerLatencyNS),
+	}
+	reg.CounterFunc(MetricTxEGR, e.statEager.Load)
+	reg.CounterFunc(MetricTxRTS, e.statRendezvous.Load)
+	reg.CounterFunc(MetricSendFailures, e.statSendFails.Load)
+	reg.CounterFunc(MetricRecvDeq, e.statRecvs.Load)
+	reg.GaugeFunc(MetricPoolFree, telemetry.AggSum, func() int64 { return int64(e.pool.FreeCount()) })
+	reg.GaugeFunc(MetricPoolCapacity, telemetry.AggSum, func() int64 { return int64(e.pool.Capacity()) })
+	reg.GaugeFunc(MetricQueueDepth, telemetry.AggSum, func() int64 { return int64(e.q.Len()) })
+}
+
+// observeEagerLatency finishes a sampled eager injection-latency
+// measurement (t0 zero means the send was not sampled).
+func (e *Endpoint) observeEagerLatency(t0 time.Time) {
+	if !t0.IsZero() {
+		e.m.eagerLat.Observe(time.Since(t0).Nanoseconds())
+	}
+}

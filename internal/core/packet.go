@@ -1,5 +1,7 @@
 package lci
 
+import "time"
+
 // PacketType is the LCI wire packet discriminator (Algorithm 3's cases).
 type PacketType uint8
 
@@ -56,8 +58,9 @@ type Packet struct {
 	dst    int
 	header uint64
 	meta   uint64
-	src    []byte   // rendezvous source buffer (RTS)
-	req    *Request // owning request (RTS)
+	src    []byte    // rendezvous source buffer (RTS)
+	req    *Request  // owning request (RTS)
+	t0     time.Time // sampled eager-latency start (zero: not sampled)
 }
 
 // payload returns the bytes this packet would put on the wire.
@@ -77,4 +80,5 @@ func (p *Packet) reset() {
 	p.meta = 0
 	p.src = nil
 	p.req = nil
+	p.t0 = time.Time{}
 }

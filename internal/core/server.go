@@ -36,6 +36,21 @@ const progressBatch = 64
 // returns true if any work was done. It must be called from a single
 // goroutine (the dedicated communication server).
 func (e *Endpoint) Progress() bool {
+	e.progressSeq++
+	if e.m.progressIter != nil && e.progressSeq&progressSampleMask == 0 {
+		t0 := time.Now()
+		worked := e.progressStep()
+		e.m.progressIter.Observe(time.Since(t0).Nanoseconds())
+		e.m.countPoll(worked)
+		e.m.flushPolls()
+		return worked
+	}
+	worked := e.progressStep()
+	e.m.countPoll(worked)
+	return worked
+}
+
+func (e *Endpoint) progressStep() bool {
 	worked := e.flushOutbox()
 	if e.pumpFragments() {
 		worked = true
@@ -55,28 +70,55 @@ func (e *Endpoint) Progress() bool {
 	}
 
 	var batch [progressBatch]*fabric.Frame
+	// Per-protocol RX tallies accumulate in locals and flush to the
+	// registry once per batch, keeping the per-frame dispatch cost at a
+	// register increment.
+	var rxEgr, rxRts, rxRtr, rxFrg, rxPut int64
 	n := e.fep.PollBatch(batch[:])
 	for _, f := range batch[:n] {
 		switch {
 		case f.Kind == fabric.KindPutDone:
+			rxPut++
 			e.completePut(f)
 			f.Release()
 		default:
 			switch headerType(f.Header) {
 			case EGR, RTS:
+				if headerType(f.Header) == EGR {
+					rxEgr++
+				} else {
+					rxRts++
+				}
 				if !e.q.Enqueue(f) {
 					e.stash = append(e.stash, f)
 				}
 			case RTR:
+				rxRtr++
 				e.handleRTR(f)
 				f.Release()
 			case FRG:
+				rxFrg++
 				e.handleFragment(f)
 				f.Release()
 			default:
 				panic(fmt.Sprintf("lci: unknown packet type %d", headerType(f.Header)))
 			}
 		}
+	}
+	if rxEgr > 0 {
+		e.m.rxEGR.Add(rxEgr)
+	}
+	if rxRts > 0 {
+		e.m.rxRTS.Add(rxRts)
+	}
+	if rxRtr > 0 {
+		e.m.rxRTR.Add(rxRtr)
+	}
+	if rxFrg > 0 {
+		e.m.rxFRG.Add(rxFrg)
+	}
+	if rxPut > 0 {
+		e.m.rxPutDone.Add(rxPut)
 	}
 	return worked || n > 0
 }
@@ -116,6 +158,7 @@ func (e *Endpoint) flushOutbox() bool {
 			err = e.fep.Send(it.pkt.dst, it.pkt.header, it.pkt.meta, it.pkt.payload())
 			if err == nil {
 				if it.pkt.ptype == EGR {
+					e.observeEagerLatency(it.pkt.t0)
 					e.pool.Free(e.serverWorker, it.pkt)
 				}
 				// RTS packets stay allocated until the rendezvous completes.
@@ -183,6 +226,7 @@ func (e *Endpoint) pumpFragments() bool {
 	}
 	worked := false
 	keep := e.frags[:0]
+	var sent int64
 	for _, j := range e.frags {
 		for j.off < len(j.src) {
 			chunk := j.src[j.off:]
@@ -197,6 +241,7 @@ func (e *Endpoint) pumpFragments() bool {
 				panic(fmt.Sprintf("lci: fragment send: %v", err))
 			}
 			j.off += len(chunk)
+			sent++
 			worked = true
 		}
 		if j.off < len(j.src) {
@@ -206,6 +251,9 @@ func (e *Endpoint) pumpFragments() bool {
 		}
 	}
 	e.frags = keep
+	if sent > 0 {
+		e.m.txFRG.Add(sent)
+	}
 	return worked
 }
 

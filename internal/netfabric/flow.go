@@ -71,12 +71,12 @@ type flow struct {
 
 	// ---- send side ----
 	mu          sync.Mutex
-	nextSeq     uint32 // next sequence number to assign
-	baseSeq     uint32 // oldest unacked sequence number
-	unacked     txRing // in-flight + pending packets, seq order
-	unsent      int    // tail entries of unacked not yet on the wire
-	msgsSent    uint64 // messages injected into this flow
-	creditLimit uint64 // absolute message budget advertised by the peer
+	nextSeq     uint32   // next sequence number to assign
+	baseSeq     uint32   // oldest unacked sequence number
+	unacked     txRing   // in-flight + pending packets, seq order
+	unsent      int      // tail entries of unacked not yet on the wire
+	msgsSent    uint64   // messages injected into this flow
+	creditLimit uint64   // absolute message budget advertised by the peer
 	scratch     [][]byte // reusable burst slice for flush/retransmit (mu held)
 
 	// RTT estimator (mu held). srtt == 0 means "no sample yet": rto stays

@@ -1,0 +1,47 @@
+package netfabric
+
+import (
+	"fmt"
+
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/telemetry"
+)
+
+// Per-flow gauge names. SRTT/RTO are published per peer (label `peer`) so a
+// live scrape shows which link is slow, and cross-rank merges take the max —
+// the cluster-wide worst link is what bounds rendezvous completion time.
+const (
+	MetricSRTT = "lci_net_srtt_ns"
+	MetricRTO  = "lci_net_rto_ns"
+)
+
+// RegisterMetrics re-expresses the provider's counters under the canonical
+// fabric/net names and adds per-flow SRTT and RTO gauges. The gauges read
+// the live estimator under the flow lock only at snapshot time; nothing is
+// added to the datagram hot path.
+func (p *Provider) RegisterMetrics(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	fabric.RegisterStats(reg, p.Stats)
+	reg.GaugeFunc(fabric.MetricRingPending, telemetry.AggSum, func() int64 { return int64(p.Pending()) })
+	for _, fl := range p.flows {
+		if fl == nil {
+			continue
+		}
+		fl := fl
+		label := fmt.Sprintf(`{peer="%d"}`, fl.peer)
+		reg.GaugeFunc(MetricSRTT+label, telemetry.AggMax, func() int64 {
+			fl.mu.Lock()
+			defer fl.mu.Unlock()
+			return fl.srtt.Nanoseconds()
+		})
+		reg.GaugeFunc(MetricRTO+label, telemetry.AggMax, func() int64 {
+			fl.mu.Lock()
+			defer fl.mu.Unlock()
+			return fl.rto.Nanoseconds()
+		})
+	}
+}
+
+var _ fabric.MetricsRegistrar = (*Provider)(nil)

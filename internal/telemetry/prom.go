@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4): `# TYPE` headers per metric family, counter/gauge sample
+// lines, and canonical histogram series (<name>_bucket{le=...}, _sum,
+// _count). Metric names in the registry carry their labels inline
+// (`base{k="v"}`); splitName separates the family from the label set so
+// families with several label values share one TYPE header and histogram
+// bucket labels splice in cleanly.
+
+// splitName splits `base{k="v",...}` into the family name and the label
+// body (without braces, empty when unlabeled).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels renders a label body (possibly empty) plus extra labels as the
+// final {...} suffix, or "" when both are empty.
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+// Prometheus renders the snapshot in the text exposition format. Families
+// are emitted in sorted order so output is stable for tests and diffing.
+func (s *Snapshot) Prometheus() string {
+	var b strings.Builder
+
+	type sample struct{ name, labels string }
+	group := func(names map[string]bool) (families []string, byFamily map[string][]sample) {
+		byFamily = map[string][]sample{}
+		for name := range names {
+			base, labels := splitName(name)
+			byFamily[base] = append(byFamily[base], sample{name, labels})
+		}
+		for base, ss := range byFamily {
+			sort.Slice(ss, func(i, j int) bool { return ss[i].name < ss[j].name })
+			byFamily[base] = ss
+			families = append(families, base)
+		}
+		sort.Strings(families)
+		return
+	}
+
+	counterNames := map[string]bool{}
+	for name := range s.Counters {
+		counterNames[name] = true
+	}
+	families, byFamily := group(counterNames)
+	for _, fam := range families {
+		fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+		for _, smp := range byFamily[fam] {
+			fmt.Fprintf(&b, "%s%s %d\n", fam, joinLabels(smp.labels, ""), s.Counters[smp.name])
+		}
+	}
+
+	gaugeNames := map[string]bool{}
+	for name := range s.Gauges {
+		gaugeNames[name] = true
+	}
+	families, byFamily = group(gaugeNames)
+	for _, fam := range families {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", fam)
+		for _, smp := range byFamily[fam] {
+			fmt.Fprintf(&b, "%s%s %d\n", fam, joinLabels(smp.labels, ""), s.Gauges[smp.name].Value)
+		}
+	}
+
+	histNames := map[string]bool{}
+	for name := range s.Hists {
+		histNames[name] = true
+	}
+	families, byFamily = group(histNames)
+	for _, fam := range families {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+		for _, smp := range byFamily[fam] {
+			h := s.Hists[smp.name]
+			var cum int64
+			for i, n := range h.Buckets {
+				cum += n
+				if n == 0 && i != NumBuckets-1 {
+					continue // sparse output: only emit occupied buckets (plus +Inf)
+				}
+				le := fmt.Sprintf("%d", BucketHigh(i))
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, joinLabels(smp.labels, `le="`+le+`"`), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, joinLabels(smp.labels, `le="+Inf"`), h.Count)
+			fmt.Fprintf(&b, "%s_sum%s %d\n", fam, joinLabels(smp.labels, ""), h.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", fam, joinLabels(smp.labels, ""), h.Count)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GaugeSnap is one gauge's sampled value plus its cross-rank aggregation
+// mode, kept in the snapshot so merging stays self-describing.
+type GaugeSnap struct {
+	Value int64  `json:"value"`
+	Agg   string `json:"agg"`
+}
+
+// HistSnap is one histogram's frozen state. Buckets[i] counts observations
+// with BucketOf(v) == i (power-of-two buckets).
+type HistSnap struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Avg returns the mean observation (0 when empty).
+func (h HistSnap) Avg() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0..1) from the buckets, returning the
+// upper bound of the bucket containing that rank — a coarse but monotone
+// estimate, good enough for "p99 eager latency is in the 8–16 µs bucket".
+func (h HistSnap) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen int64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen > rank {
+			return BucketHigh(i)
+		}
+	}
+	return BucketHigh(NumBuckets - 1)
+}
+
+// Snapshot is a point-in-time copy of a registry (or a merge of several
+// ranks' copies). It marshals to JSON as-is and renders to Prometheus text
+// format with Prometheus().
+type Snapshot struct {
+	Rank     int                  `json:"rank"`  // producing rank (lowest rank after a merge)
+	Ranks    int                  `json:"ranks"` // number of merged rank snapshots
+	Counters map[string]int64     `json:"counters"`
+	Gauges   map[string]GaugeSnap `json:"gauges"`
+	Hists    map[string]HistSnap  `json:"histograms"`
+}
+
+func emptySnapshot(rank int) *Snapshot {
+	return &Snapshot{
+		Rank:     rank,
+		Ranks:    1,
+		Counters: map[string]int64{},
+		Gauges:   map[string]GaugeSnap{},
+		Hists:    map[string]HistSnap{},
+	}
+}
+
+// Snapshot freezes the registry: live counters and histograms are summed
+// out of their shards, counter funcs are invoked and summed per name, and
+// gauges are sampled and aggregated per their mode.
+func (r *Registry) Snapshot() *Snapshot {
+	s := emptySnapshot(r.Rank())
+	if !r.Enabled() {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] += c.Value()
+	}
+	for name, fns := range r.counterFns {
+		for _, fn := range fns {
+			s.Counters[name] += fn()
+		}
+	}
+	for name, g := range r.gauges {
+		snap := GaugeSnap{Agg: g.agg.String()}
+		for i, fn := range g.fns {
+			v := fn()
+			if i == 0 || g.agg == AggSum {
+				if i == 0 {
+					snap.Value = v
+				} else {
+					snap.Value += v
+				}
+			} else if v > snap.Value {
+				snap.Value = v
+			}
+		}
+		s.Gauges[name] = snap
+	}
+	for name, h := range r.hists {
+		hs := HistSnap{Sum: h.Sum(), Buckets: make([]int64, NumBuckets)}
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
+			hs.Buckets[i] = n
+			hs.Count += n
+		}
+		s.Hists[name] = hs
+	}
+	return s
+}
+
+// Merge folds snapshots from several ranks into one cluster-wide view:
+// counters and histograms sum; gauges aggregate per their recorded mode.
+// Nil snapshots are skipped (a rank whose gather contribution was lost).
+func Merge(snaps ...*Snapshot) *Snapshot {
+	out := emptySnapshot(0)
+	out.Ranks = 0
+	first := true
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if first || s.Rank < out.Rank {
+			out.Rank = s.Rank
+		}
+		first = false
+		out.Ranks += s.Ranks
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, g := range s.Gauges {
+			cur, ok := out.Gauges[name]
+			if !ok {
+				out.Gauges[name] = g
+				continue
+			}
+			if g.Agg == AggMax.String() {
+				if g.Value > cur.Value {
+					cur.Value = g.Value
+				}
+			} else {
+				cur.Value += g.Value
+			}
+			out.Gauges[name] = cur
+		}
+		for name, h := range s.Hists {
+			cur, ok := out.Hists[name]
+			if !ok {
+				cur = HistSnap{Buckets: make([]int64, NumBuckets)}
+			}
+			cur.Count += h.Count
+			cur.Sum += h.Sum
+			for i, n := range h.Buckets {
+				if i < len(cur.Buckets) {
+					cur.Buckets[i] += n
+				}
+			}
+			out.Hists[name] = cur
+		}
+	}
+	if out.Ranks == 0 {
+		out.Ranks = 1
+	}
+	return out
+}
+
+// Counter returns a counter's value by name (0 when absent), for harnesses
+// deriving legacy stat structs from a snapshot.
+func (s *Snapshot) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
+
+// Gauge returns a gauge's sampled value by name (0 when absent).
+func (s *Snapshot) Gauge(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Gauges[name].Value
+}
+
+// Hist returns a histogram snapshot by name (zero value when absent).
+func (s *Snapshot) Hist(name string) HistSnap {
+	if s == nil {
+		return HistSnap{}
+	}
+	return s.Hists[name]
+}
+
+// Report renders a human-readable summary: sorted non-zero counters and
+// gauges, and per-histogram count/avg/p50/p99 lines — the cluster-wide exit
+// report cmd/lci-launch prints.
+func (s *Snapshot) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry: %d rank(s)\n", s.Ranks)
+	names := make([]string, 0, len(s.Counters))
+	for name, v := range s.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-52s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := s.Gauges[name]
+		fmt.Fprintf(&b, "  %-52s %d (%s)\n", name, g.Value, g.Agg)
+	}
+	names = names[:0]
+	for name := range s.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Hists[name]
+		fmt.Fprintf(&b, "  %-52s n=%d avg=%.1f p50≤%d p99≤%d\n",
+			name, h.Count, h.Avg(), h.Quantile(0.50), h.Quantile(0.99))
+	}
+	return b.String()
+}
