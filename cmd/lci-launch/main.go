@@ -24,17 +24,27 @@
 // peer and merge. At exit the job gathers all ranks' snapshots over the
 // communication layer itself and rank 0 prints the cluster-wide report
 // (with -v) and writes it as JSON (with -metrics-out).
+//
+// With -trace-out (or LCI_TRACE=1 in the environment) every rank records
+// message-lifecycle events into its tracing ring; the same HTTP endpoint
+// additionally serves /debug/trace (Chrome trace-event JSON, merged across
+// ranks on rank 0) and /debug/trace/flight (flight-recorder text dump). At
+// exit the per-rank traces are gathered over the communication layer and
+// rank 0 writes one merged timeline to -trace-out — load it in Perfetto or
+// chrome://tracing.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -48,6 +58,7 @@ import (
 	"lcigraph/internal/netfabric"
 	"lcigraph/internal/partition"
 	"lcigraph/internal/telemetry"
+	"lcigraph/internal/tracing"
 )
 
 // Environment carrying the pre-bound metrics listeners to the children:
@@ -75,6 +86,7 @@ type options struct {
 	verbose     bool
 	metricsAddr string
 	metricsOut  string
+	traceOut    string
 }
 
 func parseFlags() *options {
@@ -97,6 +109,8 @@ func parseFlags() *options {
 		"serve live telemetry over HTTP; rank r listens on port+r (port 0: ephemeral)")
 	flag.StringVar(&o.metricsOut, "metrics-out", "",
 		"write the merged cluster telemetry snapshot to this JSON file (rank 0)")
+	flag.StringVar(&o.traceOut, "trace-out", "",
+		"enable message-lifecycle tracing and write the merged Chrome trace to this JSON file (rank 0)")
 	flag.Parse()
 	return o
 }
@@ -203,6 +217,11 @@ func parent(o *options) int {
 			netfabric.EnvReord+"="+fmt.Sprint(o.reorder),
 			netfabric.EnvSeed+"="+strconv.FormatInt(o.faultSeed, 10),
 		)
+		if o.traceOut != "" {
+			// -trace-out implies tracing in every child (last entry wins over
+			// any inherited LCI_TRACE value).
+			cmd.Env = append(cmd.Env, tracing.EnvEnable+"=1")
+		}
 		var mf *os.File
 		if mlns != nil {
 			mf, err = mlns[i].File()
@@ -264,7 +283,9 @@ func child(o *options) int {
 
 	reg := telemetry.New(rank) // honors LCI_NO_TELEMETRY
 	prov.RegisterMetrics(reg)
-	srv := serveMetrics(reg, rank)
+	tr := tracing.Default() // nil unless LCI_TRACE (the parent sets it for -trace-out)
+	tr.NotifySIGQUIT()
+	srv := serveMetrics(reg, tr, rank)
 
 	g := graph.Named(o.graph, o.scale, o.seed)
 	pt := partition.Build(g, size, partition.VertexCut)
@@ -277,6 +298,7 @@ func child(o *options) int {
 	failed := false
 	gather := o.verbose || o.metricsAddr != "" || o.metricsOut != ""
 	var merged *telemetry.Snapshot
+	var mergedTrace []byte
 	cluster.RunRank(rank, size, o.threads, layer, func(h *cluster.Host) {
 		for it := 0; it < o.repeat; it++ {
 			for _, app := range appList {
@@ -326,6 +348,21 @@ func child(o *options) int {
 				merged = telemetry.Merge(snaps...)
 			}
 		}
+		if o.traceOut != "" && tr.Enabled() {
+			// The trace merge rides the communication layer too: each rank's
+			// ring drains into a Chrome trace-event blob, rank 0 gathers and
+			// concatenates them into one timeline.
+			blob := tracing.ChromeTrace(tr.Events(), rank)
+			parts := h.GatherBytes(0, blob, 16<<20)
+			if h.Rank == 0 {
+				doc, err := tracing.MergeChrome(parts)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "lci-launch: merge traces: %v\n", err)
+				} else {
+					mergedTrace = doc
+				}
+			}
+		}
 	})
 
 	if st := prov.Stats(); st.Retransmits > 0 || st.CreditStalls > 0 {
@@ -342,11 +379,18 @@ func child(o *options) int {
 		if o.metricsOut != "" {
 			data, err := json.MarshalIndent(merged, "", "  ")
 			if err == nil {
-				err = os.WriteFile(o.metricsOut, append(data, '\n'), 0o644)
+				err = writeFileAtomic(o.metricsOut, append(data, '\n'))
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "lci-launch: write %s: %v\n", o.metricsOut, err)
 			}
+		}
+	}
+	if mergedTrace != nil {
+		if err := writeFileAtomic(o.traceOut, mergedTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "lci-launch: write %s: %v\n", o.traceOut, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "lci-launch: merged trace written to %s (open in Perfetto)\n", o.traceOut)
 		}
 	}
 	if srv != nil {
@@ -362,8 +406,10 @@ func child(o *options) int {
 // serveMetrics starts the live telemetry endpoint on the TCP listener the
 // parent pre-bound and passed down as envMetricsFD. Rank 0 additionally
 // serves /cluster(.json), scraping every peer's /metrics.json and merging.
-// Returns nil when no listener was inherited.
-func serveMetrics(reg *telemetry.Registry, rank int) *http.Server {
+// Alongside the metrics, /debug/trace(/flight) serve the lifecycle tracer —
+// on rank 0 the trace document merges every peer's, scraped from their
+// /debug/trace?local=1. Returns nil when no listener was inherited.
+func serveMetrics(reg *telemetry.Registry, tr *tracing.Tracer, rank int) *http.Server {
 	fdStr := os.Getenv(envMetricsFD)
 	if fdStr == "" {
 		return nil
@@ -381,11 +427,17 @@ func serveMetrics(reg *telemetry.Registry, rank int) *http.Server {
 		return nil
 	}
 	var clusterFn func() (*telemetry.Snapshot, error)
+	var mergedFn func() ([]byte, error)
 	if rank == 0 {
 		addrs := strings.Split(os.Getenv(envMetricsAddrs), ",")
 		clusterFn = func() (*telemetry.Snapshot, error) { return scrapeCluster(reg, addrs) }
+		mergedFn = func() ([]byte, error) { return scrapeTraces(tr, rank, addrs) }
 	}
-	srv := &http.Server{Handler: telemetry.Handler(reg, clusterFn)}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/trace", tracing.Handler(tr, mergedFn))
+	mux.Handle("/debug/trace/", tracing.Handler(tr, mergedFn))
+	mux.Handle("/", telemetry.Handler(reg, clusterFn))
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return srv
 }
@@ -412,6 +464,60 @@ func scrapeCluster(reg *telemetry.Registry, addrs []string) (*telemetry.Snapshot
 		snaps = append(snaps, &s)
 	}
 	return telemetry.Merge(snaps...), nil
+}
+
+// scrapeTraces merges this rank's live Chrome trace with every peer's,
+// fetched from their /debug/trace?local=1 endpoints.
+func scrapeTraces(tr *tracing.Tracer, rank int, addrs []string) ([]byte, error) {
+	blobs := [][]byte{tracing.ChromeTrace(tr.Events(), rank)}
+	client := &http.Client{Timeout: 2 * time.Second}
+	for r, a := range addrs {
+		if r == rank || a == "" {
+			continue
+		}
+		resp, err := client.Get("http://" + a + "/debug/trace?local=1")
+		if err != nil {
+			return nil, fmt.Errorf("scrape rank %d: %w", r, err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("read rank %d: %w", r, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("scrape rank %d: %s", r, resp.Status)
+		}
+		blobs = append(blobs, b)
+	}
+	return tracing.MergeChrome(blobs)
+}
+
+// writeFileAtomic writes data to path via a temp file + rename so a reader
+// (or a crashed run) never observes a partial document, creating parent
+// directories as needed.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(f.Name(), 0o644)
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), path)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+	}
+	return err
 }
 
 // runApp runs one app on this rank's runtime and returns the number of

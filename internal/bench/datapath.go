@@ -13,6 +13,7 @@ import (
 	"lcigraph/internal/comm"
 	"lcigraph/internal/fabric"
 	"lcigraph/internal/telemetry"
+	"lcigraph/internal/tracing"
 )
 
 // DatapathVariant measures one configuration of the small-message data path:
@@ -23,6 +24,7 @@ type DatapathVariant struct {
 	FramePool  bool   `json:"frame_pool"`
 	Coalescing bool   `json:"coalescing"`
 	Telemetry  bool   `json:"telemetry"`
+	Tracing    bool   `json:"tracing"`
 	Messages   int    `json:"messages"`
 
 	AllocsPerMsg float64 `json:"allocs_per_msg"`
@@ -58,6 +60,16 @@ type DatapathReport struct {
 	TelemetryOff DatapathVariant `json:"telemetry_off"`
 	OverheadPct  float64         `json:"telemetry_overhead_pct"`
 
+	// TracingOn re-runs the optimized configuration with a live lifecycle
+	// tracer (the LCI_TRACE path); Optimized doubles as the tracing-off arm
+	// — its endpoints carry the instrumentation but a nil tracer, i.e. the
+	// dark path. Because the nil-tracer checks ride inside both telemetry
+	// arms above, OverheadPct staying within the 3% budget is also the
+	// proof that the dark path is free; TracingOverheadPct prices the
+	// opt-in ring writes themselves.
+	TracingOn          DatapathVariant `json:"tracing_on"`
+	TracingOverheadPct float64         `json:"tracing_overhead_pct"`
+
 	AllocImprovement float64 `json:"alloc_improvement"` // baseline/optimized allocs per msg
 	FrameImprovement float64 `json:"frame_improvement"` // baseline/optimized frames per msg
 }
@@ -66,12 +78,15 @@ type DatapathReport struct {
 // perPeer messages of size bytes to every other host per epoch, received via
 // FinishFusedCount. One warm-up epoch populates the frame free-list and the
 // layers' internal buffers before measurement starts.
-func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele bool) DatapathVariant {
+func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele, trace bool) DatapathVariant {
 	prof := fabric.TestProfile()
 	prof.DisableFramePool = !pool
 	fab := fabric.New(hosts, prof)
 	// Registries are forced on or off (rather than env-derived) so the
-	// telemetry ablation arms are deterministic.
+	// telemetry ablation arms are deterministic. The tracing arm forces a
+	// tracer per host; the off arms leave Options.Tracer nil, which is the
+	// dark path as long as the bench runs without LCI_TRACE in the
+	// environment (make bench-datapath does).
 	regs := make([]*telemetry.Registry, hosts)
 	layers := make([]*comm.LCILayer, hosts)
 	for r := range layers {
@@ -83,6 +98,9 @@ func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele b
 		fab.Endpoint(r).RegisterMetrics(regs[r])
 		opt := LCIOptions(hosts, 2)
 		opt.Telemetry = regs[r]
+		if trace {
+			opt.Tracer = tracing.New(r, 0)
+		}
 		layers[r] = comm.NewLCILayer(fab.Endpoint(r), opt)
 		layers[r].SetCoalescing(coalesce)
 	}
@@ -155,10 +173,11 @@ func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele b
 	net := NetStatsFromSnapshot(mergeRegistries(regs))
 
 	v := DatapathVariant{
-		Name:       variantName(pool, coalesce, tele),
+		Name:       variantName(pool, coalesce, tele, trace),
 		FramePool:  pool,
 		Coalescing: coalesce,
 		Telemetry:  tele,
+		Tracing:    trace,
 		Messages:   hosts * (hosts - 1) * perPeer * epochs,
 	}
 	msgs := float64(v.Messages)
@@ -187,7 +206,7 @@ func medianVariant(vs []DatapathVariant) DatapathVariant {
 	return sorted[len(sorted)/2]
 }
 
-func variantName(pool, coalesce, tele bool) string {
+func variantName(pool, coalesce, tele, trace bool) string {
 	var name string
 	switch {
 	case pool && coalesce:
@@ -201,6 +220,9 @@ func variantName(pool, coalesce, tele bool) string {
 	}
 	if !tele {
 		name += ",no-telemetry"
+	}
+	if trace {
+		name += ",tracing"
 	}
 	return name
 }
@@ -222,7 +244,7 @@ func Datapath(hosts, perPeer, size, epochs int) DatapathReport {
 		epochs = 25
 	}
 	r := DatapathReport{Hosts: hosts, PerPeer: perPeer, MsgSize: size, Epochs: epochs}
-	r.Baseline = runDatapathVariant(hosts, perPeer, size, epochs, false, false, true)
+	r.Baseline = runDatapathVariant(hosts, perPeer, size, epochs, false, false, true, false)
 	// The on/off delta is a few ns/msg, so each trial must run long enough
 	// that scheduler jitter amortizes: ~10 ms trials swing ±15% run to run.
 	ovEpochs := epochs
@@ -231,19 +253,26 @@ func Datapath(hosts, perPeer, size, epochs int) DatapathReport {
 	}
 	onT := make([]DatapathVariant, overheadTrials)
 	offT := make([]DatapathVariant, overheadTrials)
+	trcT := make([]DatapathVariant, overheadTrials)
 	ratios := make([]float64, overheadTrials)
+	trcRatios := make([]float64, overheadTrials)
 	for i := range onT {
-		onT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true)
-		offT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, false)
+		onT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, false)
+		offT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, false, false)
+		trcT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, true)
 		ratios[i] = onT[i].NsPerMsg / offT[i].NsPerMsg
+		trcRatios[i] = trcT[i].NsPerMsg / onT[i].NsPerMsg
 	}
 	r.Optimized = medianVariant(onT)
 	r.TelemetryOff = medianVariant(offT)
+	r.TracingOn = medianVariant(trcT)
 	// Overhead is the median of the per-pair ratios, not the ratio of
 	// medians: the two runs of a pair are adjacent in time, so slow machine
 	// drift hits both and divides out.
 	sort.Float64s(ratios)
 	r.OverheadPct = (ratios[len(ratios)/2] - 1) * 100
+	sort.Float64s(trcRatios)
+	r.TracingOverheadPct = (trcRatios[len(trcRatios)/2] - 1) * 100
 	if r.Optimized.AllocsPerMsg > 0 {
 		r.AllocImprovement = r.Baseline.AllocsPerMsg / r.Optimized.AllocsPerMsg
 	}
@@ -260,7 +289,7 @@ func (r DatapathReport) Table() string {
 		r.Hosts, r.PerPeer, r.MsgSize, r.Epochs, r.Baseline.Messages, r.Optimized.Messages)
 	fmt.Fprintf(&b, "%-28s %12s %14s %12s %10s\n",
 		"variant", "allocs/msg", "alloc B/msg", "frames/msg", "ns/msg")
-	for _, v := range []DatapathVariant{r.Baseline, r.Optimized, r.TelemetryOff} {
+	for _, v := range []DatapathVariant{r.Baseline, r.Optimized, r.TelemetryOff, r.TracingOn} {
 		fmt.Fprintf(&b, "%-28s %12.2f %14.1f %12.3f %10.0f\n",
 			v.Name, v.AllocsPerMsg, v.BytesPerMsg, v.FramesPerMsg, v.NsPerMsg)
 	}
@@ -275,6 +304,9 @@ func (r DatapathReport) Table() string {
 		fmt.Fprintf(&b, "WARNING: telemetry overhead %.1f%% exceeds the 3%% leave-it-on budget\n",
 			r.OverheadPct)
 	}
+	fmt.Fprintf(&b, "tracing overhead at %dB: %+.1f%% ns/msg vs dark (nil-tracer) path; "+
+		"dark path rides in both telemetry arms above\n",
+		r.MsgSize, r.TracingOverheadPct)
 	return b.String()
 }
 

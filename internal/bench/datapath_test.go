@@ -45,16 +45,17 @@ func TestDatapathReport(t *testing.T) {
 // epoch under each data-path configuration (go test -bench Datapath -benchmem).
 func BenchmarkDatapath(b *testing.B) {
 	for _, v := range []struct {
-		name                 string
-		pool, coalesce, tele bool
+		name                        string
+		pool, coalesce, tele, trace bool
 	}{
-		{"baseline", false, false, true},
-		{"pooled", true, false, true},
-		{"pooled+coalesced", true, true, true},
-		{"pooled+coalesced/no-telemetry", true, true, false},
+		{"baseline", false, false, true, false},
+		{"pooled", true, false, true, false},
+		{"pooled+coalesced", true, true, true, false},
+		{"pooled+coalesced/no-telemetry", true, true, false, false},
+		{"pooled+coalesced/tracing", true, true, true, true},
 	} {
 		b.Run(v.name, func(b *testing.B) {
-			r := runDatapathVariant(4, 64, 64, b.N, v.pool, v.coalesce, v.tele)
+			r := runDatapathVariant(4, 64, 64, b.N, v.pool, v.coalesce, v.tele, v.trace)
 			b.ReportMetric(r.AllocsPerMsg, "allocs/msg")
 			b.ReportMetric(r.FramesPerMsg, "frames/msg")
 			b.ReportMetric(r.NsPerMsg, "ns/msg")

@@ -87,6 +87,7 @@ func NewLCILayer(fep fabric.Provider, opt lci.Options) *LCILayer {
 		l.tracker.Free,
 		func(n int) []byte { return make([]byte, n) }, func([]byte) {})
 	l.met = newLayerMetrics(opt.Telemetry, l.Name())
+	l.met.tr = l.ep.Tracer() // endpoint already resolved opt.Tracer / default
 	l.coal.initTelemetry(l.met.reg)
 	go l.ep.Serve(l.stop)
 	return l
@@ -175,6 +176,7 @@ func (l *LCILayer) stashRequest(r *lci.Request, rendezvous bool) {
 		l.tracker.Alloc(len(r.Data))
 	}
 	n := len(r.Data)
+	l.met.recordRecv(r.Rank, n, r.MsgID)
 	m := Message{
 		Peer:    r.Rank,
 		Tag:     r.Tag,
@@ -234,6 +236,7 @@ func (l *LCILayer) emit(worker, dst int, tag uint32, data []byte, done func(), b
 		r, ok := l.ep.SendEnq(worker, dst, tag, data)
 		if ok {
 			l.met.observeSpins(spins)
+			l.met.recordSend(dst, len(data), r.MsgID, spins)
 			if r.Done() {
 				sendInFlight{buf: data, done: done}.finish(&l.tracker)
 			} else {

@@ -1,6 +1,9 @@
 package comm
 
-import "lcigraph/internal/telemetry"
+import (
+	"lcigraph/internal/telemetry"
+	"lcigraph/internal/tracing"
+)
 
 // Registry names for the communication layers (DESIGN.md §11). The
 // message-size histogram is per layer/stream (label `layer`), so one
@@ -30,18 +33,20 @@ type TelemetryProvider interface {
 
 // layerMetrics is the per-layer handle set. The zero value is a no-op
 // (nil-safe telemetry methods), so a disabled registry costs one branch per
-// send.
+// send. tr is the lifecycle tracer (nil = dark path); it defaults to the
+// process-wide tracer and is rewired by layers that receive one explicitly.
 type layerMetrics struct {
 	reg        *telemetry.Registry
 	msgBytes   *telemetry.Histogram
 	retrySpins *telemetry.Histogram
+	tr         *tracing.Tracer
 }
 
 func newLayerMetrics(reg *telemetry.Registry, layer string) layerMetrics {
 	if reg == nil {
 		reg = telemetry.Default()
 	}
-	m := layerMetrics{reg: reg}
+	m := layerMetrics{reg: reg, tr: tracing.Default()}
 	if !reg.Enabled() {
 		return m
 	}
@@ -58,6 +63,28 @@ func (m *layerMetrics) observeSpins(spins int64) {
 	if spins > 0 {
 		m.retrySpins.Observe(spins)
 	}
+}
+
+// recordSend traces one accepted layer-level send; spins > 0 additionally
+// records the ErrResource retry streak that preceded acceptance. msgid is
+// the core request's global id (0 on MPI-backed layers, which have no LCI
+// message id).
+func (m *layerMetrics) recordSend(peer, size int, msgid uint64, spins int64) {
+	if m.tr == nil {
+		return
+	}
+	if spins > 0 {
+		m.tr.RecordArg(tracing.EvRetry, peer, tracing.ProtoNone, size, uint32(spins), msgid)
+	}
+	m.tr.Record(tracing.EvLayerSend, peer, tracing.ProtoNone, size, msgid)
+}
+
+// recordRecv traces one layer-level delivery.
+func (m *layerMetrics) recordRecv(peer, size int, msgid uint64) {
+	if m.tr == nil {
+		return
+	}
+	m.tr.Record(tracing.EvLayerRecv, peer, tracing.ProtoNone, size, msgid)
 }
 
 // initTelemetry wires the coalescer's counters and bundle-occupancy

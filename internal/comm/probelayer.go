@@ -9,6 +9,7 @@ import (
 	"lcigraph/internal/memtrack"
 	"lcigraph/internal/mpi"
 	"lcigraph/internal/telemetry"
+	"lcigraph/internal/tracing"
 )
 
 // ProbeLayer is the §III-B baseline: two-sided MPI in THREAD_FUNNELED mode.
@@ -76,9 +77,17 @@ func (l *ProbeLayer) Telemetry() *telemetry.Registry { return l.met.reg }
 // SetTelemetry rewires the layer onto reg (nil selects the process default).
 // Call before any traffic.
 func (l *ProbeLayer) SetTelemetry(reg *telemetry.Registry) {
+	tr := l.met.tr
 	l.met = newLayerMetrics(reg, l.Name())
+	if tr != nil {
+		l.met.tr = tr // keep an explicitly wired tracer across registry swaps
+	}
 	l.recHist = l.met.reg.Histogram(MetricBundleRecords)
 }
+
+// SetTracer rewires the layer's lifecycle tracer (nil disables). Call
+// before any traffic.
+func (l *ProbeLayer) SetTracer(tr *tracing.Tracer) { l.met.tr = tr }
 
 // Name implements Layer.
 func (l *ProbeLayer) Name() string { return "mpi-probe" }
@@ -123,6 +132,7 @@ func (l *ProbeLayer) Exchange(tag uint32, out [][]byte, expect []bool, recvMax [
 			continue
 		}
 		l.met.msgBytes.Observe(int64(len(buf)))
+		l.met.recordSend(p, len(buf), 0, 0)
 		l.inflight.Add(1)
 		l.sendq.Push(sendReq{dst: p, eff: eff, data: buf, track: len(buf)})
 	}
@@ -311,6 +321,7 @@ func (l *ProbeLayer) allocBundle(n int) []byte {
 // unbundle splits a received bundle into logical messages sharing the
 // bundle buffer, freeing it when the last message is released.
 func (l *ProbeLayer) unbundle(src int, buf []byte) {
+	l.met.recordRecv(src, len(buf), 0)
 	unpackBundle(Message{
 		Peer:    src,
 		Data:    buf,

@@ -8,6 +8,7 @@ import (
 	"lcigraph/internal/memtrack"
 	"lcigraph/internal/mpi"
 	"lcigraph/internal/telemetry"
+	"lcigraph/internal/tracing"
 )
 
 // RMALayer is the §III-C one-sided baseline. For each communication tag it
@@ -96,8 +97,16 @@ func (l *RMALayer) Telemetry() *telemetry.Registry { return l.met.reg }
 // SetTelemetry rewires the layer onto reg (nil selects the process default).
 // Call before any traffic.
 func (l *RMALayer) SetTelemetry(reg *telemetry.Registry) {
+	tr := l.met.tr
 	l.met = newLayerMetrics(reg, l.Name())
+	if tr != nil {
+		l.met.tr = tr // keep an explicitly wired tracer across registry swaps
+	}
 }
+
+// SetTracer rewires the layer's lifecycle tracer (nil disables). Call
+// before any traffic.
+func (l *RMALayer) SetTracer(tr *tracing.Tracer) { l.met.tr = tr }
 
 // Tracker implements Layer.
 func (l *RMALayer) Tracker() *memtrack.Tracker { return &l.tracker }
@@ -165,6 +174,7 @@ func (l *RMALayer) Exchange(tag uint32, out [][]byte, expect []bool, recvMax []i
 		putLen(hdr[:], len(data))
 		if len(data) > 0 {
 			l.met.msgBytes.Observe(int64(len(data)))
+			l.met.recordSend(p, len(data), 0, 0)
 			if err := self.Put(p, 8, data); err != nil {
 				panic("rma layer: " + err.Error())
 			}
@@ -203,6 +213,7 @@ func (l *RMALayer) Exchange(tag uint32, out [][]byte, expect []bool, recvMax []i
 			buf := tw.wins[s].Buf()
 			n := getLen(buf)
 			if n > 0 {
+				l.met.recordRecv(s, n, 0)
 				onRecv(s, buf[8:8+n])
 				putLen(buf, 0)
 			}

@@ -10,6 +10,7 @@ import (
 	"lcigraph/internal/memtrack"
 	"lcigraph/internal/mpi"
 	"lcigraph/internal/telemetry"
+	"lcigraph/internal/tracing"
 )
 
 // Stream is the communication shape Gemini uses (§IV-B1): many compute
@@ -80,6 +81,7 @@ func NewLCIStream(fep fabric.Provider, opt lci.Options) *LCIStream {
 		s.tracker.Free,
 		func(n int) []byte { return make([]byte, n) }, func([]byte) {})
 	s.met = newLayerMetrics(opt.Telemetry, s.Name())
+	s.met.tr = s.ep.Tracer() // endpoint already resolved opt.Tracer / default
 	s.coal.initTelemetry(s.met.reg)
 	go s.ep.Serve(s.stop)
 	go s.flushLoop()
@@ -154,6 +156,7 @@ func (s *LCIStream) emit(worker, dst int, tag uint32, data []byte, done func(), 
 		r, ok := s.ep.SendEnq(worker, dst, tag, data)
 		if ok {
 			s.met.observeSpins(spins)
+			s.met.recordSend(dst, len(data), r.MsgID, spins)
 			if r.Done() {
 				sendInFlight{buf: data, done: done}.finish(&s.tracker)
 			} else {
@@ -236,6 +239,7 @@ func (s *LCIStream) toMessage(r *lci.Request, rendezvous bool) Message {
 		s.tracker.Alloc(len(r.Data))
 	}
 	n := len(r.Data)
+	s.met.recordRecv(r.Rank, n, r.MsgID)
 	return Message{
 		Peer:    r.Rank,
 		Tag:     r.Tag,
@@ -280,8 +284,16 @@ func (s *MPIStream) Telemetry() *telemetry.Registry { return s.met.reg }
 // SetTelemetry rewires the stream onto reg (harnesses running several
 // in-process ranks give each its own registry). Call before any traffic.
 func (s *MPIStream) SetTelemetry(reg *telemetry.Registry) {
+	tr := s.met.tr
 	s.met = newLayerMetrics(reg, s.Name())
+	if tr != nil {
+		s.met.tr = tr // keep an explicitly wired tracer across registry swaps
+	}
 }
+
+// SetTracer rewires the stream's lifecycle tracer (nil disables). Call
+// before any traffic.
+func (s *MPIStream) SetTracer(tr *tracing.Tracer) { s.met.tr = tr }
 
 // Name implements Stream.
 func (s *MPIStream) Name() string { return "mpi-probe" }
@@ -312,6 +324,7 @@ func (s *MPIStream) Stop() {
 // SendMsg implements Stream.
 func (s *MPIStream) SendMsg(thread, peer int, tag uint32, data []byte) {
 	s.met.msgBytes.Observe(int64(len(data)))
+	s.met.recordSend(peer, len(data), 0, 0)
 	req, err := s.c.Isend(data, peer, int(tag))
 	if err != nil {
 		panic("mpi stream: " + err.Error())
@@ -369,6 +382,7 @@ func (s *MPIStream) RecvMsg() (Message, bool) {
 		if done {
 			s.pendRecv = append(s.pendRecv[:i], s.pendRecv[i+1:]...)
 			n := len(r.buf)
+			s.met.recordRecv(r.req.Status().Source, r.req.Status().Count, 0)
 			return Message{
 				Peer:    r.req.Status().Source,
 				Tag:     uint32(r.req.Status().Tag),

@@ -8,6 +8,7 @@ import (
 	"lcigraph/internal/concurrent"
 	"lcigraph/internal/fabric"
 	"lcigraph/internal/telemetry"
+	"lcigraph/internal/tracing"
 )
 
 // Allocator provides the receive-side buffers for rendezvous messages (the
@@ -43,6 +44,10 @@ type Options struct {
 	// selects the process-wide default registry (which honours
 	// LCI_NO_TELEMETRY); pass telemetry.NewDisabled to opt out explicitly.
 	Telemetry *telemetry.Registry
+	// Tracer is the message-lifecycle event ring. Nil selects the
+	// process-wide default tracer, which is itself nil — the no-op dark
+	// path — unless LCI_TRACE is set.
+	Tracer *tracing.Tracer
 }
 
 func (o *Options) fill() {
@@ -151,6 +156,7 @@ type Endpoint struct {
 	stash        []*fabric.Frame // polled frames awaiting space in Q
 	outScratch   []outItem       // flushOutbox reuse: items blocked this round
 	blockedDst   map[int]bool    // flushOutbox reuse: destinations that hit ErrResource
+	outBlocked   bool            // last flushOutbox re-parked items (server goroutine only)
 
 	// frags are in-progress fragmented rendezvous sends (RDMA-less
 	// transports only), drained by the server.
@@ -166,6 +172,18 @@ type Endpoint struct {
 	// progress iterations; it is touched only by the server goroutine.
 	m           coreMetrics
 	progressSeq uint64
+
+	// tr is the lifecycle tracer (nil = dark path: every site pays one
+	// predictable branch). rank is cached so event sites skip the provider
+	// call; midSeq allocates wire message ids (24-bit, wrapping) and is only
+	// touched when tr != nil. wasBusy/idleStreak track progress-state edges
+	// (server goroutine only) so busy/idle is recorded per transition, not
+	// per poll.
+	tr         *tracing.Tracer
+	rank       int
+	midSeq     atomic.Uint32
+	wasBusy    bool
+	idleStreak uint32
 }
 
 // Stats are endpoint-level counters for observability and tests.
@@ -191,6 +209,7 @@ type fragJob struct {
 	dst    int
 	recvID uint32
 	sendID uint32
+	mid    uint32 // wire message id carried on each fragment (tracing)
 	src    []byte
 	off    int
 }
@@ -216,7 +235,26 @@ func NewEndpoint(fep fabric.Provider, opt Options) *Endpoint {
 		reg = telemetry.Default()
 	}
 	e.initMetrics(reg)
+	e.tr = opt.Tracer
+	if e.tr == nil {
+		e.tr = tracing.Default()
+	}
+	e.rank = fep.Rank()
 	return e
+}
+
+// Tracer returns the endpoint's lifecycle tracer (nil when tracing is off).
+func (e *Endpoint) Tracer() *tracing.Tracer { return e.tr }
+
+// nextMsgID allocates the next 24-bit wire message id and its global
+// tracing id. Called only when the tracer is live; id 0 is reserved for
+// "untraced", so the sequence skips it on wrap.
+func (e *Endpoint) nextMsgID() (mid uint32, gid uint64) {
+	mid = e.midSeq.Add(1) & tracing.MsgIDMask
+	if mid == 0 {
+		mid = e.midSeq.Add(1) & tracing.MsgIDMask
+	}
+	return mid, tracing.MsgID(e.rank, mid)
 }
 
 // Rank returns the host rank.
@@ -245,15 +283,23 @@ func (e *Endpoint) SendEnq(worker, dst int, tag uint32, buf []byte) (*Request, b
 		return nil, false
 	}
 	r := &Request{Rank: dst, Tag: tag, Size: len(buf)}
+	var mid uint32
+	if e.tr != nil {
+		mid, r.MsgID = e.nextMsgID()
+	}
 	if len(buf) <= e.eagerLimit {
 		// Eager: stage into the packet; the request completes now because
 		// the user's buffer is already copied out.
 		pkt.n = copy(pkt.buf, buf)
 		pkt.ptype = EGR
 		pkt.dst = dst
-		pkt.header = packHeader(EGR, tag)
+		pkt.header = packHeader(EGR, tag, mid)
 		pkt.meta = 0
+		pkt.mid = mid
 		r.markDone()
+		if e.tr != nil {
+			e.tr.Record(tracing.EvSendEnq, dst, tracing.ProtoEGR, len(buf), r.MsgID)
+		}
 		// Sample injection latency (SEND-ENQ to fabric accept, outbox
 		// deferral included) every Nth eager send off the counter we
 		// already pay for; unsampled sends skip the clock reads entirely.
@@ -267,7 +313,13 @@ func (e *Endpoint) SendEnq(worker, dst int, tag uint32, buf []byte) (*Request, b
 			}
 			pkt.t0 = t0
 			e.out.Push(outItem{kind: outPacket, dst: dst, pkt: pkt})
+			if e.tr != nil {
+				e.tr.Record(tracing.EvRetry, dst, tracing.ProtoEGR, len(buf), r.MsgID)
+			}
 			return r, true
+		}
+		if e.tr != nil {
+			e.tr.Record(tracing.EvEagerTx, dst, tracing.ProtoEGR, len(buf), r.MsgID)
 		}
 		e.observeEagerLatency(t0)
 		e.pool.Free(worker, pkt)
@@ -284,10 +336,14 @@ func (e *Endpoint) SendEnq(worker, dst int, tag uint32, buf []byte) (*Request, b
 	e.statRendezvous.Add(1)
 	pkt.ptype = RTS
 	pkt.dst = dst
-	pkt.header = packHeader(RTS, tag)
+	pkt.header = packHeader(RTS, tag, mid)
 	pkt.meta = packMeta(sid, uint32(len(buf)))
+	pkt.mid = mid
 	pkt.src = buf
 	pkt.req = r
+	if e.tr != nil {
+		e.tr.RecordArg(tracing.EvSendEnq, dst, tracing.ProtoRTS, len(buf), 1, r.MsgID)
+	}
 	if err := e.fep.Send(dst, pkt.header, pkt.meta, nil); err != nil {
 		if err != fabric.ErrResource {
 			e.sends.release(sid)
@@ -295,6 +351,13 @@ func (e *Endpoint) SendEnq(worker, dst int, tag uint32, buf []byte) (*Request, b
 			panic(fmt.Sprintf("lci: rts send: %v", err))
 		}
 		e.out.Push(outItem{kind: outPacket, dst: dst, pkt: pkt})
+		if e.tr != nil {
+			e.tr.Record(tracing.EvRetry, dst, tracing.ProtoRTS, len(buf), r.MsgID)
+		}
+		return r, true
+	}
+	if e.tr != nil {
+		e.tr.Record(tracing.EvRTSTx, dst, tracing.ProtoRTS, len(buf), r.MsgID)
 	}
 	return r, true
 }
@@ -320,12 +383,24 @@ func (e *Endpoint) RecvDeq() (*Request, bool) {
 		// The request keeps the pooled frame: Data aliases its wire buffer.
 		// The consumer recycles it with Request.Release once done.
 		r := &Request{Data: f.Data, Size: len(f.Data), Rank: f.Src, Tag: tag, frame: f}
+		if e.tr != nil {
+			if mid := headerMID(f.Header); mid != 0 {
+				r.MsgID = tracing.MsgID(f.Src, mid)
+			}
+			e.tr.Record(tracing.EvRecvDeq, f.Src, tracing.ProtoEGR, len(f.Data), r.MsgID)
+		}
 		r.markDone()
 		return r, true
 	case RTS:
 		sid, size := metaHi(f.Meta), int(metaLo(f.Meta))
 		buf := e.alloc.Alloc(size)
 		r := &Request{Data: buf, Size: size, Rank: f.Src, Tag: tag}
+		if e.tr != nil {
+			if mid := headerMID(f.Header); mid != 0 {
+				r.MsgID = tracing.MsgID(f.Src, mid)
+			}
+			e.tr.RecordArg(tracing.EvRecvDeq, f.Src, tracing.ProtoRTS, size, 1, r.MsgID)
+		}
 		pend := &recvPending{req: r}
 		rid, ok := e.recvs.alloc(pend)
 		if !ok {
@@ -351,7 +426,7 @@ func (e *Endpoint) RecvDeq() (*Request, bool) {
 			}
 			pend.rkey = rkey
 		}
-		header := packHeader(RTR, rid)
+		header := packHeader(RTR, rid, headerMID(f.Header))
 		meta := packMeta(sid, rkey)
 		e.m.txRTR.Add(1)
 		if err := e.fep.Send(f.Src, header, meta, nil); err != nil {
@@ -359,6 +434,11 @@ func (e *Endpoint) RecvDeq() (*Request, bool) {
 				panic(fmt.Sprintf("lci: rtr send: %v", err))
 			}
 			e.out.Push(outItem{kind: outCtrl, dst: f.Src, header: header, meta: meta})
+			if e.tr != nil {
+				e.tr.Record(tracing.EvRetry, f.Src, tracing.ProtoRTR, 0, r.MsgID)
+			}
+		} else if e.tr != nil {
+			e.tr.Record(tracing.EvRTRTx, f.Src, tracing.ProtoRTR, size, r.MsgID)
 		}
 		f.Release() // RTS control frame fully consumed
 		return r, true

@@ -375,9 +375,11 @@ func TestFragmentedRendezvous(t *testing.T) {
 func TestHeaderPacking(t *testing.T) {
 	for _, typ := range []PacketType{EGR, RTS, RTR} {
 		for _, tag := range []uint32{0, 1, 1 << 20, 0xffffffff} {
-			h := packHeader(typ, tag)
-			if headerType(h) != typ || headerTag(h) != tag {
-				t.Fatalf("pack/unpack mismatch: type %d tag %d", typ, tag)
+			for _, mid := range []uint32{0, 1, 0xffffff} {
+				h := packHeader(typ, tag, mid)
+				if headerType(h) != typ || headerTag(h) != tag || headerMID(h) != mid {
+					t.Fatalf("pack/unpack mismatch: type %d tag %d mid %d", typ, tag, mid)
+				}
 			}
 		}
 	}

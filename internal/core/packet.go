@@ -1,6 +1,10 @@
 package lci
 
-import "time"
+import (
+	"time"
+
+	"lcigraph/internal/tracing"
+)
 
 // PacketType is the LCI wire packet discriminator (Algorithm 3's cases).
 type PacketType uint8
@@ -27,19 +31,25 @@ const (
 //
 //	bits 56..63  packet type
 //	bits 24..55  tag (32 bits)
-//	bits  0..23  reserved
+//	bits  0..23  message id (tracing; 0 when tracing is off — see DESIGN.md §12)
+//
+// The message id is the sender's 24-bit tracing sequence; combined with the
+// frame's source rank it reconstructs the global tracing.MsgID, which is how
+// the receive side's lifecycle events correlate with the sender's. Protocol
+// logic never reads it.
 //
 // fabric.Frame.Meta per type:
 //
 //	EGR: unused
 //	RTS: senderReqID(32) << 32 | size(32)
 //	RTR: senderReqID(32) << 32 | rkey(32); header tag field = recvReqID
-func packHeader(t PacketType, tag uint32) uint64 {
-	return uint64(t)<<56 | uint64(tag)<<24
+func packHeader(t PacketType, tag, mid uint32) uint64 {
+	return uint64(t)<<56 | uint64(tag)<<24 | uint64(mid&tracing.MsgIDMask)
 }
 
 func headerType(h uint64) PacketType { return PacketType(h >> 56) }
 func headerTag(h uint64) uint32      { return uint32(h >> 24) }
+func headerMID(h uint64) uint32      { return uint32(h) & tracing.MsgIDMask }
 
 func packMeta(hi, lo uint32) uint64 { return uint64(hi)<<32 | uint64(lo) }
 func metaHi(m uint64) uint32        { return uint32(m >> 32) }
@@ -58,6 +68,7 @@ type Packet struct {
 	dst    int
 	header uint64
 	meta   uint64
+	mid    uint32    // wire message id (tracing; 0 when off)
 	src    []byte    // rendezvous source buffer (RTS)
 	req    *Request  // owning request (RTS)
 	t0     time.Time // sampled eager-latency start (zero: not sampled)
@@ -78,6 +89,7 @@ func (p *Packet) reset() {
 	p.dst = 0
 	p.header = 0
 	p.meta = 0
+	p.mid = 0
 	p.src = nil
 	p.req = nil
 	p.t0 = time.Time{}

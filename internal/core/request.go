@@ -32,6 +32,11 @@ type Request struct {
 	Rank int    // peer rank
 	Tag  uint32 // message tag (carried, never matched)
 
+	// MsgID is the global tracing message id (tracing.MsgID); 0 when the
+	// lifecycle tracer is off. The same id appears on the peer's request for
+	// this message, which is how cross-rank timelines pair up.
+	MsgID uint64
+
 	// frame is the pooled fabric frame backing Data for eager receives; nil
 	// for rendezvous receives (whose Data is an allocator buffer).
 	frame *fabric.Frame

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lcigraph/internal/fabric"
+	"lcigraph/internal/tracing"
 )
 
 // idleBackoff yields for short idle streaks and parks briefly for long
@@ -43,11 +44,63 @@ func (e *Endpoint) Progress() bool {
 		e.m.progressIter.Observe(time.Since(t0).Nanoseconds())
 		e.m.countPoll(worked)
 		e.m.flushPolls()
+		e.notePoll(worked)
 		return worked
 	}
 	worked := e.progressStep()
 	e.m.countPoll(worked)
+	e.notePoll(worked)
 	return worked
+}
+
+// emptyPollStallStreak is the consecutive-empty-poll count at which the
+// progress server declares itself stalled — but only while work is parked
+// (outbox items refused by the fabric, stashed frames the consumers never
+// drain, fragment jobs that cannot advance). Idle polls past the backoff
+// knee sleep 20µs each, so 1<<16 empty polls is on the order of a second of
+// continuous starvation. stallPoll extends netfabric's stall kinds (1=ack,
+// 2=credit) in the EvStallWarn arg.
+const (
+	emptyPollStallStreak = 1 << 16
+	stallPoll            = 3
+)
+
+// notePoll records progress-server busy/idle *transitions* (not every poll:
+// a spinning server polls millions of times a second, and the edges are what
+// a timeline needs — the busy event's arg carries the length of the idle
+// streak it ended). Server goroutine only.
+func (e *Endpoint) notePoll(worked bool) {
+	if e.tr == nil {
+		return
+	}
+	if worked {
+		if !e.wasBusy {
+			e.tr.RecordArg(tracing.EvProgressBusy, -1, tracing.ProtoNone, 0, e.idleStreak, 0)
+			e.wasBusy = true
+		}
+		e.idleStreak = 0
+	} else {
+		e.idleStreak++
+		if e.wasBusy {
+			e.tr.Record(tracing.EvProgressIdle, -1, tracing.ProtoNone, 0, 0)
+			e.wasBusy = false
+		}
+		// Empty-poll stall: the streak threshold fires exactly once per idle
+		// episode (any productive poll resets the streak and re-arms it), and
+		// only when there is parked work that polling should be moving —
+		// ordinary quiescence between supersteps idles forever without this.
+		if e.idleStreak == emptyPollStallStreak && e.hasParkedWork() {
+			e.tr.RecordArg(tracing.EvStallWarn, -1, tracing.ProtoNone, 0, stallPoll, 0)
+			e.tr.DumpNow(fmt.Sprintf("rank %d progress: %d consecutive empty polls with parked work (outbox=%v stash=%d frags=%d)",
+				e.rank, e.idleStreak, e.outBlocked, len(e.stash), len(e.frags)))
+		}
+	}
+}
+
+// hasParkedWork reports whether the server is sitting on deferred work that
+// an empty poll failed to advance. Server goroutine only.
+func (e *Endpoint) hasParkedWork() bool {
+	return e.outBlocked || len(e.stash) > 0 || len(e.frags) > 0
 }
 
 func (e *Endpoint) progressStep() bool {
@@ -157,6 +210,14 @@ func (e *Endpoint) flushOutbox() bool {
 		case outPacket:
 			err = e.fep.Send(it.pkt.dst, it.pkt.header, it.pkt.meta, it.pkt.payload())
 			if err == nil {
+				if e.tr != nil && it.pkt.mid != 0 {
+					gid := tracing.MsgID(e.rank, it.pkt.mid)
+					ev, proto := tracing.EvEagerTx, tracing.ProtoEGR
+					if it.pkt.ptype == RTS {
+						ev, proto = tracing.EvRTSTx, tracing.ProtoRTS
+					}
+					e.tr.Record(ev, it.pkt.dst, proto, it.pkt.n, gid)
+				}
 				if it.pkt.ptype == EGR {
 					e.observeEagerLatency(it.pkt.t0)
 					e.pool.Free(e.serverWorker, it.pkt)
@@ -168,12 +229,21 @@ func (e *Endpoint) flushOutbox() bool {
 		case outCtrl:
 			err = e.fep.Send(it.dst, it.header, it.meta, nil)
 			if err == nil {
+				// The only deferred control frame today is the RTR answer.
+				if e.tr != nil {
+					if mid := headerMID(it.header); mid != 0 {
+						e.tr.Record(tracing.EvRTRTx, it.dst, tracing.ProtoRTR, 0, tracing.MsgID(it.dst, mid))
+					}
+				}
 				worked = true
 				continue
 			}
 		case outPut:
 			err = e.fep.Put(it.dst, it.rkey, 0, it.src, it.imm)
 			if err == nil {
+				if e.tr != nil {
+					e.tr.Record(tracing.EvPutTx, it.dst, tracing.ProtoRTR, len(it.src), e.sends.get(it.sendID).req.MsgID)
+				}
 				e.finishSend(it.sendID)
 				worked = true
 				continue
@@ -185,6 +255,7 @@ func (e *Endpoint) flushOutbox() bool {
 		e.blockedDst[dst] = true
 		blocked = append(blocked, it)
 	}
+	e.outBlocked = len(blocked) > 0
 	for i, it := range blocked {
 		e.out.Push(it)
 		blocked[i] = outItem{}
@@ -203,8 +274,14 @@ func (e *Endpoint) handleRTR(f *fabric.Frame) {
 	if p.req == nil {
 		panic("lci: RTR for unknown send request")
 	}
+	if e.tr != nil {
+		e.tr.Record(tracing.EvRTRRx, f.Src, tracing.ProtoRTR, len(p.src), p.req.MsgID)
+	}
 	if !e.fep.HasRDMA() {
-		e.frags = append(e.frags, &fragJob{dst: f.Src, recvID: recvID, sendID: sid, src: p.src})
+		if e.tr != nil {
+			e.tr.Record(tracing.EvFrgStart, f.Src, tracing.ProtoFRG, len(p.src), p.req.MsgID)
+		}
+		e.frags = append(e.frags, &fragJob{dst: f.Src, recvID: recvID, sendID: sid, src: p.src, mid: headerMID(f.Header)})
 		return
 	}
 	if err := e.fep.Put(f.Src, rkey, 0, p.src, uint64(recvID)); err != nil {
@@ -213,6 +290,9 @@ func (e *Endpoint) handleRTR(f *fabric.Frame) {
 		}
 		e.out.Push(outItem{kind: outPut, dst: f.Src, rkey: rkey, src: p.src, imm: uint64(recvID), sendID: sid})
 		return
+	}
+	if e.tr != nil {
+		e.tr.Record(tracing.EvPutTx, f.Src, tracing.ProtoRTR, len(p.src), p.req.MsgID)
 	}
 	e.finishSend(sid)
 }
@@ -233,7 +313,7 @@ func (e *Endpoint) pumpFragments() bool {
 			if len(chunk) > e.eagerLimit {
 				chunk = chunk[:e.eagerLimit]
 			}
-			err := e.fep.Send(j.dst, packHeader(FRG, j.recvID), uint64(j.off), chunk)
+			err := e.fep.Send(j.dst, packHeader(FRG, j.recvID, j.mid), uint64(j.off), chunk)
 			if err == fabric.ErrResource {
 				break
 			}
@@ -268,7 +348,13 @@ func (e *Endpoint) handleFragment(f *fabric.Frame) {
 	off := int(f.Meta)
 	copy(p.req.Data[off:], f.Data)
 	p.got += len(f.Data)
+	if e.tr != nil {
+		e.tr.RecordArg(tracing.EvFrgRx, f.Src, tracing.ProtoFRG, len(f.Data), uint32(off), p.req.MsgID)
+	}
 	if p.got >= p.req.Size {
+		if e.tr != nil {
+			e.tr.RecordArg(tracing.EvComplete, f.Src, tracing.ProtoFRG, p.req.Size, 2, p.req.MsgID)
+		}
 		p.req.markDone()
 		e.recvs.release(rid)
 	}
@@ -277,6 +363,9 @@ func (e *Endpoint) handleFragment(f *fabric.Frame) {
 // finishSend completes a rendezvous send after its put landed.
 func (e *Endpoint) finishSend(sid uint32) {
 	p := e.sends.get(sid)
+	if e.tr != nil {
+		e.tr.RecordArg(tracing.EvComplete, p.req.Rank, tracing.ProtoRTS, p.req.Size, 1, p.req.MsgID)
+	}
 	p.req.markDone()
 	e.pool.Free(e.serverWorker, p.pkt)
 	e.sends.release(sid)
@@ -291,6 +380,9 @@ func (e *Endpoint) completePut(f *fabric.Frame) {
 		panic("lci: put completion for unknown recv request")
 	}
 	e.fep.DeregisterRegion(p.rkey)
+	if e.tr != nil {
+		e.tr.RecordArg(tracing.EvComplete, f.Src, tracing.ProtoRTS, p.req.Size, 2, p.req.MsgID)
+	}
 	p.req.markDone()
 	e.recvs.release(rid)
 }

@@ -1,0 +1,77 @@
+package lci
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"lcigraph/internal/tracing"
+)
+
+// dumpBuf is a goroutine-safe dump sink (DumpNow may race with readers in
+// other tests sharing the harness).
+type dumpBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *dumpBuf) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *dumpBuf) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestEmptyPollStallDump drives notePoll through an empty-poll streak with
+// work parked on the server and expects exactly one stall warning + flight
+// dump per idle episode; the same streak with nothing parked (ordinary
+// quiescence) must stay silent.
+func TestEmptyPollStallDump(t *testing.T) {
+	tr := tracing.New(2, 256)
+	var dump dumpBuf
+	tr.SetDumpWriter(&dump)
+	e := &Endpoint{tr: tr, rank: 2}
+
+	// Quiescent idle: no parked work, streak far past the threshold — the
+	// detector must not fire on a server that simply has nothing to do.
+	for i := 0; i < 2*emptyPollStallStreak; i++ {
+		e.notePoll(false)
+	}
+	if out := dump.String(); out != "" {
+		t.Fatalf("stall dump fired during ordinary quiescence:\n%s", out)
+	}
+
+	// A productive poll resets the streak; then the outbox jams (the fabric
+	// kept answering ErrResource) and the streak climbs again.
+	e.notePoll(true)
+	e.outBlocked = true
+	for i := 0; i < 2*emptyPollStallStreak; i++ {
+		e.notePoll(false)
+	}
+	out := dump.String()
+	for _, want := range []string{"stall-warn", "empty polls with parked work", "rank 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stall dump missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one warning for the whole episode: the threshold is an
+	// equality check, so continued idling must not re-fire it.
+	warns := 0
+	for _, ev := range tr.Events() {
+		if ev.Type == tracing.EvStallWarn {
+			warns++
+			if ev.Arg != 3 {
+				t.Errorf("stall-warn arg = %d, want 3 (empty-poll kind)", ev.Arg)
+			}
+		}
+	}
+	if warns != 1 {
+		t.Fatalf("recorded %d stall warnings, want exactly 1 per episode", warns)
+	}
+}

@@ -86,6 +86,15 @@ type flow struct {
 	rttvar time.Duration
 	rto    time.Duration
 
+	// Stall-detector episode state (mu held). ackStallWarned latches the
+	// no-ack-progress warning until the cumulative ack moves again;
+	// creditStallSince records when sends first hit the credit wall (zero
+	// while credit is available) and creditStallWarned latches that
+	// episode's warning until the peer raises the limit.
+	ackStallWarned    bool
+	creditStallSince  time.Time
+	creditStallWarned bool
+
 	// ---- receive side (reader goroutine) ----
 	ooo       map[uint32]*dataPkt // early arrivals within the window
 	asm       *fabric.Frame       // message being reassembled

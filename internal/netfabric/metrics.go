@@ -15,6 +15,11 @@ const (
 	MetricRTO  = "lci_net_rto_ns"
 )
 
+// MetricStalls counts stall-detector firings: flows with no ack progress
+// for StallRTOs retransmissions or starved of credit beyond
+// CreditStallTimeout (one per episode).
+const MetricStalls = "lci_net_stalls_total"
+
 // RegisterMetrics re-expresses the provider's counters under the canonical
 // fabric/net names and adds per-flow SRTT and RTO gauges. The gauges read
 // the live estimator under the flow lock only at snapshot time; nothing is
@@ -25,6 +30,7 @@ func (p *Provider) RegisterMetrics(reg *telemetry.Registry) {
 	}
 	fabric.RegisterStats(reg, p.Stats)
 	reg.GaugeFunc(fabric.MetricRingPending, telemetry.AggSum, func() int64 { return int64(p.Pending()) })
+	reg.CounterFunc(MetricStalls, p.stallWarns.Load)
 	for _, fl := range p.flows {
 		if fl == nil {
 			continue

@@ -43,6 +43,7 @@ import (
 
 	"lcigraph/internal/concurrent"
 	"lcigraph/internal/fabric"
+	"lcigraph/internal/tracing"
 )
 
 // Config describes one rank's endpoint. Window, Credits, EagerLimit and MTU
@@ -87,6 +88,23 @@ type Config struct {
 	DisableBatchIO   bool // one syscall per datagram, flush every Send (pre-batching path)
 	DisablePiggyback bool // never stamp acks onto data packets
 	FixedRTO         bool // keep RTO at the configured seed; no RTT adaptation
+
+	// Tracer receives transport lifecycle events (retransmits, ack window
+	// advances, credit stalls, stall warnings) and the flight-recorder dump
+	// when the stall detector fires or Close's drain times out. Nil selects
+	// the process-wide default tracer (enabled only under LCI_TRACE).
+	Tracer *tracing.Tracer
+
+	// StallRTOs is the stall detector's no-ack-progress threshold: a
+	// structured warning fires once a flow's oldest unacked packet has been
+	// retransmitted this many times without the cumulative ack moving —
+	// i.e. the peer has been silent for the sum of that many backed-off
+	// RTOs. One warning per stall episode (default 8).
+	StallRTOs int
+	// CreditStallTimeout is the zero-credit threshold: a warning fires when
+	// a flow's sends have been refused for lack of receiver credit for this
+	// long without the peer raising the limit (default 500ms).
+	CreditStallTimeout time.Duration
 }
 
 func (c *Config) fill() error {
@@ -146,6 +164,12 @@ func (c *Config) fill() error {
 	}
 	if c.SockBuf <= 0 {
 		c.SockBuf = 1 << 20
+	}
+	if c.StallRTOs <= 0 {
+		c.StallRTOs = 8
+	}
+	if c.CreditStallTimeout <= 0 {
+		c.CreditStallTimeout = 500 * time.Millisecond
 	}
 	if c.Rank < 0 || c.Rank >= len(c.Addrs) {
 		return fmt.Errorf("netfabric: rank %d outside address list of %d", c.Rank, len(c.Addrs))
@@ -229,6 +253,15 @@ type Provider struct {
 	piggyAcks      atomic.Int64
 	delayedAcks    atomic.Int64
 	sockErrors     atomic.Int64
+	stallWarns     atomic.Int64
+
+	// tr is the lifecycle tracer (nil = dark path); stallRTOs and
+	// creditStallTO parameterize the stall detector, which runs on the
+	// housekeeping tick regardless of tracing so the stalls_total counter
+	// works with the tracer off.
+	tr            *tracing.Tracer
+	stallRTOs     int
+	creditStallTO time.Duration
 }
 
 var _ fabric.Provider = (*Provider)(nil)
@@ -242,22 +275,28 @@ func New(cfg Config) (*Provider, error) {
 		return nil, err
 	}
 	p := &Provider{
-		rank:        cfg.Rank,
-		size:        len(cfg.Addrs),
-		eagerLimit:  cfg.EagerLimit,
-		chunk:       cfg.MTU - dataHdrLen,
-		window:      uint32(cfg.Window),
-		credits:     cfg.Credits,
-		seedRTO:     cfg.RTO,
-		minRTO:      cfg.MinRTO,
-		maxRTO:      cfg.MaxRTO,
-		drainTO:     cfg.DrainTimeout,
-		txBatch:     cfg.TxBatch,
-		ackEvery:    cfg.AckEvery,
-		noPiggyback: cfg.DisablePiggyback,
-		fixedRTO:    cfg.FixedRTO,
-		conn:        cfg.Conn,
-		maxRegs:     cfg.MaxRegions,
+		rank:          cfg.Rank,
+		size:          len(cfg.Addrs),
+		eagerLimit:    cfg.EagerLimit,
+		chunk:         cfg.MTU - dataHdrLen,
+		window:        uint32(cfg.Window),
+		credits:       cfg.Credits,
+		seedRTO:       cfg.RTO,
+		minRTO:        cfg.MinRTO,
+		maxRTO:        cfg.MaxRTO,
+		drainTO:       cfg.DrainTimeout,
+		txBatch:       cfg.TxBatch,
+		ackEvery:      cfg.AckEvery,
+		noPiggyback:   cfg.DisablePiggyback,
+		fixedRTO:      cfg.FixedRTO,
+		conn:          cfg.Conn,
+		maxRegs:       cfg.MaxRegions,
+		tr:            cfg.Tracer,
+		stallRTOs:     cfg.StallRTOs,
+		creditStallTO: cfg.CreditStallTimeout,
+	}
+	if p.tr == nil {
+		p.tr = tracing.Default()
 	}
 	// The tick paces delayed acks and the retransmit scan. Half the RTO
 	// floor keeps timer resolution ahead of the tightest timeout; the
@@ -338,21 +377,29 @@ func (p *Provider) Close() error {
 	if !p.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	p.drain()
+	if !p.drain() {
+		// Unacked packets survived the drain window: a peer died or the
+		// link is black-holing. Preserve the evidence before tearing down.
+		p.tr.DumpNow(fmt.Sprintf("rank %d close: drain timed out with unacked packets", p.rank))
+	}
 	err := p.conn.Close()
 	p.wg.Wait()
 	return err
 }
 
 // drain blocks until no flow holds an unacked packet or the drain timeout
-// expires. Pending packets are pushed to the wire first; the reader
-// goroutine is still running (the socket is open), so retransmit timers,
-// incoming acks and outgoing ack/credit refreshes all keep making progress
-// while we wait.
-func (p *Provider) drain() {
+// expires, reporting whether every flow fully drained. Pending packets are
+// pushed to the wire first; the reader goroutine is still running (the
+// socket is open), so retransmit timers, incoming acks and outgoing
+// ack/credit refreshes all keep making progress while we wait.
+func (p *Provider) drain() bool {
 	p.flushPending()
 	deadline := time.Now().Add(p.drainTO)
 	for {
+		// Push any delayed acks out before (possibly) closing the socket: a
+		// rank with nothing unacked itself would otherwise exit with the
+		// peer's last packet unackable, forcing the peer to drain-timeout.
+		p.flushAcks()
 		pending := false
 		for _, fl := range p.flows {
 			if fl == nil {
@@ -366,8 +413,11 @@ func (p *Provider) drain() {
 				break
 			}
 		}
-		if !pending || time.Now().After(deadline) {
-			return
+		if !pending {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
@@ -461,9 +511,16 @@ func (p *Provider) Send(dst int, header, meta uint64, data []byte) error {
 
 	fl.mu.Lock()
 	if fl.msgsSent >= fl.creditLimit {
+		episodeStart := fl.creditStallSince.IsZero()
+		if episodeStart {
+			fl.creditStallSince = time.Now()
+		}
 		fl.mu.Unlock()
 		p.creditStalls.Add(1)
 		p.sendRetries.Add(1)
+		if episodeStart {
+			p.tr.Record(tracing.EvCreditStall, dst, tracing.ProtoNone, len(data), 0)
+		}
 		return fabric.ErrResource
 	}
 	if fl.inFlight()+uint32(nfrags) > p.window {
@@ -484,6 +541,8 @@ func (p *Provider) Send(dst int, header, meta uint64, data []byte) error {
 		off = end
 	}
 	fl.msgsSent++
+	fl.creditStallSince = time.Time{} // credit available again: episode over
+	fl.creditStallWarned = false
 	if fl.unsent == 0 {
 		p.txPendFlows.Add(1)
 	}
@@ -915,6 +974,7 @@ func (p *Provider) onAck(fl *flow, cum uint32, credit uint64) {
 	// what was actually sent) cumulative acks in one comparison. Pending
 	// never-transmitted packets cannot have been acked.
 	sent := uint32(fl.unacked.len() - fl.unsent)
+	var retired uint32
 	if delta := cum - fl.baseSeq; delta > 0 && delta <= sent {
 		sample := time.Duration(-1)
 		for i := uint32(0); i < delta; i++ {
@@ -926,14 +986,21 @@ func (p *Provider) onAck(fl *flow, cum uint32, credit uint64) {
 			tx.data = nil
 		}
 		fl.baseSeq = cum
+		retired = delta
+		fl.ackStallWarned = false // the window moved: ack-stall episode over
 		if sample >= 0 && !p.fixedRTO {
 			fl.observeRTT(sample, p.minRTO, p.maxRTO)
 		}
 	}
 	if credit > fl.creditLimit {
 		fl.creditLimit = credit
+		fl.creditStallSince = time.Time{} // peer granted credit: episode over
+		fl.creditStallWarned = false
 	}
 	fl.mu.Unlock()
+	if retired > 0 {
+		p.tr.RecordArg(tracing.EvAckRx, fl.peer, tracing.ProtoNone, 0, retired, 0)
+	}
 }
 
 // housekeep runs on the reader's tick (and between read bursts under load):
@@ -971,13 +1038,43 @@ func (p *Provider) housekeep() {
 			p.stampOutgoing(fl, tx.data)
 			burst = append(burst, tx.data)
 			p.retransmits.Add(1)
+			p.tr.RecordArg(tracing.EvRetransmit, fl.peer, tracing.ProtoNone, len(tx.data), uint32(tx.attempts), 0)
 			budget--
 		}
 		if len(burst) > 0 {
 			p.xmitBatch(fl.peer, burst)
 		}
 		fl.scratch = burst[:0]
+
+		// Stall detector. Ack stall: the oldest unacked packet has burned
+		// stallRTOs retransmissions with no cumulative-ack movement (onAck
+		// resets the latch when the window advances). Credit stall: sends
+		// have sat at the credit wall past the timeout without the peer
+		// raising its limit. Each warns once per episode. Suppressed once
+		// Close begins: peers exit asynchronously, so the final ack of a
+		// clean shutdown routinely goes unanswered — the drain-timeout dump
+		// in Close covers the genuinely wedged case.
+		closing := p.closed.Load()
+		var ackStalled, creditStalled bool
+		var attempts int
+		if n := fl.unacked.len() - fl.unsent; n > 0 && !fl.ackStallWarned && !closing {
+			if head := fl.unacked.at(0); head.attempts >= p.stallRTOs {
+				fl.ackStallWarned = true
+				ackStalled, attempts = true, head.attempts
+			}
+		}
+		if !closing && !fl.creditStallWarned && !fl.creditStallSince.IsZero() &&
+			fl.msgsSent >= fl.creditLimit && now.Sub(fl.creditStallSince) >= p.creditStallTO {
+			fl.creditStallWarned = true
+			creditStalled = true
+		}
 		fl.mu.Unlock()
+		if ackStalled {
+			p.warnStall(fl, stallAck, fmt.Sprintf("no ack progress after %d retransmits", attempts))
+		}
+		if creditStalled {
+			p.warnStall(fl, stallCredit, fmt.Sprintf("zero send credit for %v", p.creditStallTO))
+		}
 	}
 	// A reorder-held datagram must not outlive the hold window when traffic
 	// goes quiet.
@@ -1002,9 +1099,26 @@ func (p *Provider) sendAckNow(fl *flow, delayed bool) {
 	}
 	p.xmitBatch(fl.peer, [][]byte{buf[:n]})
 	p.acksSent.Add(1)
+	p.tr.Record(tracing.EvAckTx, fl.peer, tracing.ProtoNone, 0, 0)
 	if delayed {
 		p.delayedAcks.Add(1)
 	}
+}
+
+// Stall kinds carried in EvStallWarn's arg field.
+const (
+	stallAck    = 1 // no ack progress for StallRTOs retransmissions
+	stallCredit = 2 // zero send credit beyond CreditStallTimeout
+)
+
+// warnStall emits one structured stall warning for fl: it bumps the
+// stalls_total counter unconditionally and, under tracing, records an
+// EvStallWarn event and dumps the flight recorder so the events leading up
+// to the stall are preserved.
+func (p *Provider) warnStall(fl *flow, kind uint32, detail string) {
+	p.stallWarns.Add(1)
+	p.tr.RecordArg(tracing.EvStallWarn, fl.peer, tracing.ProtoNone, 0, kind, 0)
+	p.tr.DumpNow(fmt.Sprintf("rank %d stall: %s (peer %d)", p.rank, detail, fl.peer))
 }
 
 // flushAcks sends one standalone ack/credit datagram to every peer still

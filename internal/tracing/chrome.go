@@ -1,0 +1,140 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Chrome trace-event export (the catapult JSON format understood by
+// Perfetto and chrome://tracing). Each rank renders its ring as one process
+// lane (pid = rank) with three thread lanes — app/layer, core, net — plus
+// flow arrows ("s"/"f" phase events, bound by message id) from every
+// send-enq to the matching recv-deq, which is what draws the cross-rank
+// arrow once blobs from all ranks are merged.
+
+// Thread-lane assignment within a rank's process lane.
+const (
+	laneApp  = 0 // queue-pair API and comm-layer surface
+	laneCore = 1 // protocol engine (eager, rendezvous, progress server)
+	laneNet  = 2 // transport (acks, retransmits, credits, stalls)
+)
+
+func laneOf(t EventType) int {
+	switch t {
+	case EvSendEnq, EvRecvDeq, EvLayerSend, EvLayerRecv:
+		return laneApp
+	case EvCreditStall, EvRetransmit, EvAckTx, EvAckRx, EvStallWarn:
+		return laneNet
+	}
+	return laneCore
+}
+
+var laneNames = map[int]string{
+	laneApp:  "app/layer",
+	laneCore: "core",
+	laneNet:  "net",
+}
+
+// chromeEvent is one entry of the traceEvents array. Phases used: "M"
+// (metadata), "X" (complete slice), "s"/"f" (flow start/finish).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts,omitempty"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"` // "e": bind flow finish to enclosing slice
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+// tsMicros converts an event timestamp to the catapult microsecond scale.
+// Absolute UnixNano keeps all ranks on one clock, so merged blobs line up
+// without a negotiated epoch; float64 quantizes ~2026 wall time to ~0.25 µs,
+// which the timeline viewer cannot resolve anyway.
+func tsMicros(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ChromeTrace renders events (one rank's ring, as returned by
+// Tracer.Events) as a self-contained catapult JSON document.
+func ChromeTrace(events []Event, rank int) []byte {
+	out := make([]chromeEvent, 0, len(events)+4)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", PID: rank,
+		Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+	})
+	for tid := laneApp; tid <= laneNet; tid++ {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: rank, TID: tid,
+			Args: map[string]any{"name": laneNames[tid]},
+		})
+	}
+	for _, e := range events {
+		tid := laneOf(e.Type)
+		args := map[string]any{}
+		if e.Peer >= 0 {
+			args["peer"] = e.Peer
+		}
+		if e.Proto != ProtoNone {
+			args["proto"] = protoName(e.Proto)
+		}
+		if e.Size > 0 {
+			args["size"] = e.Size
+		}
+		if e.Arg != 0 {
+			args["arg"] = e.Arg
+		}
+		if e.MsgID != 0 {
+			args["msgid"] = fmt.Sprintf("%#x", e.MsgID)
+		}
+		out = append(out, chromeEvent{
+			Name: e.Type.String(), Ph: "X", PID: rank, TID: tid,
+			TS: tsMicros(e.TS), Dur: 1, Cat: "lci", Args: args,
+		})
+		// Flow arrows pair the API-surface endpoints of one message: the
+		// arrow starts at the sender's enqueue and finishes at the
+		// receiver's dequeue, keyed by the global message id.
+		if e.MsgID != 0 && (e.Type == EvSendEnq || e.Type == EvRecvDeq) {
+			fe := chromeEvent{
+				Name: "msg", Ph: "s", PID: rank, TID: tid,
+				TS: tsMicros(e.TS), Cat: "msg",
+				ID: fmt.Sprintf("%#x", e.MsgID),
+			}
+			if e.Type == EvRecvDeq {
+				fe.Ph, fe.BP = "f", "e"
+			}
+			out = append(out, fe)
+		}
+	}
+	raws := make([]json.RawMessage, len(out))
+	for i := range out {
+		raws[i], _ = json.Marshal(out[i])
+	}
+	doc, _ := json.Marshal(chromeTrace{TraceEvents: raws})
+	return doc
+}
+
+// MergeChrome merges per-rank catapult documents (as produced by
+// ChromeTrace) into one. Ranks occupy distinct process lanes, so the merge
+// is a validated concatenation of the traceEvents arrays; nil/empty blobs
+// (ranks that traced nothing) are skipped.
+func MergeChrome(blobs [][]byte) ([]byte, error) {
+	var merged chromeTrace
+	merged.TraceEvents = []json.RawMessage{}
+	for i, b := range blobs {
+		if len(b) == 0 {
+			continue
+		}
+		var t chromeTrace
+		if err := json.Unmarshal(b, &t); err != nil {
+			return nil, fmt.Errorf("tracing: rank %d blob: %w", i, err)
+		}
+		merged.TraceEvents = append(merged.TraceEvents, t.TraceEvents...)
+	}
+	return json.Marshal(merged)
+}

@@ -1,0 +1,88 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Flight recorder: the ring already holds the last N events per rank; this
+// file renders them as a human-readable postmortem. Dumps trigger on
+// SIGQUIT (flight_unix.go), on provider Close errors (drain timeout), and
+// when the netfabric stall detector fires — see DESIGN.md §12.
+
+// dumpSink wraps the dump writer so it can swap atomically (tests capture
+// dumps; production leaves stderr).
+type dumpSink struct{ w io.Writer }
+
+// SetDumpWriter redirects DumpNow output (default os.Stderr). A nil w
+// restores the default.
+func (t *Tracer) SetDumpWriter(w io.Writer) {
+	if t == nil {
+		return
+	}
+	if w == nil {
+		t.dumpW.Store(nil)
+		return
+	}
+	t.dumpW.Store(&dumpSink{w: w})
+}
+
+// dumpRateLimit bounds how often DumpNow actually writes: stall detectors
+// can fire every housekeeping tick while wedged, and one dump per second
+// already captures the whole ring.
+const dumpRateLimit = time.Second
+
+// DumpNow writes the flight record to the configured sink, rate-limited to
+// one dump per second (extra calls are dropped, not queued). Safe from any
+// goroutine.
+func (t *Tracer) DumpNow(reason string) {
+	if t == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := t.lastDump.Load()
+	if now-last < int64(dumpRateLimit) || !t.lastDump.CompareAndSwap(last, now) {
+		return
+	}
+	w := io.Writer(os.Stderr)
+	if s := t.dumpW.Load(); s != nil {
+		w = s.w
+	}
+	t.dumpMu.Lock()
+	defer t.dumpMu.Unlock()
+	t.Dump(w, reason)
+}
+
+// Dump writes the flight record — every ring event, oldest first — to w.
+// Unlike DumpNow it is neither rate-limited nor redirected.
+func (t *Tracer) Dump(w io.Writer, reason string) {
+	if t == nil {
+		return
+	}
+	events := t.Events()
+	fmt.Fprintf(w, "=== lci flight recorder: rank %d, %d events (reason: %s) ===\n",
+		t.rank, len(events), reason)
+	if len(events) == 0 {
+		fmt.Fprintf(w, "(ring empty)\n")
+		return
+	}
+	base := events[0].TS
+	fmt.Fprintf(w, "t0 = %s\n", time.Unix(0, base).Format(time.RFC3339Nano))
+	fmt.Fprintf(w, "%12s  %-13s %5s %5s %8s %8s  %s\n",
+		"+us", "event", "peer", "proto", "size", "arg", "msgid")
+	for _, e := range events {
+		peer := "-"
+		if e.Peer >= 0 {
+			peer = fmt.Sprintf("%d", e.Peer)
+		}
+		msgid := "-"
+		if e.MsgID != 0 {
+			msgid = fmt.Sprintf("%#x", e.MsgID)
+		}
+		fmt.Fprintf(w, "%12.1f  %-13s %5s %5s %8d %8d  %s\n",
+			float64(e.TS-base)/1e3, e.Type.String(), peer,
+			protoName(e.Proto), e.Size, e.Arg, msgid)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package tracing
+
+// NotifySIGQUIT is a no-op on platforms without SIGQUIT.
+func (t *Tracer) NotifySIGQUIT() {}

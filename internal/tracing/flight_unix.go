@@ -1,0 +1,27 @@
+//go:build unix
+
+package tracing
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// NotifySIGQUIT installs a SIGQUIT handler that dumps the flight record
+// before re-raising the signal, so the Go runtime's own goroutine dump (and
+// process exit) still happen. No-op on a nil tracer; call at most once per
+// process (cmd/lci-launch workers do).
+func (t *Tracer) NotifySIGQUIT() {
+	if t == nil {
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		<-ch
+		t.Dump(os.Stderr, "SIGQUIT")
+		signal.Reset(syscall.SIGQUIT)
+		_ = syscall.Kill(os.Getpid(), syscall.SIGQUIT)
+	}()
+}

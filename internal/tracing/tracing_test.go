@@ -1,0 +1,200 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRingWraparound floods a small ring far past its capacity from one
+// goroutine and checks that what survives is the most recent tail of the
+// stream, still in recording order.
+func TestRingWraparound(t *testing.T) {
+	const cap = 64
+	const total = 10 * cap * numShards
+	tr := New(0, cap)
+	for i := 0; i < total; i++ {
+		tr.RecordArg(EvEagerTx, 1, ProtoEGR, 8, uint32(i), 0)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 || len(evs) > cap*numShards {
+		t.Fatalf("got %d events, want 1..%d", len(evs), cap*numShards)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("events out of timestamp order at %d", i)
+		}
+		if evs[i].Arg <= evs[i-1].Arg {
+			t.Fatalf("recording order lost: arg %d after %d", evs[i].Arg, evs[i-1].Arg)
+		}
+	}
+	if last := evs[len(evs)-1].Arg; last != total-1 {
+		t.Fatalf("newest event arg = %d, want %d (overwrite-oldest violated)", last, total-1)
+	}
+	if oldest := evs[0].Arg; int(oldest) < total-cap*numShards {
+		t.Fatalf("oldest surviving arg = %d, want >= %d", oldest, total-cap*numShards)
+	}
+}
+
+// TestNilTracerDarkPath: every method of a nil tracer must be a no-op.
+func TestNilTracerDarkPath(t *testing.T) {
+	var tr *Tracer
+	tr.Record(EvSendEnq, 1, ProtoEGR, 10, 1)
+	tr.RecordArg(EvRetry, 1, ProtoNone, 0, 3, 1)
+	tr.DumpNow("nil")
+	tr.NotifySIGQUIT()
+	tr.SetDumpWriter(io.Discard)
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil tracer returned %d events", len(evs))
+	}
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer reports events")
+	}
+}
+
+// TestFlightDump checks the dump contents and the once-per-second rate limit.
+func TestFlightDump(t *testing.T) {
+	tr := New(3, 64)
+	tr.Record(EvCreditStall, 1, ProtoNone, 64, 0)
+	tr.RecordArg(EvStallWarn, 1, ProtoNone, 0, 2, 0)
+	tr.Record(EvSendEnq, 1, ProtoEGR, 32, MsgID(3, 9))
+
+	var buf bytes.Buffer
+	tr.SetDumpWriter(&buf)
+	tr.DumpNow("unit-test")
+	out := buf.String()
+	for _, want := range []string{"rank 3", "reason: unit-test", "credit-stall", "stall-warn", "send-enq", "0x3000009"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	tr.DumpNow("again") // within the 1s rate limit: suppressed
+	if buf.Len() != 0 {
+		t.Fatalf("rate limit did not suppress second dump:\n%s", buf.String())
+	}
+
+	// Direct Dump bypasses the limiter (used by the SIGQUIT and HTTP paths).
+	buf.Reset()
+	tr.Dump(&buf, "direct")
+	if !strings.Contains(buf.String(), "reason: direct") {
+		t.Fatal("direct Dump produced nothing")
+	}
+}
+
+// chromeDoc mirrors the catapult JSON shape for decoding in tests.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Ph   string  `json:"ph"`
+		PID  int     `json:"pid"`
+		TID  int     `json:"tid"`
+		TS   float64 `json:"ts"`
+		ID   string  `json:"id"`
+		Name string  `json:"name"`
+	} `json:"traceEvents"`
+}
+
+// TestChromeMergeRoundTrip builds per-rank traces with one correlated
+// message, merges them, and checks the merged document decodes cleanly with
+// per-rank lanes, monotone per-lane timestamps, and a send→recv flow arrow
+// pair bound by msgid.
+func TestChromeMergeRoundTrip(t *testing.T) {
+	gid := MsgID(0, 7)
+	trA := New(0, 64)
+	trA.Record(EvSendEnq, 1, ProtoEGR, 32, gid)
+	trA.Record(EvEagerTx, 1, ProtoEGR, 32, gid)
+	trB := New(1, 64)
+	trB.Record(EvRecvDeq, 0, ProtoEGR, 32, gid)
+
+	merged, err := MergeChrome([][]byte{
+		ChromeTrace(trA.Events(), 0),
+		ChromeTrace(trB.Events(), 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(merged, &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+
+	pids := map[int]bool{}
+	lanes := map[[2]int]float64{}
+	var flowS, flowF []string
+	for _, e := range doc.TraceEvents {
+		pids[e.PID] = true
+		switch e.Ph {
+		case "X":
+			key := [2]int{e.PID, e.TID}
+			if e.TS < lanes[key] {
+				t.Fatalf("lane %v timestamps not monotone", key)
+			}
+			lanes[key] = e.TS
+		case "s":
+			flowS = append(flowS, e.ID)
+		case "f":
+			flowF = append(flowF, e.ID)
+		}
+	}
+	if !pids[0] || !pids[1] {
+		t.Fatalf("merged trace lanes missing a rank: %v", pids)
+	}
+	if len(flowS) != 1 || len(flowF) != 1 || flowS[0] != flowF[0] {
+		t.Fatalf("flow arrows s=%v f=%v, want one matched pair", flowS, flowF)
+	}
+}
+
+// TestMergeChromeRejectsGarbage: a corrupt per-rank blob must fail the merge
+// rather than poison the output document.
+func TestMergeChromeRejectsGarbage(t *testing.T) {
+	good := ChromeTrace(nil, 0)
+	if _, err := MergeChrome([][]byte{good, []byte("not json")}); err == nil {
+		t.Fatal("MergeChrome accepted a corrupt blob")
+	}
+}
+
+// TestConcurrentRecordAndDump hammers the ring from many goroutines while a
+// reader concurrently drains events and dumps — the -race guarantee for the
+// flight recorder's live snapshots.
+func TestConcurrentRecordAndDump(t *testing.T) {
+	tr := New(0, 256)
+	tr.SetDumpWriter(io.Discard)
+	const writers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				tr.RecordArg(EvSendEnq, w, ProtoEGR, i, uint32(i), MsgID(0, uint32(i)))
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Events()
+			tr.Dump(io.Discard, "concurrent")
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if tr.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+}
