@@ -134,7 +134,9 @@ func parent(o *options) int {
 	conns := make([]*net.UDPConn, o.n)
 	addrs := make([]string, o.n)
 	for i := range conns {
-		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		// SO_REUSEPORT on the pre-bound socket is what lets each child's
+		// extra reader shards join its inherited address.
+		c, err := netfabric.ListenReusePort("udp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lci-launch: bind rank %d: %v\n", i, err)
 			return 2
@@ -280,6 +282,11 @@ func child(o *options) int {
 		return 2
 	}
 	rank, size := prov.Rank(), prov.Size()
+	if rank == 0 {
+		// One line recording what the kernel capability probes negotiated,
+		// so CI logs show which fast-path tier the smoke actually exercised.
+		fmt.Fprintf(os.Stderr, "lci-launch: netfabric %s\n", prov.Capabilities())
+	}
 
 	reg := telemetry.New(rank) // honors LCI_NO_TELEMETRY
 	prov.RegisterMetrics(reg)

@@ -35,18 +35,22 @@ func TestMicroRateSmoke(t *testing.T) {
 func TestFig1Shape(t *testing.T) {
 	const iters = 500
 	prof, impl := fabric.OmniPath(), mpi.IntelMPI()
-	minLat := func(iface string) time.Duration {
-		best := time.Hour
-		for i := 0; i < 5; i++ {
-			if l := MicroLatency(iface, 8, iters, prof, impl); l < best {
-				best = l
+	// Interleave the trials round-robin rather than per-interface blocks:
+	// a load burst from a concurrently-running test package then taxes
+	// every interface's sample set instead of skewing one side of the
+	// comparison.
+	best := map[string]time.Duration{}
+	for i := 0; i < 5; i++ {
+		for _, iface := range []string{IfaceQueue, IfaceProbe, IfaceNoProbe} {
+			l := MicroLatency(iface, 8, iters, prof, impl)
+			if cur, ok := best[iface]; !ok || l < cur {
+				best[iface] = l
 			}
 		}
-		return best
 	}
-	queue := minLat(IfaceQueue)
-	probe := minLat(IfaceProbe)
-	noprobe := minLat(IfaceNoProbe)
+	queue := best[IfaceQueue]
+	probe := best[IfaceProbe]
+	noprobe := best[IfaceNoProbe]
 	t.Logf("8B latency: queue=%v noprobe=%v probe=%v", queue, noprobe, probe)
 	if queue > probe {
 		t.Errorf("LCI queue latency %v exceeds MPI probe latency %v", queue, probe)

@@ -20,6 +20,7 @@ type NetfabricVariant struct {
 	Name      string  `json:"name"`
 	Transport string  `json:"transport"` // sim | udp
 	Loss      float64 `json:"loss"`      // injected datagram loss rate
+	MsgSize   int     `json:"msg_size"`
 	Messages  int     `json:"messages"`
 	NsPerMsg  float64 `json:"ns_per_msg"`
 
@@ -30,9 +31,17 @@ type NetfabricVariant struct {
 	SendRetries   int64 `json:"send_retries"`
 	SendBatches   int64 `json:"send_batches"`
 	RecvBatches   int64 `json:"recv_batches"`
+	GSOSends      int64 `json:"gso_sends"`
+	GROCoalesced  int64 `json:"gro_coalesced"`
+	SockDrops     int64 `json:"sock_drops"`
 	PiggybackAcks int64 `json:"piggyback_acks"`
 	DelayedAcks   int64 `json:"delayed_acks"`
 }
+
+// netfabricSweepRepeats is how many trials each sweep point runs per
+// transport, keeping the best: wall time on a shared host is dominated by
+// scheduler noise, and repeated trials are how the paper reports numbers.
+const netfabricSweepRepeats = 3
 
 // NetfabricSweepPoint is one message size of the sim-vs-UDP sweep: the gap
 // is widest for tiny messages (per-datagram overhead dominates) and closes
@@ -43,6 +52,14 @@ type NetfabricSweepPoint struct {
 	SimNs    float64 `json:"sim_ns_per_msg"`
 	UDPNs    float64 `json:"udp_ns_per_msg"`
 	Slowdown float64 `json:"slowdown"`
+
+	// Batching/offload counters for the UDP run at this size, showing which
+	// kernel tier carried the traffic (all zero on the sim variant).
+	SendBatches  int64 `json:"send_batches"`
+	RecvBatches  int64 `json:"recv_batches"`
+	GSOSends     int64 `json:"gso_sends"`
+	GROCoalesced int64 `json:"gro_coalesced"`
+	SockDrops    int64 `json:"sock_drops"`
 }
 
 // NetfabricReport is the in-process vs real-network comparison committed
@@ -65,10 +82,12 @@ type NetfabricReport struct {
 	// eager large, rendezvous).
 	Sweep []NetfabricSweepPoint `json:"sweep"`
 
-	// Ablations re-run the clean-UDP 64B exchange with one hot-path
+	// Ablations re-run the clean-UDP exchange with one hot-path
 	// optimization disabled each, quantifying its contribution: no-batch
 	// (one syscall per datagram), no-piggyback (every ack is a standalone
-	// datagram), fixed-rto (no RTT adaptation).
+	// datagram), fixed-rto (no RTT adaptation) at 64B; no-gso (fragment
+	// trains sent datagram-at-a-time) and shards-1 (single reader socket)
+	// at 64KiB where the offload tier carries the traffic.
 	Ablations []NetfabricVariant `json:"ablations"`
 }
 
@@ -119,6 +138,9 @@ func fillVariant(v *NetfabricVariant, hosts, perPeer, epochs int, wall time.Dura
 	v.SendRetries = net.SendRetries
 	v.SendBatches = net.SendBatches
 	v.RecvBatches = net.RecvBatches
+	v.GSOSends = net.GSOSends
+	v.GROCoalesced = net.GROCoalesced
+	v.SockDrops = net.SockDrops
 	v.PiggybackAcks = net.PiggybackAcks
 	v.DelayedAcks = net.DelayedAcks
 }
@@ -140,7 +162,7 @@ func netfabricVariantSim(hosts, perPeer, size, epochs int) NetfabricVariant {
 	for _, l := range layers {
 		l.Stop()
 	}
-	v := NetfabricVariant{Name: "sim", Transport: "sim"}
+	v := NetfabricVariant{Name: "sim", Transport: "sim", MsgSize: size}
 	fillVariant(&v, hosts, perPeer, epochs, wall, NetStatsFromSnapshot(mergeRegistries(regs)))
 	return v
 }
@@ -167,7 +189,7 @@ func netfabricVariantUDP(name string, hosts, perPeer, size, epochs int, cfg netf
 	}
 	net := NetStatsFromSnapshot(mergeRegistries(regs))
 	netfabric.CloseGroup(provs)
-	v := NetfabricVariant{Name: name, Transport: "udp", Loss: cfg.Fault.Loss}
+	v := NetfabricVariant{Name: name, Transport: "udp", Loss: cfg.Fault.Loss, MsgSize: size}
 	fillVariant(&v, hosts, perPeer, epochs, wall, net)
 	return v, nil
 }
@@ -207,32 +229,60 @@ func Netfabric(hosts, perPeer, size, epochs int) (NetfabricReport, error) {
 
 	// Message-size sweep: the per-datagram costs the hot path amortizes
 	// matter most at 64B; 4KiB is still eager but payload-dominated; 64KiB
-	// takes the rendezvous fragmented-send path end to end.
+	// takes the rendezvous fragmented-send path end to end. Each point is
+	// the best of netfabricSweepRepeats trials per transport: on a loaded
+	// host a single trial's wall time is dominated by scheduler noise, and
+	// the paper reports repeated-trial results for the same reason.
 	for _, pt := range []struct{ size, perPeer int }{
 		{64, perPeer}, {4 << 10, (perPeer + 3) / 4}, {64 << 10, (perPeer + 15) / 16},
 	} {
 		sim := netfabricVariantSim(hosts, pt.perPeer, pt.size, epochs)
+		for t := 1; t < netfabricSweepRepeats; t++ {
+			if again := netfabricVariantSim(hosts, pt.perPeer, pt.size, epochs); again.NsPerMsg < sim.NsPerMsg {
+				sim = again
+			}
+		}
 		udp, err := netfabricVariantUDP("udp", hosts, pt.perPeer, pt.size, epochs, netfabric.Config{})
 		if err != nil {
 			return r, err
 		}
-		sp := NetfabricSweepPoint{MsgSize: pt.size, PerPeer: pt.perPeer, SimNs: sim.NsPerMsg, UDPNs: udp.NsPerMsg}
+		for t := 1; t < netfabricSweepRepeats; t++ {
+			again, err := netfabricVariantUDP("udp", hosts, pt.perPeer, pt.size, epochs, netfabric.Config{})
+			if err != nil {
+				return r, err
+			}
+			if again.NsPerMsg < udp.NsPerMsg {
+				udp = again
+			}
+		}
+		sp := NetfabricSweepPoint{
+			MsgSize: pt.size, PerPeer: pt.perPeer, SimNs: sim.NsPerMsg, UDPNs: udp.NsPerMsg,
+			SendBatches: udp.SendBatches, RecvBatches: udp.RecvBatches,
+			GSOSends: udp.GSOSends, GROCoalesced: udp.GROCoalesced, SockDrops: udp.SockDrops,
+		}
 		if sp.SimNs > 0 {
 			sp.Slowdown = sp.UDPNs / sp.SimNs
 		}
 		r.Sweep = append(r.Sweep, sp)
 	}
 
-	// Ablations: the clean 64B exchange with one optimization off each.
+	// Ablations: one hot-path optimization off each. The batching knobs run
+	// at 64B where per-datagram overhead dominates; the offload knobs run at
+	// 64KiB where segmentation offload is what collapses the fragment
+	// trains, so each row isolates its tier at the size it targets.
+	large, largePer := 64<<10, (perPeer+15)/16
 	for _, ab := range []struct {
-		name string
-		cfg  netfabric.Config
+		name          string
+		size, perPeer int
+		cfg           netfabric.Config
 	}{
-		{"no-batch", netfabric.Config{DisableBatchIO: true}},
-		{"no-piggyback", netfabric.Config{DisablePiggyback: true}},
-		{"fixed-rto", netfabric.Config{FixedRTO: true}},
+		{"no-batch", size, perPeer, netfabric.Config{DisableBatchIO: true}},
+		{"no-piggyback", size, perPeer, netfabric.Config{DisablePiggyback: true}},
+		{"fixed-rto", size, perPeer, netfabric.Config{FixedRTO: true}},
+		{"no-gso", large, largePer, netfabric.Config{DisableGSO: true}},
+		{"shards-1", large, largePer, netfabric.Config{ReaderShards: 1}},
 	} {
-		v, err := netfabricVariantUDP(ab.name, hosts, perPeer, size, epochs, ab.cfg)
+		v, err := netfabricVariantUDP(ab.name, hosts, ab.perPeer, ab.size, epochs, ab.cfg)
 		if err != nil {
 			return r, err
 		}
@@ -241,25 +291,26 @@ func Netfabric(hosts, perPeer, size, epochs int) (NetfabricReport, error) {
 	return r, nil
 }
 
-// Table renders the report for cmd/experiments.
+// Table renders the report for cmd/experiments and `make bench-netfabric`.
 func (r NetfabricReport) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Netfabric: %d hosts, %d x %dB msgs/peer/epoch, %d epochs (%d msgs/variant)\n",
 		r.Hosts, r.PerPeer, r.MsgSize, r.Epochs, r.Sim.Messages)
-	fmt.Fprintf(&b, "%-13s %10s %12s %8s %8s %9s %9s %8s\n",
-		"variant", "ns/msg", "retransmits", "drops", "acks", "pgyacks", "batches", "retries")
+	fmt.Fprintf(&b, "%-13s %7s %10s %12s %8s %8s %9s %9s %6s %6s %8s\n",
+		"variant", "size", "ns/msg", "retransmits", "drops", "acks", "pgyacks", "batches", "gso", "gro", "retries")
 	vs := []NetfabricVariant{r.Sim, r.UDP, r.UDPLossy}
 	vs = append(vs, r.Ablations...)
 	for _, v := range vs {
-		fmt.Fprintf(&b, "%-13s %10.0f %12d %8d %8d %9d %9d %8d\n",
-			v.Name, v.NsPerMsg, v.Retransmits, v.Drops, v.Acks, v.PiggybackAcks,
-			v.SendBatches+v.RecvBatches, v.SendRetries)
+		fmt.Fprintf(&b, "%-13s %6dB %10.0f %12d %8d %8d %9d %9d %6d %6d %8d\n",
+			v.Name, v.MsgSize, v.NsPerMsg, v.Retransmits, v.Drops, v.Acks, v.PiggybackAcks,
+			v.SendBatches+v.RecvBatches, v.GSOSends, v.GROCoalesced, v.SendRetries)
 	}
 	fmt.Fprintf(&b, "udp slowdown over sim: %.1fx; 5%% loss overhead over clean udp: %.1fx\n",
 		r.UDPSlowdown, r.LossOverhead)
 	for _, sp := range r.Sweep {
-		fmt.Fprintf(&b, "sweep %6dB x%-3d sim %8.0f ns/msg  udp %8.0f ns/msg  slowdown %.1fx\n",
-			sp.MsgSize, sp.PerPeer, sp.SimNs, sp.UDPNs, sp.Slowdown)
+		fmt.Fprintf(&b, "sweep %6dB x%-3d sim %8.0f ns/msg  udp %8.0f ns/msg  slowdown %5.1fx  batches %d/%d gso %d gro %d\n",
+			sp.MsgSize, sp.PerPeer, sp.SimNs, sp.UDPNs, sp.Slowdown,
+			sp.SendBatches, sp.RecvBatches, sp.GSOSends, sp.GROCoalesced)
 	}
 	return b.String()
 }

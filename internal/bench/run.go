@@ -119,6 +119,9 @@ type NetStats struct {
 	CreditStalls  int64 // sends refused for lack of receiver credit
 	SendBatches   int64 // multi-datagram sendmmsg bursts
 	RecvBatches   int64 // multi-datagram recvmmsg bursts
+	GSOSends      int64 // multi-segment UDP_SEGMENT trains handed to the kernel
+	GROCoalesced  int64 // coalesced super-datagrams received and re-split
+	SockDrops     int64 // kernel receive-queue drops (SO_RXQ_OVFL)
 	PiggybackAcks int64 // acks carried on outgoing DATA packets
 	DelayedAcks   int64 // standalone acks deferred to the delayed-ack tick
 	SockErrors    int64 // transient socket errors absorbed by readers
@@ -145,6 +148,9 @@ func NetStatsFromSnapshot(s *telemetry.Snapshot) NetStats {
 		CreditStalls:    s.Counter(fabric.MetricCreditStalls),
 		SendBatches:     s.Counter(fabric.MetricSendBatches),
 		RecvBatches:     s.Counter(fabric.MetricRecvBatches),
+		GSOSends:        s.Counter(fabric.MetricGSOSends),
+		GROCoalesced:    s.Counter(fabric.MetricGROCoalesced),
+		SockDrops:       s.Counter(fabric.MetricSockDrops),
 		PiggybackAcks:   s.Counter(fabric.MetricPiggybackAcks),
 		DelayedAcks:     s.Counter(fabric.MetricDelayedAcks),
 		SockErrors:      s.Counter(fabric.MetricSockErrors),

@@ -1,0 +1,79 @@
+package lci
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"lcigraph/internal/netfabric"
+)
+
+// udpPair builds two LCI endpoints over real loopback UDP sockets instead
+// of the in-process fabric, so the rendezvous fragment path crosses the
+// kernel — and, where granted, the GSO/GRO segmentation-offload tier.
+func udpPair(t *testing.T, cfg netfabric.Config) (*Endpoint, *Endpoint, func()) {
+	t.Helper()
+	provs, err := netfabric.NewLoopbackGroup(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewEndpoint(provs[0], Options{})
+	b := NewEndpoint(provs[1], Options{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, e := range []*Endpoint{a, b} {
+		wg.Add(1)
+		go func(e *Endpoint) {
+			defer wg.Done()
+			e.Serve(stop)
+		}(e)
+	}
+	return a, b, func() {
+		close(stop)
+		wg.Wait()
+		netfabric.CloseGroup(provs)
+	}
+}
+
+// TestFragmentedRendezvousOverUDP: a multi-fragment rendezvous transfer over
+// lossy loopback UDP must deliver exactly once with intact payloads — the
+// same guarantee the in-process TestFragmentedRendezvous asserts, now with
+// retransmission, fragment trains, and (when the kernel grants it) GSO/GRO
+// underneath.
+func TestFragmentedRendezvousOverUDP(t *testing.T) {
+	a, b, shutdown := udpPair(t, netfabric.Config{
+		RTO:   time.Millisecond,
+		Fault: netfabric.Fault{Loss: 0.05, Dup: 0.02, Reorder: 0.02, Seed: 23},
+	})
+	defer shutdown()
+	w := a.Pool().RegisterWorker()
+
+	const n = 6
+	rng := rand.New(rand.NewSource(9))
+	msgs := make([][]byte, n)
+	for i := range msgs {
+		msgs[i] = make([]byte, a.EagerLimit()*8+i*517) // 8+ FRG rounds each
+		rng.Read(msgs[i])
+	}
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			got := recvOne(b)
+			if got.Tag != uint32(i) || got.Size != len(msgs[i]) {
+				t.Errorf("msg %d: tag=%d size=%d want %d", i, got.Tag, got.Size, len(msgs[i]))
+				return
+			}
+			if !bytes.Equal(got.Data, msgs[i]) {
+				t.Errorf("msg %d: payload corrupted", i)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		sendRetry(a, w, 1, uint32(i), msgs[i]).Wait(nil)
+	}
+	<-done
+}

@@ -230,6 +230,9 @@ type Stats struct {
 	CreditStalls   int64 // sends refused because the peer advertised no credit
 	SendBatches    int64 // vectored sendmmsg bursts carrying >1 datagram
 	RecvBatches    int64 // vectored recvmmsg bursts carrying >1 datagram
+	GSOSends       int64 // multi-segment UDP_SEGMENT trains handed to the kernel
+	GROCoalesced   int64 // coalesced super-datagrams received and re-split
+	SockDrops      int64 // kernel receive-queue drops reported via SO_RXQ_OVFL
 	PiggybackAcks  int64 // acks carried for free on outgoing DATA packets
 	DelayedAcks    int64 // standalone acks deferred to the delayed-ack tick
 	SockErrors     int64 // transient socket errors absorbed by the reader

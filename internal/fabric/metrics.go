@@ -24,6 +24,9 @@ const (
 	MetricCreditStalls   = "lci_net_credit_stalls_total"
 	MetricSendBatches    = "lci_net_send_batches_total"
 	MetricRecvBatches    = "lci_net_recv_batches_total"
+	MetricGSOSends       = "lci_net_gso_sends_total"
+	MetricGROCoalesced   = "lci_net_gro_coalesced_total"
+	MetricSockDrops      = "lci_net_sock_drops_total"
 	MetricPiggybackAcks  = "lci_net_piggyback_acks_total"
 	MetricDelayedAcks    = "lci_net_delayed_acks_total"
 	MetricSockErrors     = "lci_net_sock_errors_total"
@@ -60,6 +63,9 @@ func RegisterStats(reg *telemetry.Registry, stats func() Stats) {
 	field(MetricCreditStalls, func(s Stats) int64 { return s.CreditStalls })
 	field(MetricSendBatches, func(s Stats) int64 { return s.SendBatches })
 	field(MetricRecvBatches, func(s Stats) int64 { return s.RecvBatches })
+	field(MetricGSOSends, func(s Stats) int64 { return s.GSOSends })
+	field(MetricGROCoalesced, func(s Stats) int64 { return s.GROCoalesced })
+	field(MetricSockDrops, func(s Stats) int64 { return s.SockDrops })
 	field(MetricPiggybackAcks, func(s Stats) int64 { return s.PiggybackAcks })
 	field(MetricDelayedAcks, func(s Stats) int64 { return s.DelayedAcks })
 	field(MetricSockErrors, func(s Stats) int64 { return s.SockErrors })

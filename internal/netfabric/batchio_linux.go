@@ -41,13 +41,16 @@ type mmsgIO struct {
 	rc   syscall.RawConn
 	rsas [][]byte // encoded sockaddr per peer rank; nil at self
 
-	rbufs [][]byte // read buffers the rhdrs are bound to
-	riovs []syscall.Iovec
-	rhdrs []mmsghdr
+	rbufs  [][]byte // read buffers the rhdrs are bound to
+	riovs  []syscall.Iovec
+	rhdrs  []mmsghdr
+	rctrls [][]byte // per-datagram ancillary buffers (UDP_GRO, SO_RXQ_OVFL)
 
-	wmu   sync.Mutex
-	wiovs []syscall.Iovec
-	whdrs []mmsghdr
+	wmu    sync.Mutex
+	wiovs  []syscall.Iovec
+	whdrs  []mmsghdr
+	wctrls [][]byte        // per-entry UDP_SEGMENT cmsg buffers for GSO trains
+	tiovs  []syscall.Iovec // scatter-gather iovecs for writeTrains, grown on demand
 }
 
 // newBatchIO builds the vectored I/O driver, or returns nil when conn or the
@@ -78,7 +81,25 @@ func newBatchIO(conn net.PacketConn, peers []net.Addr) *mmsgIO {
 	}
 	m.wiovs = make([]syscall.Iovec, maxWireBatch)
 	m.whdrs = make([]mmsghdr, maxWireBatch)
+	m.wctrls = make([][]byte, maxWireBatch)
+	for i := range m.wctrls {
+		m.wctrls[i] = make([]byte, cmsgSpaceGSO)
+	}
 	return m
+}
+
+// newReadIO builds a read-only vectored driver for one reader-shard socket
+// (no peer sockaddr table; writes always go through the primary driver).
+func newReadIO(conn net.PacketConn) *mmsgIO {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return nil
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	return &mmsgIO{rc: rc}
 }
 
 // sockaddrBytes encodes a UDP address as a raw kernel sockaddr.
@@ -110,20 +131,28 @@ func (m *mmsgIO) bindRead(bufs [][]byte) {
 	m.rbufs = bufs
 	m.riovs = make([]syscall.Iovec, len(bufs))
 	m.rhdrs = make([]mmsghdr, len(bufs))
+	m.rctrls = make([][]byte, len(bufs))
 	for i, b := range bufs {
 		m.riovs[i].Base = &b[0]
 		m.riovs[i].SetLen(len(b))
 		m.rhdrs[i].hdr.Iov = &m.riovs[i]
 		m.rhdrs[i].hdr.Iovlen = 1
+		m.rctrls[i] = make([]byte, rxCtrlLen)
+		m.rhdrs[i].hdr.Control = &m.rctrls[i][0]
 	}
 }
 
 // readBatch pulls up to len(m.rbufs) datagrams in one recvmmsg, blocking
 // until at least one arrives or the conn's read deadline expires (the error
 // then satisfies net.Error.Timeout, like ReadFrom). sizes[i] receives the
-// i-th datagram's length. Returns errBatchUnsupported when the kernel
+// i-th datagram's length and cms[i] its parsed ancillary data (GRO segment
+// size, kernel drop count). Returns errBatchUnsupported when the kernel
 // refuses the syscall so the caller can downgrade.
-func (m *mmsgIO) readBatch(sizes []int) (int, error) {
+func (m *mmsgIO) readBatch(sizes []int, cms []rxCmsg) (int, error) {
+	// The kernel overwrites msg_controllen per message; re-arm every entry.
+	for i := range m.rhdrs {
+		m.rhdrs[i].hdr.SetControllen(rxCtrlLen)
+	}
 	n := 0
 	var operr error
 	err := m.rc.Read(func(fd uintptr) bool {
@@ -145,6 +174,7 @@ func (m *mmsgIO) readBatch(sizes []int) (int, error) {
 		return true
 	})
 	runtime.KeepAlive(m.rbufs)
+	runtime.KeepAlive(m.rctrls)
 	if err != nil {
 		return 0, err // deadline exceeded or socket closed
 	}
@@ -153,6 +183,11 @@ func (m *mmsgIO) readBatch(sizes []int) (int, error) {
 	}
 	for i := 0; i < n; i++ {
 		sizes[i] = int(m.rhdrs[i].len)
+		if cl := m.rhdrs[i].hdr.Controllen; cl > 0 {
+			cms[i] = parseRxCmsg(m.rctrls[i][:cl])
+		} else {
+			cms[i] = rxCmsg{}
+		}
 	}
 	return n, nil
 }
@@ -179,6 +214,8 @@ func (m *mmsgIO) writeBatch(pkts [][]byte, dsts []int) error {
 			h.Namelen = uint32(len(rsa))
 			h.Iov = &m.wiovs[i]
 			h.Iovlen = 1
+			h.Control = nil // headers are shared with writeTrains
+			h.SetControllen(0)
 			m.whdrs[i].len = 0
 		}
 		sent := 0
@@ -208,6 +245,90 @@ func (m *mmsgIO) writeBatch(pkts [][]byte, dsts []int) error {
 		}
 		if sent <= 0 {
 			return errBatchUnsupported // zero progress: do not spin here
+		}
+		off += sent
+	}
+	return nil
+}
+
+// writeTrains sends a burst of GSO trains, batching up to maxWireBatch
+// kernel entries per sendmmsg. Each train's datagrams are passed as one
+// iovec per packet — the kernel gathers them, so no user-space assembly
+// copy — and multi-segment trains carry a UDP_SEGMENT cmsg telling it to
+// re-split the gathered payload into wire datagrams of seg bytes. Any
+// refusal other than back-pressure is returned so the caller can downgrade
+// to plain vectored I/O and re-send (a duplicated prefix is harmless — the
+// window dedups).
+func (m *mmsgIO) writeTrains(trains []gsoTrain) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	for off := 0; off < len(trains); {
+		batch := len(trains) - off
+		if batch > maxWireBatch {
+			batch = maxWireBatch
+		}
+		// Size the iovec block first: header Iov pointers must stay stable,
+		// so the slice cannot grow while being filled.
+		need := 0
+		for i := 0; i < batch; i++ {
+			need += len(trains[off+i].pkts)
+		}
+		if cap(m.tiovs) < need {
+			m.tiovs = make([]syscall.Iovec, need)
+		}
+		m.tiovs = m.tiovs[:need]
+		base := 0
+		for i := 0; i < batch; i++ {
+			tr := trains[off+i]
+			rsa := m.rsas[tr.dst]
+			for k, pk := range tr.pkts {
+				m.tiovs[base+k].Base = &pk[0]
+				m.tiovs[base+k].SetLen(len(pk))
+			}
+			h := &m.whdrs[i].hdr
+			h.Name = &rsa[0]
+			h.Namelen = uint32(len(rsa))
+			h.Iov = &m.tiovs[base]
+			h.Iovlen = uint64(len(tr.pkts))
+			if tr.n > 1 {
+				ctrl := m.wctrls[i]
+				h.Control = &ctrl[0]
+				h.SetControllen(putGSOSegment(ctrl, uint16(tr.seg)))
+			} else {
+				h.Control = nil
+				h.SetControllen(0)
+			}
+			m.whdrs[i].len = 0
+			base += len(tr.pkts)
+		}
+		sent := 0
+		var operr error
+		err := m.rc.Write(func(fd uintptr) bool {
+			r, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&m.whdrs[0])), uintptr(batch),
+				syscall.MSG_DONTWAIT, 0, 0)
+			switch e {
+			case 0:
+				sent = int(r)
+			case syscall.EAGAIN, syscall.EINTR:
+				return false // wait for writability
+			default:
+				// EINVAL/EIO etc.: the kernel rejected a segment train —
+				// report it so the provider retires the GSO tier.
+				operr = errBatchUnsupported
+			}
+			return true
+		})
+		runtime.KeepAlive(trains)
+		runtime.KeepAlive(m.wctrls)
+		if err != nil {
+			return err
+		}
+		if operr != nil {
+			return operr
+		}
+		if sent <= 0 {
+			return errBatchUnsupported
 		}
 		off += sent
 	}

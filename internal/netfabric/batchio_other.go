@@ -18,13 +18,17 @@ var errBatchUnsupported = errors.New("netfabric: vectored socket I/O unsupported
 
 // mmsgIO is unavailable off Linux: the provider always uses the portable
 // one-datagram-per-syscall path. The type exists so provider code compiles
-// identically; newBatchIO never hands out an instance.
+// identically; newBatchIO/newReadIO never hand out an instance.
 type mmsgIO struct{}
 
 func newBatchIO(net.PacketConn, []net.Addr) *mmsgIO { return nil }
 
+func newReadIO(net.PacketConn) *mmsgIO { return nil }
+
 func (m *mmsgIO) bindRead([][]byte) {}
 
-func (m *mmsgIO) readBatch([]int) (int, error) { return 0, errBatchUnsupported }
+func (m *mmsgIO) readBatch([]int, []rxCmsg) (int, error) { return 0, errBatchUnsupported }
 
 func (m *mmsgIO) writeBatch([][]byte, []int) error { return errBatchUnsupported }
+
+func (m *mmsgIO) writeTrains([]gsoTrain) error { return errBatchUnsupported }

@@ -61,11 +61,11 @@ func (r *txRing) popFront() *txPacket {
 // RFC 6298-style RTT estimator that times the window's retransmit timer.
 // The tail `unsent` entries of the unacked ring have been assigned sequence
 // numbers but not yet flushed to the wire (they batch into one vectored
-// write). Receive side (reader goroutine only): cumulative in-order
-// delivery with out-of-order buffering, and fragment reassembly into pooled
-// frames. Cross-thread receive-side state is atomic: recvNext and consumed
-// feed piggybacked acks stamped by senders, ackDue/recvSinceAck schedule
-// standalone acks.
+// write). Receive side (guarded by rmu, taken by whichever reader shard the
+// kernel hashed the peer to): cumulative in-order delivery with out-of-order
+// buffering, and fragment reassembly into pooled frames. Cross-thread
+// receive-side state is atomic: recvNext and consumed feed piggybacked acks
+// stamped by senders, ackDue/recvSinceAck schedule standalone acks.
 type flow struct {
 	peer int
 
@@ -95,7 +95,12 @@ type flow struct {
 	creditStallSince  time.Time
 	creditStallWarned bool
 
-	// ---- receive side (reader goroutine) ----
+	// ---- receive side (rmu held) ----
+	// rmu serializes datagram processing for this flow across reader shards:
+	// the kernel's reuseport hash pins a flow to one shard socket, but a
+	// rebalance (shard join/leave) can migrate it mid-stream. With a single
+	// reader the lock is uncontended. Lock order: rmu → mu → xmitMu.
+	rmu       sync.Mutex
 	ooo       map[uint32]*dataPkt // early arrivals within the window
 	asm       *fabric.Frame       // message being reassembled
 	asmLen    int

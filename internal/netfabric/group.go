@@ -14,7 +14,9 @@ func NewLoopbackGroup(p int, cfg Config) ([]*Provider, error) {
 	conns := make([]net.PacketConn, p)
 	addrs := make([]string, p)
 	for i := range conns {
-		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		// SO_REUSEPORT on the primary bind lets each provider's extra reader
+		// shards join its address; a no-op where unsupported.
+		c, err := ListenReusePort("udp", "127.0.0.1:0")
 		if err != nil {
 			for _, pc := range conns[:i] {
 				pc.Close()

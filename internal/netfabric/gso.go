@@ -1,0 +1,80 @@
+package netfabric
+
+// Segmentation-offload planning shared by every build. Grouping consecutive
+// wire datagrams into GSO trains is pure slice logic, so it lives here and
+// is unit-tested portably; only handing a train to the kernel (a
+// UDP_SEGMENT cmsg on the sendmmsg entry) and the capability probes are
+// Linux-specific (gso_linux.go, batchio_linux.go).
+//
+// A train is what UDP_SEGMENT accepts: one contiguous buffer the kernel
+// splits into datagrams of exactly gso_size bytes each, with only the last
+// allowed to be shorter. Our fragment encoding already produces that shape
+// for free — a large message becomes a run of MTU-sized DATA datagrams with
+// a short tail — so a flush burst collapses into a handful of kernel
+// entries instead of one skb per datagram (DESIGN.md §13).
+
+// maxGSOBytes bounds one train's total length: the kernel materializes the
+// train as a single UDP payload before segmenting, so it must stay under
+// the 16-bit UDP length limit (65507 for IPv4) with margin for options.
+const maxGSOBytes = 65000
+
+// maxGSOSegs mirrors the kernel's UDP_MAX_SEGMENTS cap on datagrams per
+// train.
+const maxGSOSegs = 64
+
+// groBufLen sizes reader buffers when UDP_GRO is active: a coalesced
+// super-datagram can be up to the full 64 KiB UDP payload.
+const groBufLen = 1 << 16
+
+// gsoTrain is one kernel send entry: n consecutive wire datagrams to one
+// destination, handed to sendmmsg as one iovec each (scatter-gather, no
+// assembly copy). seg > 0 marks a segment train — every datagram is seg
+// bytes except a possibly shorter last, and a UDP_SEGMENT cmsg tells the
+// kernel to gather then re-split; seg == 0 is a single plain datagram.
+type gsoTrain struct {
+	pkts [][]byte
+	dst  int
+	seg  int // gso_size; 0 = plain datagram, no cmsg
+	n    int // datagrams in the train (== len(pkts))
+}
+
+// rxCmsg is the per-datagram ancillary data parsed off a reader socket:
+// the UDP_GRO segment size (0 = not coalesced) and the kernel's cumulative
+// SO_RXQ_OVFL receive-queue drop count (valid when hasOvfl).
+type rxCmsg struct {
+	seg     int
+	ovfl    uint32
+	hasOvfl bool
+}
+
+// planTrains groups a flush burst into GSO trains, preserving wire order.
+// A train extends while the next packet goes to the same destination, the
+// segment count and total length stay under the kernel caps, and the packet
+// is not larger than the train's segment size; a shorter packet joins as
+// the train's final segment and closes it. Trains alias the original
+// datagram buffers — the kernel gathers them through per-packet iovecs, so
+// planning never copies payload.
+func planTrains(trains []gsoTrain, pkts [][]byte, dsts []int) []gsoTrain {
+	i := 0
+	for i < len(pkts) {
+		seg := len(pkts[i])
+		dst := dsts[i]
+		total := seg
+		j := i + 1
+		for j < len(pkts) && dsts[j] == dst && j-i < maxGSOSegs &&
+			total+len(pkts[j]) <= maxGSOBytes && len(pkts[j]) <= seg {
+			total += len(pkts[j])
+			j++
+			if len(pkts[j-1]) < seg {
+				break // a shorter segment must be the train's last
+			}
+		}
+		tr := gsoTrain{pkts: pkts[i:j:j], dst: dst, n: j - i}
+		if tr.n > 1 {
+			tr.seg = seg
+		}
+		trains = append(trains, tr)
+		i = j
+	}
+	return trains
+}

@@ -1,0 +1,132 @@
+//go:build linux && (amd64 || arm64)
+
+// Kernel glue for the segmentation-offload tier: capability probes for
+// UDP_SEGMENT/UDP_GRO, SO_REUSEPORT binding for the sharded readers,
+// SO_RXQ_OVFL drop tracking, and the raw cmsg encode/decode the vectored
+// I/O driver (batchio_linux.go) attaches to sendmmsg/recvmmsg entries.
+package netfabric
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"syscall"
+)
+
+// Linux socket-option numbers absent from the frozen syscall package.
+const (
+	solUDP      = 17
+	udpSegment  = 103 // UDP_SEGMENT: kernel splits one send into gso_size datagrams
+	udpGRO      = 104 // UDP_GRO: kernel coalesces datagram runs on receive
+	soReusePort = 15  // SO_REUSEPORT: hash incoming flows across N sockets
+	soRxqOvfl   = 40  // SO_RXQ_OVFL: cmsg carrying the cumulative kernel drop count
+)
+
+// offloadAvailable reports whether this build has the segmentation-offload
+// tier at all (it rides the same raw-syscall machinery as batch I/O).
+const offloadAvailable = true
+
+// setSockoptInt applies one socket option through conn's raw descriptor,
+// reporting success. Failure is how capability probing works: an old kernel
+// answers ENOPROTOOPT and the provider keeps the previous tier.
+func setSockoptInt(conn net.PacketConn, level, opt, val int) bool {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	applied := false
+	rc.Control(func(fd uintptr) {
+		applied = syscall.SetsockoptInt(int(fd), level, opt, val) == nil
+	})
+	return applied
+}
+
+// probeGSO reports whether the kernel accepts UDP_SEGMENT on conn. Setting
+// the socket-wide value to 0 is a no-op (the provider segments per train
+// via cmsg) but fails on pre-4.18 kernels, which is exactly the probe.
+func probeGSO(conn net.PacketConn) bool { return setSockoptInt(conn, solUDP, udpSegment, 0) }
+
+// enableGRO asks the kernel to coalesce runs of same-flow datagrams into
+// super-datagrams delivered with a UDP_GRO gso_size cmsg (kernels ≥ 5.0).
+func enableGRO(conn net.PacketConn) bool { return setSockoptInt(conn, solUDP, udpGRO, 1) }
+
+// disableGRO turns coalescing back off — required before a shard falls back
+// to the portable read path, which cannot see the gso_size cmsg.
+func disableGRO(conn net.PacketConn) bool { return setSockoptInt(conn, solUDP, udpGRO, 0) }
+
+// enableRxqOvfl turns on the SO_RXQ_OVFL cmsg: every received datagram then
+// carries the socket's cumulative receive-queue drop count, making
+// kernel-side drops visible instead of silent.
+func enableRxqOvfl(conn net.PacketConn) bool {
+	return setSockoptInt(conn, syscall.SOL_SOCKET, soRxqOvfl, 1)
+}
+
+// ListenReusePort binds a datagram socket with SO_REUSEPORT set before
+// bind, so additional sockets (the provider's reader shards, or a future
+// co-process) can join the same address and have the kernel hash incoming
+// flows across them.
+func ListenReusePort(network, addr string) (net.PacketConn, error) {
+	lc := net.ListenConfig{Control: func(_, _ string, c syscall.RawConn) error {
+		var serr error
+		if err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	return lc.ListenPacket(context.Background(), network, addr)
+}
+
+// sizeofCmsghdr is struct cmsghdr on linux/{amd64,arm64}: u64 len, s32
+// level, s32 type.
+const sizeofCmsghdr = 16
+
+// putGSOSegment encodes a UDP_SEGMENT cmsg carrying the train's segment
+// size into b (cap ≥ cmsgSpaceGSO) and returns the control length.
+func putGSOSegment(b []byte, seg uint16) int {
+	binary.LittleEndian.PutUint64(b[0:], uint64(syscall.CmsgLen(2)))
+	binary.LittleEndian.PutUint32(b[8:], solUDP)
+	binary.LittleEndian.PutUint32(b[12:], udpSegment)
+	binary.LittleEndian.PutUint16(b[16:], seg)
+	return syscall.CmsgSpace(2)
+}
+
+// cmsgSpaceGSO is the control-buffer room one UDP_SEGMENT cmsg needs.
+var cmsgSpaceGSO = syscall.CmsgSpace(2)
+
+// rxCtrlLen sizes the per-datagram receive control buffer: room for the
+// UDP_GRO segment size and the SO_RXQ_OVFL drop count with headroom.
+const rxCtrlLen = 64
+
+// parseRxCmsg walks a received control buffer for the two ancillary records
+// the reader sockets enable: the UDP_GRO segment size (an int) and the
+// SO_RXQ_OVFL cumulative drop count (a u32). Unknown records are skipped.
+func parseRxCmsg(b []byte) (c rxCmsg) {
+	for len(b) >= sizeofCmsghdr {
+		l := int(binary.LittleEndian.Uint64(b[0:]))
+		if l < sizeofCmsghdr || l > len(b) {
+			return
+		}
+		level := binary.LittleEndian.Uint32(b[8:])
+		typ := binary.LittleEndian.Uint32(b[12:])
+		data := b[sizeofCmsghdr:l]
+		switch {
+		case level == solUDP && typ == udpGRO && len(data) >= 4:
+			c.seg = int(int32(binary.LittleEndian.Uint32(data)))
+		case level == syscall.SOL_SOCKET && typ == soRxqOvfl && len(data) >= 4:
+			c.ovfl = binary.LittleEndian.Uint32(data)
+			c.hasOvfl = true
+		}
+		adv := (l + 7) &^ 7 // cmsg entries are 8-byte aligned
+		if adv <= 0 || adv > len(b) {
+			return
+		}
+		b = b[adv:]
+	}
+	return
+}

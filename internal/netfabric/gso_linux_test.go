@@ -1,0 +1,109 @@
+//go:build linux && (amd64 || arm64)
+
+package netfabric
+
+import (
+	"encoding/binary"
+	"net"
+	"syscall"
+	"testing"
+)
+
+// cmsg appends one control record (8-byte aligned, linux/{amd64,arm64}
+// layout) to b — the mirror of what parseRxCmsg decodes.
+func cmsg(b []byte, level, typ uint32, data []byte) []byte {
+	var hdr [sizeofCmsghdr]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(syscall.CmsgLen(len(data))))
+	binary.LittleEndian.PutUint32(hdr[8:], level)
+	binary.LittleEndian.PutUint32(hdr[12:], typ)
+	b = append(b, hdr[:]...)
+	b = append(b, data...)
+	for len(b)%8 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func u32(v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+func TestParseRxCmsg(t *testing.T) {
+	if c := parseRxCmsg(nil); c.seg != 0 || c.hasOvfl {
+		t.Fatalf("empty control parsed as %+v", c)
+	}
+
+	// A GRO record alone.
+	b := cmsg(nil, solUDP, udpGRO, u32(1400))
+	if c := parseRxCmsg(b); c.seg != 1400 || c.hasOvfl {
+		t.Fatalf("gro-only: %+v", c)
+	}
+
+	// An overflow record alone.
+	b = cmsg(nil, syscall.SOL_SOCKET, soRxqOvfl, u32(7))
+	if c := parseRxCmsg(b); c.seg != 0 || !c.hasOvfl || c.ovfl != 7 {
+		t.Fatalf("ovfl-only: %+v", c)
+	}
+
+	// Both, with an unknown record between them that must be skipped.
+	b = cmsg(nil, solUDP, udpGRO, u32(1352))
+	b = cmsg(b, syscall.SOL_IP, 8 /* IP_PKTINFO */, make([]byte, 12))
+	b = cmsg(b, syscall.SOL_SOCKET, soRxqOvfl, u32(42))
+	if c := parseRxCmsg(b); c.seg != 1352 || !c.hasOvfl || c.ovfl != 42 {
+		t.Fatalf("mixed: %+v", c)
+	}
+
+	// A truncated header must not panic or loop.
+	if c := parseRxCmsg(b[:10]); c.seg != 0 || c.hasOvfl {
+		t.Fatalf("truncated: %+v", c)
+	}
+	// A record claiming more length than the buffer holds is rejected.
+	bad := cmsg(nil, solUDP, udpGRO, u32(1400))
+	binary.LittleEndian.PutUint64(bad[0:], 1<<20)
+	if c := parseRxCmsg(bad); c.seg != 0 {
+		t.Fatalf("overlong header: %+v", c)
+	}
+}
+
+// TestPutGSOSegmentRoundTrip: the send-side encoder and a cmsg walk agree.
+func TestPutGSOSegmentRoundTrip(t *testing.T) {
+	b := make([]byte, cmsgSpaceGSO)
+	n := putGSOSegment(b, 1400)
+	if n != cmsgSpaceGSO {
+		t.Fatalf("control length %d, want %d", n, cmsgSpaceGSO)
+	}
+	if l := binary.LittleEndian.Uint64(b[0:]); l != uint64(syscall.CmsgLen(2)) {
+		t.Fatalf("cmsg_len %d, want %d", l, syscall.CmsgLen(2))
+	}
+	if lv := binary.LittleEndian.Uint32(b[8:]); lv != solUDP {
+		t.Fatalf("cmsg_level %d", lv)
+	}
+	if ty := binary.LittleEndian.Uint32(b[12:]); ty != udpSegment {
+		t.Fatalf("cmsg_type %d", ty)
+	}
+	if seg := binary.LittleEndian.Uint16(b[16:]); seg != 1400 {
+		t.Fatalf("gso_size %d", seg)
+	}
+}
+
+// TestListenReusePort: two sockets must be able to share one address, which
+// is what lets the reader shards (and the launcher's pre-bind) coexist.
+func TestListenReusePort(t *testing.T) {
+	a, err := ListenReusePort("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenReusePort("udp", a.LocalAddr().String())
+	if err != nil {
+		t.Fatalf("second bind to %v: %v", a.LocalAddr(), err)
+	}
+	b.Close()
+	// A plain socket must NOT be able to join (reuseport requires both).
+	if c, err := net.ListenPacket("udp", a.LocalAddr().String()); err == nil {
+		c.Close()
+		t.Fatal("plain bind joined a reuseport group")
+	}
+}

@@ -1,0 +1,25 @@
+//go:build !(linux && (amd64 || arm64))
+
+package netfabric
+
+import "net"
+
+// offloadAvailable reports whether this build has the segmentation-offload
+// tier at all. Off Linux the provider always runs the portable path; the
+// stubs below keep the provider code identical across builds.
+const offloadAvailable = false
+
+func probeGSO(net.PacketConn) bool { return false }
+
+func enableGRO(net.PacketConn) bool { return false }
+
+func disableGRO(net.PacketConn) bool { return false }
+
+func enableRxqOvfl(net.PacketConn) bool { return false }
+
+// ListenReusePort binds a plain datagram socket: without SO_REUSEPORT a
+// second bind to the same address fails, which is how reader-shard setup
+// degrades to a single reader on these builds.
+func ListenReusePort(network, addr string) (net.PacketConn, error) {
+	return net.ListenPacket(network, addr)
+}

@@ -20,6 +20,11 @@ const (
 // CreditStallTimeout (one per episode).
 const MetricStalls = "lci_net_stalls_total"
 
+// MetricReaderShardRx counts wire datagrams handled per receive shard
+// (label `shard`): a skewed distribution means the kernel's reuseport hash
+// concentrated the peer set on few sockets.
+const MetricReaderShardRx = "lci_net_reader_shard_rx_total"
+
 // RegisterMetrics re-expresses the provider's counters under the canonical
 // fabric/net names and adds per-flow SRTT and RTO gauges. The gauges read
 // the live estimator under the flow lock only at snapshot time; nothing is
@@ -31,6 +36,10 @@ func (p *Provider) RegisterMetrics(reg *telemetry.Registry) {
 	fabric.RegisterStats(reg, p.Stats)
 	reg.GaugeFunc(fabric.MetricRingPending, telemetry.AggSum, func() int64 { return int64(p.Pending()) })
 	reg.CounterFunc(MetricStalls, p.stallWarns.Load)
+	for _, s := range p.shards {
+		s := s
+		reg.CounterFunc(fmt.Sprintf(`%s{shard="%d"}`, MetricReaderShardRx, s.idx), s.rx.Load)
+	}
 	for _, fl := range p.flows {
 		if fl == nil {
 			continue

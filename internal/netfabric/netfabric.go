@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -82,12 +83,20 @@ type Config struct {
 	AckEvery int
 	// SockBuf sizes the kernel socket buffers at New (default 1 MiB).
 	SockBuf int
+	// ReaderShards is the number of receive sockets sharing this endpoint's
+	// address via SO_REUSEPORT, each drained by its own reader goroutine (the
+	// kernel hashes peers across them). Default min(4, NumCPU), clamped to
+	// [1,16]; silently degrades to a single reader when the platform or the
+	// primary socket cannot join a reuseport group. Also settable via
+	// LCI_READER_SHARDS for launcher-spawned workers.
+	ReaderShards int
 
 	// Ablation knobs (also settable via LCI_NO_BATCH_IO, LCI_NO_PIGGYBACK,
-	// LCI_FIXED_RTO for launcher-spawned workers).
+	// LCI_FIXED_RTO, LCI_NO_GSO for launcher-spawned workers).
 	DisableBatchIO   bool // one syscall per datagram, flush every Send (pre-batching path)
 	DisablePiggyback bool // never stamp acks onto data packets
 	FixedRTO         bool // keep RTO at the configured seed; no RTT adaptation
+	DisableGSO       bool // no UDP_SEGMENT trains / UDP_GRO coalescing (plain batch I/O)
 
 	// Tracer receives transport lifecycle events (retransmits, ack window
 	// advances, credit stalls, stall warnings) and the flight-recorder dump
@@ -165,6 +174,15 @@ func (c *Config) fill() error {
 	if c.SockBuf <= 0 {
 		c.SockBuf = 1 << 20
 	}
+	if c.ReaderShards <= 0 {
+		c.ReaderShards = min(4, runtime.NumCPU())
+	}
+	if c.ReaderShards > 16 {
+		c.ReaderShards = 16
+	}
+	if c.DisableBatchIO {
+		c.DisableGSO = true // the offload tier rides the sendmmsg driver
+	}
 	if c.StallRTOs <= 0 {
 		c.StallRTOs = 8
 	}
@@ -206,6 +224,21 @@ type Provider struct {
 	// non-UDP socket, DisableBatchIO) or after a kernel refusal downgraded
 	// the provider to the one-syscall-per-datagram path at runtime.
 	bio atomic.Pointer[mmsgIO]
+
+	// Segmentation-offload tier (DESIGN.md §13). gsoOn flips off permanently
+	// the first time the kernel rejects a UDP_SEGMENT train; gro and rxq
+	// record what the receive sockets negotiated at New.
+	gsoOn atomic.Bool
+	gro   bool
+	rxq   bool
+
+	// shards are the receive sockets: shard 0 wraps the primary (transmit)
+	// socket; extras joined the address via SO_REUSEPORT so the kernel
+	// spreads incoming peers across their reader goroutines.
+	shards []*readerShard
+
+	// GSO planning scratch, guarded by xmitMu like the burst scratch below.
+	trainScratch []gsoTrain
 
 	// Dirty-flow counters: a receive or release only touches its own flow;
 	// the housekeeping pass skips all-flow scans entirely while these are
@@ -250,6 +283,9 @@ type Provider struct {
 	creditStalls   atomic.Int64
 	sendBatches    atomic.Int64
 	recvBatches    atomic.Int64
+	gsoSends       atomic.Int64
+	groCoalesced   atomic.Int64
+	sockDrops      atomic.Int64
 	piggyAcks      atomic.Int64
 	delayedAcks    atomic.Int64
 	sockErrors     atomic.Int64
@@ -266,11 +302,24 @@ type Provider struct {
 
 var _ fabric.Provider = (*Provider)(nil)
 
+// readerShard is one receive socket plus its vectored read driver. Shard 0
+// wraps the provider's primary socket (which also transmits); extra shards
+// are SO_REUSEPORT siblings. Only the shard's own reader goroutine touches
+// ovfl; rx is read by telemetry.
+type readerShard struct {
+	idx  int
+	conn net.PacketConn
+	bio  atomic.Pointer[mmsgIO] // nil = portable ReadFrom path for this shard
+	rx   atomic.Int64           // wire datagrams handled by this shard
+	ovfl uint32                 // last seen SO_RXQ_OVFL cumulative drop count
+}
+
 // New builds a provider and starts its socket reader. The reader goroutine
 // also runs the retransmit, delayed-ack and credit-refresh timers, so the
 // provider makes reliability progress even when the upper layer's progress
 // thread stalls.
 func New(cfg Config) (*Provider, error) {
+	explicitTxBatch := cfg.TxBatch > 0
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -319,7 +368,9 @@ func New(cfg Config) (*Provider, error) {
 		p.fault = newFaultInjector(cfg.Fault)
 	}
 	if p.conn == nil {
-		c, err := net.ListenPacket("udp", cfg.Addrs[cfg.Rank])
+		// SO_REUSEPORT on the primary bind is what lets the reader shards
+		// join the same address below; harmless when shards end up at 1.
+		c, err := ListenReusePort("udp", cfg.Addrs[cfg.Rank])
 		if err != nil {
 			return nil, fmt.Errorf("netfabric: bind rank %d: %w", cfg.Rank, err)
 		}
@@ -351,8 +402,72 @@ func New(cfg Config) (*Provider, error) {
 	if !cfg.DisableBatchIO {
 		p.bio.Store(newBatchIO(p.conn, p.peers))
 	}
-	p.wg.Add(1)
-	go p.reader()
+
+	// ---- segmentation-offload tier + receive shards (DESIGN.md §13) ----
+	// Every step degrades silently: an old kernel, an exotic socket or a
+	// primary bound without SO_REUSEPORT leaves the provider on the plain
+	// batch-I/O path with a single reader, behaviorally identical.
+	offload := offloadAvailable && !cfg.DisableGSO && p.bio.Load() != nil
+	if offload && probeGSO(p.conn) {
+		p.gsoOn.Store(true)
+		if !explicitTxBatch {
+			// With segmentation offload, the inline-flush threshold rises to
+			// one full train so a fragment run reaches the kernel as a single
+			// entry instead of several partial trains. Latency is unaffected:
+			// any live poller still flushes whatever is pending (see Poll).
+			if t := maxGSOBytes / cfg.MTU; t > p.txBatch {
+				p.txBatch = t
+			}
+		}
+	}
+	s0 := &readerShard{idx: 0, conn: p.conn}
+	if m := p.bio.Load(); m != nil {
+		s0.bio.Store(m)
+	}
+	p.shards = append(p.shards, s0)
+	for len(p.shards) < cfg.ReaderShards {
+		c, err := ListenReusePort("udp", p.conn.LocalAddr().String())
+		if err != nil {
+			break // reuseport group unavailable: stay with the shards we have
+		}
+		if sb, ok := c.(interface{ SetReadBuffer(int) error }); ok {
+			sb.SetReadBuffer(cfg.SockBuf)
+		}
+		s := &readerShard{idx: len(p.shards), conn: c}
+		if m := newReadIO(c); m != nil {
+			s.bio.Store(m)
+		}
+		p.shards = append(p.shards, s)
+	}
+	if offload {
+		// GRO super-datagrams are only splittable with the gso_size cmsg,
+		// which the portable ReadFrom path cannot see — so coalescing is
+		// all-or-nothing across shards with a working recvmmsg driver.
+		p.gro = true
+		for _, s := range p.shards {
+			if s.bio.Load() == nil || !enableGRO(s.conn) {
+				p.gro = false
+				break
+			}
+		}
+		if !p.gro {
+			for _, s := range p.shards {
+				disableGRO(s.conn)
+			}
+		}
+	}
+	for _, s := range p.shards {
+		if enableRxqOvfl(s.conn) {
+			p.rxq = true
+		}
+	}
+	if p.gro && p.readBufLen < groBufLen {
+		p.readBufLen = groBufLen // a coalesced read can be a full UDP payload
+	}
+	p.wg.Add(len(p.shards))
+	for _, s := range p.shards {
+		go p.reader(s)
+	}
 	return p, nil
 }
 
@@ -361,6 +476,31 @@ func (p *Provider) Addr() net.Addr { return p.conn.LocalAddr() }
 
 // BatchIO reports whether the vectored sendmmsg/recvmmsg path is active.
 func (p *Provider) BatchIO() bool { return p.bio.Load() != nil }
+
+// GSO reports whether the UDP_SEGMENT send tier is currently active.
+func (p *Provider) GSO() bool { return p.gsoOn.Load() }
+
+// GRO reports whether the receive sockets negotiated UDP_GRO coalescing.
+func (p *Provider) GRO() bool { return p.gro }
+
+// ReaderShards returns the number of live receive shards (≥ 1).
+func (p *Provider) ReaderShards() int { return len(p.shards) }
+
+// ShardRx returns the wire datagrams handled by each receive shard.
+func (p *Provider) ShardRx() []int64 {
+	out := make([]int64, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = s.rx.Load()
+	}
+	return out
+}
+
+// Capabilities summarizes the kernel fast-path tiers this endpoint
+// negotiated, for launcher/CI logs.
+func (p *Provider) Capabilities() string {
+	return fmt.Sprintf("batchio=%v gso=%v gro=%v rxq_ovfl=%v shards=%d",
+		p.BatchIO(), p.gsoOn.Load(), p.gro, p.rxq, len(p.shards))
+}
 
 // Close drains in-flight packets, then stops the reader and closes the
 // socket. The upper layers must be stopped first (a Send on a closed
@@ -382,7 +522,14 @@ func (p *Provider) Close() error {
 		// link is black-holing. Preserve the evidence before tearing down.
 		p.tr.DumpNow(fmt.Sprintf("rank %d close: drain timed out with unacked packets", p.rank))
 	}
-	err := p.conn.Close()
+	// Shard 0's conn is the primary socket; closing each conn unblocks its
+	// reader, which exits on the resulting non-timeout error.
+	var err error
+	for _, s := range p.shards {
+		if e := s.conn.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
 	p.wg.Wait()
 	return err
 }
@@ -685,15 +832,34 @@ func (p *Provider) xmitBatch(dst int, pkts [][]byte) {
 	p.xmitMu.Unlock()
 }
 
-// writeWire moves datagrams to the kernel: one sendmmsg for the whole burst
-// when vectored I/O is up, else one WriteTo each. A vectored failure other
-// than back-pressure downgrades the provider permanently and re-sends the
-// burst the portable way (duplicates are harmless; the window dedups).
+// writeWire moves datagrams to the kernel. With the GSO tier up, the burst
+// is first collapsed into segment trains — one sendmmsg entry per run of
+// same-destination datagrams, split back into wire datagrams by the kernel —
+// then falls through tier by tier: plain sendmmsg when vectored I/O is up,
+// one WriteTo each at the bottom. A failure other than back-pressure retires
+// the failing tier permanently and re-sends the burst one tier down
+// (duplicates are harmless; the window dedups).
 func (p *Provider) writeWire(pkts [][]byte, dsts []int) {
 	if len(pkts) == 0 {
 		return
 	}
 	if m := p.bio.Load(); m != nil {
+		if p.gsoOn.Load() && len(pkts) > 1 {
+			trains := planTrains(p.trainScratch[:0], pkts, dsts)
+			p.trainScratch = trains[:0] // keep grown capacity
+			if len(trains) < len(pkts) { // at least one multi-segment train
+				if err := m.writeTrains(trains); err == nil {
+					p.sendBatches.Add(1)
+					for _, tr := range trains {
+						if tr.n > 1 {
+							p.gsoSends.Add(1)
+						}
+					}
+					return
+				}
+				p.gsoOn.Store(false) // kernel rejected a train: retire the tier
+			}
+		}
 		if err := m.writeBatch(pkts, dsts); err == nil {
 			if len(pkts) > 1 {
 				p.sendBatches.Add(1)
@@ -773,32 +939,41 @@ func (p *Provider) PollBatch(dst []*fabric.Frame) int {
 // Pending returns a racy estimate of queued incoming frames.
 func (p *Provider) Pending() int { return p.ring.Len() }
 
-// reader is the provider's single background goroutine: it drains the
-// socket in vectored bursts, runs the reliability protocol, and — on its
-// read-deadline tick — flushes pending transmits, retransmits timed-out
-// packets, sends delayed acks and re-advertises credits.
-func (p *Provider) reader() {
+// reader drains one receive shard in vectored bursts and runs the
+// reliability protocol on what arrives. Shard 0 (the primary socket) also
+// owns the timers: on its read-deadline tick it flushes pending transmits,
+// retransmits timed-out packets, sends delayed acks and re-advertises
+// credits. Extra shards only read — their deadline is just a liveness bound.
+func (p *Provider) reader(s *readerShard) {
 	defer p.wg.Done()
 	bufs := make([][]byte, readBatchLen)
 	for i := range bufs {
 		bufs[i] = make([]byte, p.readBufLen)
 	}
 	sizes := make([]int, readBatchLen)
-	if m := p.bio.Load(); m != nil {
+	cms := make([]rxCmsg, readBatchLen)
+	if m := s.bio.Load(); m != nil {
 		m.bindRead(bufs)
+	}
+	housekeeper := s.idx == 0
+	tick := p.tick
+	if !housekeeper {
+		tick = 50 * time.Millisecond
 	}
 	lastKeep := time.Now()
 	for {
-		p.conn.SetReadDeadline(time.Now().Add(p.tick))
-		n, err := p.readWire(bufs, sizes)
+		s.conn.SetReadDeadline(time.Now().Add(tick))
+		n, err := p.readShard(s, bufs, sizes, cms)
 		if err != nil {
 			// Timeouts are the housekeeping tick and must keep firing while
 			// Close drains unacked packets (closed is already set then), so
 			// only a non-timeout error on a closed provider ends the loop.
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
-				p.housekeep()
-				lastKeep = time.Now()
+				if housekeeper {
+					p.housekeep()
+					lastKeep = time.Now()
+				}
 				continue
 			}
 			if p.closed.Load() {
@@ -813,34 +988,65 @@ func (p *Provider) reader() {
 			continue
 		}
 		for i := 0; i < n; i++ {
-			p.handleDatagram(bufs[i][:sizes[i]])
+			b := bufs[i][:sizes[i]]
+			if cms[i].hasOvfl {
+				p.noteOvfl(s, cms[i].ovfl)
+			}
+			if seg := cms[i].seg; seg > 0 && seg < len(b) {
+				// A GRO super-datagram: consecutive wire datagrams of seg
+				// bytes each (last possibly shorter), re-split here.
+				p.groCoalesced.Add(1)
+				for off := 0; off < len(b); off += seg {
+					end := min(off+seg, len(b))
+					p.handleDatagram(b[off:end])
+					s.rx.Add(1)
+				}
+			} else {
+				p.handleDatagram(b)
+				s.rx.Add(1)
+			}
 		}
-		if time.Since(lastKeep) >= p.tick {
+		if housekeeper && time.Since(lastKeep) >= tick {
 			p.housekeep()
 			lastKeep = time.Now()
 		}
 	}
 }
 
-// readWire pulls a burst of datagrams (recvmmsg when available, one
-// ReadFrom otherwise), honoring the socket read deadline either way.
-func (p *Provider) readWire(bufs [][]byte, sizes []int) (int, error) {
-	if m := p.bio.Load(); m != nil {
-		n, err := m.readBatch(sizes)
+// readShard pulls a burst of datagrams off one shard socket (recvmmsg when
+// available, one ReadFrom otherwise), honoring the read deadline either way.
+// A kernel refusal downgrades only this shard — turning its GRO off first,
+// since the portable read path cannot see the gso_size cmsg needed to
+// re-split coalesced buffers.
+func (p *Provider) readShard(s *readerShard, bufs [][]byte, sizes []int, cms []rxCmsg) (int, error) {
+	if m := s.bio.Load(); m != nil {
+		n, err := m.readBatch(sizes, cms)
 		if err != errBatchUnsupported {
 			if n > 1 {
 				p.recvBatches.Add(1)
 			}
 			return n, err
 		}
-		p.bio.Store(nil)
+		disableGRO(s.conn)
+		s.bio.Store(nil)
 	}
-	n, _, err := p.conn.ReadFrom(bufs[0])
+	n, _, err := s.conn.ReadFrom(bufs[0])
 	if err != nil {
 		return 0, err
 	}
 	sizes[0] = n
+	cms[0] = rxCmsg{}
 	return 1, nil
+}
+
+// noteOvfl folds one SO_RXQ_OVFL cumulative drop count into sockDrops. The
+// kernel counter is per-socket and monotonic mod 2^32; the unsigned delta
+// handles wrap. Only s's reader goroutine touches s.ovfl.
+func (p *Provider) noteOvfl(s *readerShard, cum uint32) {
+	if d := cum - s.ovfl; d > 0 {
+		s.ovfl = cum
+		p.sockDrops.Add(int64(d))
+	}
 }
 
 func (p *Provider) handleDatagram(b []byte) {
@@ -857,6 +1063,11 @@ func (p *Provider) handleDatagram(b []byte) {
 			return
 		}
 		fl := p.flows[d.src]
+		// rmu serializes the flow's receive state (reassembly, reorder
+		// buffer, piggyback dedup): the kernel pins a reuseport flow to one
+		// shard, but a rebalance may hand it to another mid-stream.
+		// Uncontended in steady state, so effectively free at shards=1.
+		fl.rmu.Lock()
 		// Piggybacked ack/credit for our reverse direction rides on every
 		// data packet; skip the send-side lock when nothing changed.
 		if d.hasAck && (d.pgAck != fl.lastPgAck || d.pgCredit != fl.lastPgCr) {
@@ -864,6 +1075,7 @@ func (p *Provider) handleDatagram(b []byte) {
 			p.onAck(fl, d.pgAck, d.pgCredit)
 		}
 		p.onData(fl, &d)
+		fl.rmu.Unlock()
 	case pktAck:
 		src, cum, credit, ok := decodeAck(b)
 		if !ok || src < 0 || src >= p.size || src == p.rank {
@@ -1164,6 +1376,9 @@ func (p *Provider) Stats() fabric.Stats {
 		CreditStalls:   p.creditStalls.Load(),
 		SendBatches:    p.sendBatches.Load(),
 		RecvBatches:    p.recvBatches.Load(),
+		GSOSends:       p.gsoSends.Load(),
+		GROCoalesced:   p.groCoalesced.Load(),
+		SockDrops:      p.sockDrops.Load(),
 		PiggybackAcks:  p.piggyAcks.Load(),
 		DelayedAcks:    p.delayedAcks.Load(),
 		SockErrors:     p.sockErrors.Load(),
@@ -1186,9 +1401,11 @@ const (
 
 	// Hot-path ablation knobs, read by FromEnv so the launcher's
 	// environment reaches every worker (CI runs the smoke job both ways).
-	EnvNoBatchIO   = "LCI_NO_BATCH_IO"
-	EnvNoPiggyback = "LCI_NO_PIGGYBACK"
-	EnvFixedRTO    = "LCI_FIXED_RTO"
+	EnvNoBatchIO    = "LCI_NO_BATCH_IO"
+	EnvNoPiggyback  = "LCI_NO_PIGGYBACK"
+	EnvFixedRTO     = "LCI_FIXED_RTO"
+	EnvNoGSO        = "LCI_NO_GSO"
+	EnvReaderShards = "LCI_READER_SHARDS"
 )
 
 // InEnv reports whether the process was spawned by the SPMD launcher.
@@ -1216,6 +1433,12 @@ func FromEnv() (*Provider, error) {
 	cfg.DisableBatchIO = envBool(EnvNoBatchIO)
 	cfg.DisablePiggyback = envBool(EnvNoPiggyback)
 	cfg.FixedRTO = envBool(EnvFixedRTO)
+	cfg.DisableGSO = envBool(EnvNoGSO)
+	if s := os.Getenv(EnvReaderShards); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			cfg.ReaderShards = n
+		}
+	}
 	if s := os.Getenv(EnvSeed); s != "" {
 		seed, err := strconv.ParseInt(s, 10, 64)
 		if err != nil {
