@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-datapath bench-netfabric launch experiments examples clean
+.PHONY: all build vet test race bench bench-datapath bench-netfabric bench-serving launch serve experiments examples clean
 
 all: build vet test
 
@@ -29,9 +29,19 @@ bench-datapath:
 bench-netfabric:
 	go run ./cmd/experiments -netfabric -netfabric-out BENCH_netfabric.json
 
+# Regenerates the committed serving soak report: 4 resident ranks over
+# loopback UDP, open-loop client load, best of 3 trials by p99.
+bench-serving:
+	go run ./cmd/lci-serve -n 4 -graph web -scale 12 -soak -qps 300 -duration 5s -repeat 3 -out BENCH_serving.json
+
 # Multi-process smoke run: 4 OS processes over loopback UDP.
 launch:
 	go run ./cmd/lci-launch -n 4 -apps bfs,pagerank -graph web -scale 10
+
+# Long-lived serving job: 4 resident ranks, clients on a TCP endpoint,
+# live metrics on 9380+r. Ctrl-C drains gracefully.
+serve:
+	go run ./cmd/lci-serve -n 4 -graph web -scale 12 -metrics-addr 127.0.0.1:9380
 
 # Regenerates every table and figure of the paper plus the extensions.
 experiments:

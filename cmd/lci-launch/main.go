@@ -38,14 +38,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"math"
-	"net"
-	"net/http"
 	"os"
-	"os/exec"
-	"path/filepath"
-	"strconv"
 	"strings"
 	"time"
 
@@ -55,18 +49,11 @@ import (
 	"lcigraph/internal/cluster"
 	"lcigraph/internal/comm"
 	"lcigraph/internal/graph"
+	"lcigraph/internal/launch"
 	"lcigraph/internal/netfabric"
 	"lcigraph/internal/partition"
 	"lcigraph/internal/telemetry"
 	"lcigraph/internal/tracing"
-)
-
-// Environment carrying the pre-bound metrics listeners to the children:
-// the inherited fd of this rank's TCP listener and the comma-separated
-// actual addresses of every rank's endpoint (rank 0 scrapes its peers).
-const (
-	envMetricsFD    = "LCI_METRICS_FD"
-	envMetricsAddrs = "LCI_METRICS_ADDRS"
 )
 
 type options struct {
@@ -126,151 +113,32 @@ func main() {
 // parent binds all sockets, spawns one child per rank, and reports the
 // job's verdict via the worst child exit code.
 func parent(o *options) int {
-	exe, err := os.Executable()
+	j, err := launch.NewJob(o.n)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lci-launch:", err)
 		return 2
 	}
-	conns := make([]*net.UDPConn, o.n)
-	addrs := make([]string, o.n)
-	for i := range conns {
-		// SO_REUSEPORT on the pre-bound socket is what lets each child's
-		// extra reader shards join its inherited address.
-		c, err := netfabric.ListenReusePort("udp", "127.0.0.1:0")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lci-launch: bind rank %d: %v\n", i, err)
-			return 2
-		}
-		conns[i] = c.(*net.UDPConn)
-		addrs[i] = c.LocalAddr().String()
-	}
-	addrList := strings.Join(addrs, ",")
+	j.Loss, j.Dup, j.Reorder, j.FaultSeed = o.loss, o.dup, o.reorder, o.faultSeed
+	// -trace-out implies tracing in every child.
+	j.Trace = o.traceOut != ""
 
 	// With -metrics-addr the parent also pre-binds one TCP listener per
 	// rank, for the same reason it pre-binds the UDP sockets: children
 	// inherit a ready listener and there is no port race or scrape window
 	// where a rank is not yet serving.
-	var mlns []*net.TCPListener
-	var maddrList string
 	if o.metricsAddr != "" {
-		host, portStr, err := net.SplitHostPort(o.metricsAddr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lci-launch: -metrics-addr %q: %v\n", o.metricsAddr, err)
+		if err := j.BindMetrics(o.metricsAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "lci-launch:", err)
 			return 2
 		}
-		base, err := strconv.Atoi(portStr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lci-launch: -metrics-addr port %q: %v\n", portStr, err)
-			return 2
-		}
-		scrapeHost := host
-		if scrapeHost == "" || scrapeHost == "0.0.0.0" || scrapeHost == "::" {
-			scrapeHost = "127.0.0.1"
-		}
-		mlns = make([]*net.TCPListener, o.n)
-		maddrs := make([]string, o.n)
-		for i := range mlns {
-			port := 0
-			if base != 0 {
-				port = base + i
-			}
-			ln, err := net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(port)))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "lci-launch: bind metrics rank %d: %v\n", i, err)
-				return 2
-			}
-			mlns[i] = ln.(*net.TCPListener)
-			_, p, _ := net.SplitHostPort(ln.Addr().String())
-			maddrs[i] = net.JoinHostPort(scrapeHost, p)
-		}
-		maddrList = strings.Join(maddrs, ",")
-		fmt.Fprintf(os.Stderr, "lci-launch: metrics on %s (rank 0 merges at /cluster)\n", maddrList)
+		fmt.Fprintf(os.Stderr, "lci-launch: metrics on %s (rank 0 merges at /cluster)\n",
+			strings.Join(j.MetricsAddrs, ","))
 	}
-
-	cmds := make([]*exec.Cmd, o.n)
-	// A mid-loop failure must not leave earlier ranks orphaned: they would
-	// block forever in Exchange waiting for peers that will never exist.
-	killStarted := func() {
-		for _, cmd := range cmds {
-			if cmd != nil {
-				cmd.Process.Kill()
-				cmd.Wait()
-			}
-		}
+	if err := j.Start(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "lci-launch:", err)
+		return 2
 	}
-	for i := range cmds {
-		f, err := conns[i].File()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lci-launch: dup socket rank %d: %v\n", i, err)
-			killStarted()
-			return 2
-		}
-		cmd := exec.Command(exe, os.Args[1:]...)
-		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
-		cmd.ExtraFiles = []*os.File{f} // child fd 3
-		cmd.Env = append(os.Environ(),
-			netfabric.EnvRank+"="+strconv.Itoa(i),
-			netfabric.EnvSize+"="+strconv.Itoa(o.n),
-			netfabric.EnvAddrs+"="+addrList,
-			netfabric.EnvFD+"=3",
-			netfabric.EnvLoss+"="+fmt.Sprint(o.loss),
-			netfabric.EnvDup+"="+fmt.Sprint(o.dup),
-			netfabric.EnvReord+"="+fmt.Sprint(o.reorder),
-			netfabric.EnvSeed+"="+strconv.FormatInt(o.faultSeed, 10),
-		)
-		if o.traceOut != "" {
-			// -trace-out implies tracing in every child (last entry wins over
-			// any inherited LCI_TRACE value).
-			cmd.Env = append(cmd.Env, tracing.EnvEnable+"=1")
-		}
-		var mf *os.File
-		if mlns != nil {
-			mf, err = mlns[i].File()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "lci-launch: dup metrics listener rank %d: %v\n", i, err)
-				f.Close()
-				killStarted()
-				return 2
-			}
-			cmd.ExtraFiles = append(cmd.ExtraFiles, mf) // child fd 4
-			cmd.Env = append(cmd.Env,
-				envMetricsFD+"=4",
-				envMetricsAddrs+"="+maddrList,
-			)
-		}
-		if err := cmd.Start(); err != nil {
-			fmt.Fprintf(os.Stderr, "lci-launch: start rank %d: %v\n", i, err)
-			f.Close()
-			if mf != nil {
-				mf.Close()
-			}
-			killStarted()
-			return 2
-		}
-		f.Close()
-		conns[i].Close()
-		if mf != nil {
-			mf.Close()
-			mlns[i].Close()
-		}
-		cmds[i] = cmd
-	}
-
-	code := 0
-	for i, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			if ee, ok := err.(*exec.ExitError); ok {
-				if c := ee.ExitCode(); c > code {
-					code = c
-				}
-			} else {
-				fmt.Fprintf(os.Stderr, "lci-launch: wait rank %d: %v\n", i, err)
-				code = 2
-			}
-		}
-	}
-	return code
+	return j.Wait()
 }
 
 // child is one rank: it joins the job through the inherited socket, runs
@@ -292,7 +160,7 @@ func child(o *options) int {
 	prov.RegisterMetrics(reg)
 	tr := tracing.Default() // nil unless LCI_TRACE (the parent sets it for -trace-out)
 	tr.NotifySIGQUIT()
-	srv := serveMetrics(reg, tr, rank)
+	srv := launch.ServeMetrics(reg, tr, rank)
 
 	g := graph.Named(o.graph, o.scale, o.seed)
 	pt := partition.Build(g, size, partition.VertexCut)
@@ -386,7 +254,7 @@ func child(o *options) int {
 		if o.metricsOut != "" {
 			data, err := json.MarshalIndent(merged, "", "  ")
 			if err == nil {
-				err = writeFileAtomic(o.metricsOut, append(data, '\n'))
+				err = launch.WriteFileAtomic(o.metricsOut, append(data, '\n'))
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "lci-launch: write %s: %v\n", o.metricsOut, err)
@@ -394,7 +262,7 @@ func child(o *options) int {
 		}
 	}
 	if mergedTrace != nil {
-		if err := writeFileAtomic(o.traceOut, mergedTrace); err != nil {
+		if err := launch.WriteFileAtomic(o.traceOut, mergedTrace); err != nil {
 			fmt.Fprintf(os.Stderr, "lci-launch: write %s: %v\n", o.traceOut, err)
 		} else {
 			fmt.Fprintf(os.Stderr, "lci-launch: merged trace written to %s (open in Perfetto)\n", o.traceOut)
@@ -408,123 +276,6 @@ func child(o *options) int {
 		return 1
 	}
 	return 0
-}
-
-// serveMetrics starts the live telemetry endpoint on the TCP listener the
-// parent pre-bound and passed down as envMetricsFD. Rank 0 additionally
-// serves /cluster(.json), scraping every peer's /metrics.json and merging.
-// Alongside the metrics, /debug/trace(/flight) serve the lifecycle tracer —
-// on rank 0 the trace document merges every peer's, scraped from their
-// /debug/trace?local=1. Returns nil when no listener was inherited.
-func serveMetrics(reg *telemetry.Registry, tr *tracing.Tracer, rank int) *http.Server {
-	fdStr := os.Getenv(envMetricsFD)
-	if fdStr == "" {
-		return nil
-	}
-	fd, err := strconv.Atoi(fdStr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lci-launch: %s=%q: %v\n", envMetricsFD, fdStr, err)
-		return nil
-	}
-	f := os.NewFile(uintptr(fd), "metrics-listener")
-	ln, err := net.FileListener(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lci-launch: metrics listener: %v\n", err)
-		return nil
-	}
-	var clusterFn func() (*telemetry.Snapshot, error)
-	var mergedFn func() ([]byte, error)
-	if rank == 0 {
-		addrs := strings.Split(os.Getenv(envMetricsAddrs), ",")
-		clusterFn = func() (*telemetry.Snapshot, error) { return scrapeCluster(reg, addrs) }
-		mergedFn = func() ([]byte, error) { return scrapeTraces(tr, rank, addrs) }
-	}
-	mux := http.NewServeMux()
-	mux.Handle("/debug/trace", tracing.Handler(tr, mergedFn))
-	mux.Handle("/debug/trace/", tracing.Handler(tr, mergedFn))
-	mux.Handle("/", telemetry.Handler(reg, clusterFn))
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return srv
-}
-
-// scrapeCluster merges this rank's live snapshot with every peer's, fetched
-// from their /metrics.json endpoints.
-func scrapeCluster(reg *telemetry.Registry, addrs []string) (*telemetry.Snapshot, error) {
-	snaps := []*telemetry.Snapshot{reg.Snapshot()}
-	client := &http.Client{Timeout: 2 * time.Second}
-	for r, a := range addrs {
-		if r == 0 || a == "" {
-			continue
-		}
-		resp, err := client.Get("http://" + a + "/metrics.json")
-		if err != nil {
-			return nil, fmt.Errorf("scrape rank %d: %w", r, err)
-		}
-		var s telemetry.Snapshot
-		err = json.NewDecoder(resp.Body).Decode(&s)
-		resp.Body.Close()
-		if err != nil {
-			return nil, fmt.Errorf("decode rank %d: %w", r, err)
-		}
-		snaps = append(snaps, &s)
-	}
-	return telemetry.Merge(snaps...), nil
-}
-
-// scrapeTraces merges this rank's live Chrome trace with every peer's,
-// fetched from their /debug/trace?local=1 endpoints.
-func scrapeTraces(tr *tracing.Tracer, rank int, addrs []string) ([]byte, error) {
-	blobs := [][]byte{tracing.ChromeTrace(tr.Events(), rank)}
-	client := &http.Client{Timeout: 2 * time.Second}
-	for r, a := range addrs {
-		if r == rank || a == "" {
-			continue
-		}
-		resp, err := client.Get("http://" + a + "/debug/trace?local=1")
-		if err != nil {
-			return nil, fmt.Errorf("scrape rank %d: %w", r, err)
-		}
-		b, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return nil, fmt.Errorf("read rank %d: %w", r, err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("scrape rank %d: %s", r, resp.Status)
-		}
-		blobs = append(blobs, b)
-	}
-	return tracing.MergeChrome(blobs)
-}
-
-// writeFileAtomic writes data to path via a temp file + rename so a reader
-// (or a crashed run) never observes a partial document, creating parent
-// directories as needed.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	_, err = f.Write(data)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Chmod(f.Name(), 0o644)
-	}
-	if err == nil {
-		err = os.Rename(f.Name(), path)
-	}
-	if err != nil {
-		os.Remove(f.Name())
-	}
-	return err
 }
 
 // runApp runs one app on this rank's runtime and returns the number of

@@ -52,11 +52,13 @@ func (rt *Runtime) NewField(identity uint64, reduce func(a, b uint64) uint64) *F
 		tagReduce: rt.nextTag,
 		tagBcast:  rt.nextTag + 1,
 	}
-	// cluster.CollectiveTag is reserved for out-of-process Barrier/Allreduce
-	// traffic; a field tag reaching it would silently corrupt collectives.
-	if f.tagBcast >= cluster.CollectiveTag {
-		panic(fmt.Sprintf("abelian: field tags %d/%d reach the reserved cluster.CollectiveTag %d (too many fields on one runtime)",
-			f.tagReduce, f.tagBcast, cluster.CollectiveTag))
+	// [cluster.ServeTagLo, cluster.CollectiveTag] is reserved: collectives
+	// ride CollectiveTag and the serving layer's query/reply/control traffic
+	// rides the tags below it. A field tag reaching the range would silently
+	// corrupt either.
+	if f.tagBcast >= cluster.ServeTagLo {
+		panic(fmt.Sprintf("abelian: field tags %d/%d reach the reserved range [%d,%d] (too many fields on one runtime)",
+			f.tagReduce, f.tagBcast, cluster.ServeTagLo, cluster.CollectiveTag))
 	}
 	rt.nextTag += 2
 	if identity != 0 {

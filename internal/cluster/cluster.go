@@ -24,8 +24,15 @@ import (
 
 // CollectiveTag is the Exchange base tag reserved for cluster collectives
 // in out-of-process jobs. Frameworks allocate field tags from 0 upwards and
-// must stay below it.
+// must stay below the whole reserved range [ServeTagLo, CollectiveTag].
 const CollectiveTag uint32 = 255
+
+// ServeTagLo is the bottom of the serving layer's reserved control-tag
+// range [ServeTagLo, CollectiveTag): internal/serve multiplexes its
+// query-scatter, reply-gather and drain-control traffic on these base tags,
+// concurrently with collective traffic on CollectiveTag. Frameworks must
+// allocate their field tags strictly below ServeTagLo.
+const ServeTagLo uint32 = 250
 
 // Host is one host's context inside a job.
 type Host struct {

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"testing"
+
+	"lcigraph/internal/comm"
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/netfabric"
+)
+
+// TestGatherBytesLossyUDP drives GatherBytes over real UDP sockets with 5%
+// injected datagram loss, one goroutine per rank — the shape the serving
+// layer's metrics/trace gathers run in. Under -race this doubles as a data
+// race check on the gather path: the root's parts slice is written by the
+// layer's driver goroutine while rank goroutines run their own collectives.
+func TestGatherBytesLossyUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real UDP sockets with injected loss")
+	}
+	const p = 4
+	const rounds = 5
+	provs, err := netfabric.NewLoopbackGroup(p, netfabric.Config{
+		Fault: netfabric.Fault{Loss: 0.05, Seed: 23},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netfabric.CloseGroup(provs)
+
+	// Rank- and round-dependent payloads spanning eager and rendezvous, so a
+	// dropped or cross-delivered part is caught by content, not just length.
+	mk := func(rank, round int) []byte {
+		b := make([]byte, 700*(rank+1)+3000*round)
+		for i := range b {
+			b[i] = byte(rank ^ (round + i))
+		}
+		return b
+	}
+
+	done := make(chan struct{})
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			// bench.LCIOptions' shape, inlined (bench imports this package).
+			layer := comm.NewLCILayer(provs[r], lci.Options{
+				PoolPackets: 64 * p, QueueDepth: 1024, MaxOutstanding: 1024, Workers: 3,
+			})
+			RunRank(r, p, 1, layer, func(h *Host) {
+				for round := 0; round < rounds; round++ {
+					parts := h.GatherBytes(0, mk(h.Rank, round), 1<<20)
+					if h.Rank != 0 {
+						if parts != nil {
+							t.Errorf("rank %d: non-root gather returned parts", h.Rank)
+						}
+						continue
+					}
+					if len(parts) != p {
+						t.Errorf("round %d: root gathered %d parts, want %d", round, len(parts), p)
+						continue
+					}
+					for pr, got := range parts {
+						want := mk(pr, round)
+						if string(got) != string(want) {
+							t.Errorf("round %d rank %d part mismatch: %d bytes vs %d",
+								round, pr, len(got), len(want))
+						}
+					}
+				}
+			})
+		}(r)
+	}
+	for r := 0; r < p; r++ {
+		<-done
+	}
+}

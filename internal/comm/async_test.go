@@ -1,0 +1,138 @@
+package comm
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/fabric"
+)
+
+// asyncLayers builds p connected LCI layers over the simulator.
+func asyncLayers(t *testing.T, p int) []*LCILayer {
+	t.Helper()
+	fab := fabric.New(p, fabric.TestProfile())
+	layers := make([]*LCILayer, p)
+	for r := range layers {
+		layers[r] = NewLCILayer(fab.Endpoint(r), lci.Options{})
+	}
+	t.Cleanup(func() {
+		for _, l := range layers {
+			l.Stop()
+		}
+	})
+	return layers
+}
+
+// recvTagWait polls RecvTag until a message arrives or the deadline passes.
+func recvTagWait(t *testing.T, l *LCILayer, tag uint32) Message {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m, ok := l.RecvTag(tag); ok {
+			return m
+		}
+	}
+	t.Fatalf("no message on tag %d within deadline", tag)
+	return Message{}
+}
+
+// TestAsyncPostRecv: free-running point-to-point messages on a reserved tag
+// arrive per tag, in order per peer, and interleave with Exchange traffic
+// without cross-talk.
+func TestAsyncPostRecv(t *testing.T) {
+	const tagA, tagB = 250, 251
+	layers := asyncLayers(t, 2)
+
+	// Several messages on two tags, out of tag order.
+	for i := 0; i < 8; i++ {
+		buf := layers[0].AllocBuf(8)
+		binary.LittleEndian.PutUint64(buf, uint64(100+i))
+		layers[0].PostTag(1, tagA, buf)
+	}
+	buf := layers[0].AllocBuf(8)
+	binary.LittleEndian.PutUint64(buf, 999)
+	layers[0].PostTag(1, tagB, buf)
+
+	// tagB drains independently of the earlier tagA backlog.
+	m := recvTagWait(t, layers[1], tagB)
+	if got := binary.LittleEndian.Uint64(m.Data); got != 999 || m.Peer != 0 {
+		t.Fatalf("tagB message = %d from %d", got, m.Peer)
+	}
+	m.Release()
+	for i := 0; i < 8; i++ {
+		m := recvTagWait(t, layers[1], tagA)
+		if got := binary.LittleEndian.Uint64(m.Data); got != uint64(100+i) {
+			t.Fatalf("tagA message %d = %d", i, got)
+		}
+		m.Release()
+	}
+	if m, ok := layers[1].RecvTag(tagA); ok {
+		t.Fatalf("unexpected extra message from %d", m.Peer)
+	}
+}
+
+// TestAsyncLargePayload: async messages above the eager limit ride the
+// rendezvous path transparently.
+func TestAsyncLargePayload(t *testing.T) {
+	const tag = 252
+	layers := asyncLayers(t, 2)
+	n := 64 << 10
+	buf := layers[0].AllocBuf(n)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	layers[0].PostTag(1, tag, buf)
+	m := recvTagWait(t, layers[1], tag)
+	if len(m.Data) != n {
+		t.Fatalf("got %d bytes, want %d", len(m.Data), n)
+	}
+	for i, b := range m.Data {
+		if b != byte(i) {
+			t.Fatalf("byte %d = %d", i, b)
+		}
+	}
+	m.Release()
+}
+
+// TestAsyncInterleavesWithExchange: reserved-tag traffic stashed during an
+// Exchange does not satisfy the exchange, and survives it.
+func TestAsyncInterleavesWithExchange(t *testing.T) {
+	const tag = 250
+	layers := asyncLayers(t, 2)
+
+	// Park an async message at rank 1 before it enters the exchange.
+	a := layers[0].AllocBuf(8)
+	binary.LittleEndian.PutUint64(a, 7)
+	layers[0].PostTag(1, tag, a)
+
+	// A normal BSP exchange on an application tag, both ranks.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out := make([][]byte, 2)
+		b := layers[0].AllocBuf(8)
+		binary.LittleEndian.PutUint64(b, 41)
+		out[1] = b
+		layers[0].Exchange(3, out, []bool{false, true}, []int{8, 8},
+			func(peer int, data []byte) {})
+	}()
+	out := make([][]byte, 2)
+	b := layers[1].AllocBuf(8)
+	binary.LittleEndian.PutUint64(b, 42)
+	out[0] = b
+	got := uint64(0)
+	layers[1].Exchange(3, out, []bool{true, false}, []int{8, 8},
+		func(peer int, data []byte) { got = binary.LittleEndian.Uint64(data) })
+	<-done
+	if got != 41 {
+		t.Fatalf("exchange delivered %d", got)
+	}
+
+	m := recvTagWait(t, layers[1], tag)
+	if got := binary.LittleEndian.Uint64(m.Data); got != 7 {
+		t.Fatalf("async message = %d", got)
+	}
+	m.Release()
+}

@@ -1,0 +1,376 @@
+// Package launch is the shared scaffolding for SPMD launcher commands
+// (cmd/lci-launch, cmd/lci-serve): a parent process that pre-binds every
+// rank's sockets and re-executes itself once per rank, and the child-side
+// helpers that pick the inherited endpoints back up.
+//
+// Pre-binding is the whole point: the parent binds each rank's UDP socket
+// and (optionally) its telemetry TCP listener before any child exists, so
+// there is no startup race, no port negotiation, and no scrape window where
+// a rank is not yet serving. Children inherit the sockets as file
+// descriptors at fixed positions:
+//
+//	fd 3  the rank's UDP fabric socket (netfabric.EnvFD)
+//	fd 4  the rank's telemetry TCP listener (EnvMetricsFD; when bound)
+//	fd 5+ command-specific extras, in the order Start's extra callback
+//	      returned them
+package launch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"lcigraph/internal/netfabric"
+	"lcigraph/internal/telemetry"
+	"lcigraph/internal/tracing"
+)
+
+// Environment carrying the pre-bound metrics listeners to the children:
+// the inherited fd of this rank's TCP listener and the comma-separated
+// actual addresses of every rank's endpoint (rank 0 scrapes its peers).
+const (
+	EnvMetricsFD    = "LCI_METRICS_FD"
+	EnvMetricsAddrs = "LCI_METRICS_ADDRS"
+)
+
+// Job is one parent-side SPMD launch: N ranks over pre-bound loopback UDP,
+// optional per-rank telemetry listeners, fault injection, and tracing.
+type Job struct {
+	N int
+
+	// Fault injection applied to every rank's UDP socket.
+	Loss, Dup, Reorder float64
+	FaultSeed          int64
+
+	// Trace turns message-lifecycle tracing on in every child (LCI_TRACE=1).
+	Trace bool
+
+	// MetricsAddrs holds every rank's telemetry endpoint after BindMetrics.
+	MetricsAddrs []string
+
+	udpConns []*net.UDPConn
+	udpAddrs []string
+	mlns     []*net.TCPListener
+	cmds     []*exec.Cmd
+}
+
+// NewJob pre-binds n loopback UDP sockets, one per rank.
+func NewJob(n int) (*Job, error) {
+	j := &Job{N: n, udpConns: make([]*net.UDPConn, n), udpAddrs: make([]string, n)}
+	for i := range j.udpConns {
+		// SO_REUSEPORT on the pre-bound socket is what lets each child's
+		// extra reader shards join its inherited address.
+		c, err := netfabric.ListenReusePort("udp", "127.0.0.1:0")
+		if err != nil {
+			j.closeBound()
+			return nil, fmt.Errorf("bind rank %d: %w", i, err)
+		}
+		j.udpConns[i] = c.(*net.UDPConn)
+		j.udpAddrs[i] = c.LocalAddr().String()
+	}
+	return j, nil
+}
+
+// BindMetrics pre-binds one telemetry TCP listener per rank: rank r listens
+// on addr's port+r (port 0 picks ephemeral ports). MetricsAddrs is filled
+// with the scrapeable addresses.
+func (j *Job) BindMetrics(addr string) error {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("metrics addr %q: %w", addr, err)
+	}
+	base, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("metrics port %q: %w", portStr, err)
+	}
+	scrapeHost := host
+	if scrapeHost == "" || scrapeHost == "0.0.0.0" || scrapeHost == "::" {
+		scrapeHost = "127.0.0.1"
+	}
+	j.mlns = make([]*net.TCPListener, j.N)
+	j.MetricsAddrs = make([]string, j.N)
+	for i := range j.mlns {
+		port := 0
+		if base != 0 {
+			port = base + i
+		}
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(port)))
+		if err != nil {
+			return fmt.Errorf("bind metrics rank %d: %w", i, err)
+		}
+		j.mlns[i] = ln.(*net.TCPListener)
+		_, p, _ := net.SplitHostPort(ln.Addr().String())
+		j.MetricsAddrs[i] = net.JoinHostPort(scrapeHost, p)
+	}
+	return nil
+}
+
+// Start re-executes the current binary once per rank with args, wiring the
+// pre-bound sockets and the fabric environment. extra, when non-nil, names
+// additional environment entries and inherited files for a rank; its files
+// land at the fixed fd positions documented on the package (5 onwards when
+// metrics are bound, 4 onwards otherwise — commands that need the number in
+// an env var hardcode the layout they create). A mid-loop failure kills the
+// already-started ranks, which would otherwise block forever waiting for
+// peers that will never exist.
+func (j *Job) Start(args []string, extra func(rank int) ([]string, []*os.File)) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	addrList := strings.Join(j.udpAddrs, ",")
+	j.cmds = make([]*exec.Cmd, j.N)
+	fail := func(files []*os.File, err error) error {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+		j.Kill()
+		j.closeBound()
+		return err
+	}
+	for i := range j.cmds {
+		f, err := j.udpConns[i].File()
+		if err != nil {
+			return fail(nil, fmt.Errorf("dup socket rank %d: %w", i, err))
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.ExtraFiles = []*os.File{f} // child fd 3
+		cmd.Env = append(os.Environ(),
+			netfabric.EnvRank+"="+strconv.Itoa(i),
+			netfabric.EnvSize+"="+strconv.Itoa(j.N),
+			netfabric.EnvAddrs+"="+addrList,
+			netfabric.EnvFD+"=3",
+			netfabric.EnvLoss+"="+fmt.Sprint(j.Loss),
+			netfabric.EnvDup+"="+fmt.Sprint(j.Dup),
+			netfabric.EnvReord+"="+fmt.Sprint(j.Reorder),
+			netfabric.EnvSeed+"="+strconv.FormatInt(j.FaultSeed, 10),
+		)
+		if j.Trace {
+			// The last entry wins over any inherited LCI_TRACE value.
+			cmd.Env = append(cmd.Env, tracing.EnvEnable+"=1")
+		}
+		files := []*os.File{f}
+		if j.mlns != nil {
+			mf, err := j.mlns[i].File()
+			if err != nil {
+				return fail(files, fmt.Errorf("dup metrics listener rank %d: %w", i, err))
+			}
+			files = append(files, mf)
+			cmd.ExtraFiles = append(cmd.ExtraFiles, mf) // child fd 4
+			cmd.Env = append(cmd.Env,
+				EnvMetricsFD+"=4",
+				EnvMetricsAddrs+"="+strings.Join(j.MetricsAddrs, ","),
+			)
+		}
+		if extra != nil {
+			env, efs := extra(i)
+			cmd.Env = append(cmd.Env, env...)
+			cmd.ExtraFiles = append(cmd.ExtraFiles, efs...)
+			files = append(files, efs...)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(files, fmt.Errorf("start rank %d: %w", i, err))
+		}
+		for _, fl := range files {
+			fl.Close()
+		}
+		j.udpConns[i].Close()
+		if j.mlns != nil {
+			j.mlns[i].Close()
+		}
+		j.cmds[i] = cmd
+	}
+	return nil
+}
+
+// Wait blocks until every rank exits and returns the worst exit code.
+func (j *Job) Wait() int {
+	code := 0
+	for i, cmd := range j.cmds {
+		if cmd == nil {
+			continue
+		}
+		if err := cmd.Wait(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				if c := ee.ExitCode(); c > code {
+					code = c
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "launch: wait rank %d: %v\n", i, err)
+				code = 2
+			}
+		}
+	}
+	return code
+}
+
+// Signal delivers sig to one rank (e.g. SIGTERM to rank 0 to start a
+// serving job's graceful drain).
+func (j *Job) Signal(rank int, sig os.Signal) error {
+	if rank < 0 || rank >= len(j.cmds) || j.cmds[rank] == nil {
+		return fmt.Errorf("launch: no started rank %d", rank)
+	}
+	return j.cmds[rank].Process.Signal(sig)
+}
+
+// Kill hard-stops every started rank.
+func (j *Job) Kill() {
+	for _, cmd := range j.cmds {
+		if cmd != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+}
+
+func (j *Job) closeBound() {
+	for _, c := range j.udpConns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, l := range j.mlns {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// ServeMetrics starts the child-side live telemetry endpoint on the TCP
+// listener the parent pre-bound and passed down as EnvMetricsFD. Rank 0
+// additionally serves /cluster(.json), scraping every peer's /metrics.json
+// and merging. Alongside the metrics, /debug/trace(/flight) serve the
+// lifecycle tracer — on rank 0 the trace document merges every peer's,
+// scraped from their /debug/trace?local=1. Returns nil when no listener was
+// inherited.
+func ServeMetrics(reg *telemetry.Registry, tr *tracing.Tracer, rank int) *http.Server {
+	fdStr := os.Getenv(EnvMetricsFD)
+	if fdStr == "" {
+		return nil
+	}
+	fd, err := strconv.Atoi(fdStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "launch: %s=%q: %v\n", EnvMetricsFD, fdStr, err)
+		return nil
+	}
+	f := os.NewFile(uintptr(fd), "metrics-listener")
+	ln, err := net.FileListener(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "launch: metrics listener: %v\n", err)
+		return nil
+	}
+	var clusterFn func() (*telemetry.Snapshot, error)
+	var mergedFn func() ([]byte, error)
+	if rank == 0 {
+		addrs := strings.Split(os.Getenv(EnvMetricsAddrs), ",")
+		clusterFn = func() (*telemetry.Snapshot, error) { return ScrapeCluster(reg, addrs) }
+		mergedFn = func() ([]byte, error) { return ScrapeTraces(tr, rank, addrs) }
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/trace", tracing.Handler(tr, mergedFn))
+	mux.Handle("/debug/trace/", tracing.Handler(tr, mergedFn))
+	mux.Handle("/", telemetry.Handler(reg, clusterFn))
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv
+}
+
+// InheritedListener picks up a TCP listener the parent passed down at fd
+// (the command-specific extras, fd 5 onwards).
+func InheritedListener(fd int) (net.Listener, error) {
+	f := os.NewFile(uintptr(fd), "inherited-listener")
+	ln, err := net.FileListener(f)
+	f.Close()
+	return ln, err
+}
+
+// ScrapeCluster merges this rank's live snapshot with every peer's, fetched
+// from their /metrics.json endpoints.
+func ScrapeCluster(reg *telemetry.Registry, addrs []string) (*telemetry.Snapshot, error) {
+	snaps := []*telemetry.Snapshot{reg.Snapshot()}
+	client := &http.Client{Timeout: 2 * time.Second}
+	for r, a := range addrs {
+		if r == 0 || a == "" {
+			continue
+		}
+		resp, err := client.Get("http://" + a + "/metrics.json")
+		if err != nil {
+			return nil, fmt.Errorf("scrape rank %d: %w", r, err)
+		}
+		var s telemetry.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&s)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("decode rank %d: %w", r, err)
+		}
+		snaps = append(snaps, &s)
+	}
+	return telemetry.Merge(snaps...), nil
+}
+
+// ScrapeTraces merges this rank's live Chrome trace with every peer's,
+// fetched from their /debug/trace?local=1 endpoints.
+func ScrapeTraces(tr *tracing.Tracer, rank int, addrs []string) ([]byte, error) {
+	blobs := [][]byte{tracing.ChromeTrace(tr.Events(), rank)}
+	client := &http.Client{Timeout: 2 * time.Second}
+	for r, a := range addrs {
+		if r == rank || a == "" {
+			continue
+		}
+		resp, err := client.Get("http://" + a + "/debug/trace?local=1")
+		if err != nil {
+			return nil, fmt.Errorf("scrape rank %d: %w", r, err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("read rank %d: %w", r, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("scrape rank %d: %s", r, resp.Status)
+		}
+		blobs = append(blobs, b)
+	}
+	return tracing.MergeChrome(blobs)
+}
+
+// WriteFileAtomic writes data to path via a temp file + rename so a reader
+// (or a crashed run) never observes a partial document, creating parent
+// directories as needed.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(f.Name(), 0o644)
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), path)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+	}
+	return err
+}

@@ -1,0 +1,59 @@
+package serve
+
+import "container/list"
+
+// cacheKey identifies one query's result: ops are pure functions of the
+// resident graph, so (op, a, b) fully determines the answer.
+type cacheKey struct {
+	op   uint8
+	a, b uint32
+}
+
+// lru is a plain LRU result cache. It is owned by the serving loop (one
+// goroutine), so it needs no locking. A zero-capacity cache stores nothing.
+type lru struct {
+	cap int
+	ll  *list.List // front = most recent
+	m   map[cacheKey]*list.Element
+}
+
+type lruEntry struct {
+	k cacheKey
+	v []byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+// get returns the cached result and refreshes its recency.
+func (c *lru) get(k cacheKey) ([]byte, bool) {
+	e, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).v, true
+}
+
+// put inserts (or refreshes) a result, evicting the least recently used
+// entry when over capacity.
+func (c *lru) put(k cacheKey, v []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.m[k]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*lruEntry).v = v
+		return
+	}
+	c.m[k] = c.ll.PushFront(&lruEntry{k: k, v: v})
+	if c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.m, old.Value.(*lruEntry).k)
+	}
+}
+
+// len returns the resident entry count.
+func (c *lru) len() int { return c.ll.Len() }

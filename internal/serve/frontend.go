@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// request is one unit handed from a connection reader to the serving loop:
+// a client query, or a disconnect note (bye) so the loop can retire the
+// connection's admission state.
+type request struct {
+	c     *clientConn
+	reqid uint32
+	q     Query
+	start time.Time
+	bye   bool
+}
+
+// clientConn is one client connection. The reader and writer goroutines own
+// conn and out; dead and resident are serving-loop state (touched only from
+// the loop), which is what lets the loop drop responses to a severed client
+// without locks.
+type clientConn struct {
+	conn net.Conn
+	out  chan []byte
+
+	dead     bool // loop-only: no further sends
+	resident int  // loop-only: this client's admitted in-flight queries
+}
+
+// send hands an encoded response to the connection's writer. Called only
+// from the serving loop. A full buffer means the client has stopped reading
+// faster than we answer — rather than stall the loop (and every other
+// client) we sever the connection and drop its traffic.
+func (c *clientConn) send(b []byte) {
+	if c.dead {
+		return
+	}
+	select {
+	case c.out <- b:
+	default:
+		c.markDead()
+	}
+}
+
+// markDead severs the connection: no further sends, the writer drains and
+// exits (out is closed), the reader errors out of its blocking read. Loop
+// goroutine only.
+func (c *clientConn) markDead() {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	c.conn.Close()
+	close(c.out)
+}
+
+// Frontend accepts client connections on a listener and bridges them to the
+// coordinator's serving loop. Run it on rank 0 only.
+type Frontend struct {
+	ln net.Listener
+	s  *Server
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// ServeClients starts accepting clients for s on ln. Close tears it down.
+func ServeClients(ln net.Listener, s *Server) *Frontend {
+	f := &Frontend{ln: ln, s: s, conns: map[net.Conn]struct{}{}}
+	f.wg.Add(1)
+	go f.accept()
+	return f
+}
+
+// Close stops accepting, severs every live connection, and waits for the
+// per-connection goroutines to exit.
+func (f *Frontend) Close() {
+	f.ln.Close()
+	f.mu.Lock()
+	for c := range f.conns {
+		c.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+func (f *Frontend) accept() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		f.mu.Lock()
+		f.conns[conn] = struct{}{}
+		f.mu.Unlock()
+		c := &clientConn{conn: conn, out: make(chan []byte, 256)}
+		f.wg.Add(2)
+		go f.read(c)
+		go f.write(c)
+	}
+}
+
+// read parses requests and feeds the serving loop; the blocking channel
+// send is the natural TCP back-pressure for clients that outrun admission.
+func (f *Frontend) read(c *clientConn) {
+	defer f.wg.Done()
+	defer func() {
+		f.mu.Lock()
+		delete(f.conns, c.conn)
+		f.mu.Unlock()
+	}()
+	br := bufio.NewReader(c.conn)
+	for {
+		reqid, q, err := ReadRequest(br)
+		if err != nil {
+			break
+		}
+		select {
+		case f.s.incoming <- request{c: c, reqid: reqid, q: q, start: time.Now()}:
+		case <-f.s.done:
+			c.conn.Close()
+			return
+		}
+	}
+	// Tell the loop the client is gone so it stops writing to us; if the
+	// loop already exited nobody will write again anyway.
+	select {
+	case f.s.incoming <- request{c: c, bye: true}:
+	case <-f.s.done:
+		c.conn.Close()
+	}
+}
+
+// write streams encoded responses out, flushing whenever the buffer runs
+// dry. It exits when the loop severs the connection (out closed) or when
+// the server has drained (no further sends can come).
+func (f *Frontend) write(c *clientConn) {
+	defer f.wg.Done()
+	bw := bufio.NewWriter(c.conn)
+	flushClose := func() {
+		bw.Flush()
+		c.conn.Close()
+	}
+	for {
+		select {
+		case b, ok := <-c.out:
+			if !ok {
+				flushClose()
+				return
+			}
+			bw.Write(b)
+			if len(c.out) == 0 {
+				bw.Flush()
+			}
+		case <-f.s.done:
+			// The loop is gone: drain what it already queued, then hang up.
+			for {
+				select {
+				case b, ok := <-c.out:
+					if !ok {
+						flushClose()
+						return
+					}
+					bw.Write(b)
+				default:
+					flushClose()
+					return
+				}
+			}
+		}
+	}
+}

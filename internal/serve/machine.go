@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"lcigraph/internal/graph"
+)
+
+// A machine is one query's round-structured state: need() names the global
+// vertices whose out-adjacency the next round requires (empty means the
+// query is finished), advance() consumes that adjacency — adj[i] is the
+// out-neighbor list of need()[i], in any order — and result() encodes the
+// answer once finished.
+//
+// Machines are deterministic: need() returns vertices in ascending order,
+// and any order-sensitive arithmetic (the PPR float accumulation) sorts its
+// inputs first. The distributed coordinator and the single-host Oracle
+// therefore produce bit-identical results from the same graph, which is
+// what the exactly-once serving tests assert.
+type machine interface {
+	need() []uint32
+	advance(adj [][]uint32)
+	result() []byte
+}
+
+// newMachine validates a query against the graph size and builds its state
+// machine.
+func newMachine(q Query, globalN int, cfg *Config) (machine, error) {
+	if int(q.A) >= globalN {
+		return nil, fmt.Errorf("vertex %d out of range (graph has %d)", q.A, globalN)
+	}
+	switch q.Op {
+	case OpKHop:
+		if int(q.B) > cfg.MaxHops {
+			return nil, fmt.Errorf("k=%d exceeds the %d-hop limit", q.B, cfg.MaxHops)
+		}
+		return newBFSMachine(q.A, int(q.B), Unreachable, false), nil
+	case OpDist:
+		if int(q.B) >= globalN {
+			return nil, fmt.Errorf("vertex %d out of range (graph has %d)", q.B, globalN)
+		}
+		return newBFSMachine(q.A, cfg.MaxRounds, q.B, true), nil
+	case OpPPR:
+		if q.B == 0 {
+			return nil, fmt.Errorf("ppr topN must be positive")
+		}
+		return &pprMachine{
+			res:       map[uint32]float64{q.A: 1},
+			score:     map[uint32]float64{},
+			topN:      int(q.B),
+			maxRounds: cfg.MaxRounds,
+			alpha:     cfg.PPRAlpha,
+			eps:       cfg.PPREps,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown op %d", q.Op)
+	}
+}
+
+// bfsMachine runs breadth-first frontier expansion: the k-hop neighborhood
+// count (hasTarget false) and the point-to-point hop distance (hasTarget
+// true, stops early when target joins the frontier).
+type bfsMachine struct {
+	visited   map[uint32]struct{}
+	frontier  []uint32 // sorted; the vertices need() exposes
+	depth     int
+	maxDepth  int
+	target    uint32
+	hasTarget bool
+	foundAt   int // depth at which target was reached; -1 while unseen
+}
+
+func newBFSMachine(src uint32, maxDepth int, target uint32, hasTarget bool) *bfsMachine {
+	m := &bfsMachine{
+		visited:   map[uint32]struct{}{src: {}},
+		frontier:  []uint32{src},
+		maxDepth:  maxDepth,
+		target:    target,
+		hasTarget: hasTarget,
+		foundAt:   -1,
+	}
+	if hasTarget && src == target {
+		m.foundAt = 0
+		m.frontier = nil
+	}
+	return m
+}
+
+func (m *bfsMachine) need() []uint32 {
+	if m.depth >= m.maxDepth || (m.hasTarget && m.foundAt >= 0) {
+		return nil
+	}
+	return m.frontier
+}
+
+func (m *bfsMachine) advance(adj [][]uint32) {
+	next := make([]uint32, 0, len(adj))
+	for _, l := range adj {
+		for _, u := range l {
+			if _, seen := m.visited[u]; seen {
+				continue
+			}
+			m.visited[u] = struct{}{}
+			next = append(next, u)
+		}
+	}
+	m.depth++
+	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+	m.frontier = next
+	if m.hasTarget && m.foundAt < 0 {
+		if _, seen := m.visited[m.target]; seen {
+			m.foundAt = m.depth
+		}
+	}
+}
+
+func (m *bfsMachine) result() []byte {
+	var b [4]byte
+	if m.hasTarget {
+		d := Unreachable
+		if m.foundAt >= 0 {
+			d = uint32(m.foundAt)
+		}
+		binary.LittleEndian.PutUint32(b[:], d)
+	} else {
+		binary.LittleEndian.PutUint32(b[:], uint32(len(m.visited)))
+	}
+	return b[:]
+}
+
+// pprMachine is single-source personalized PageRank by batched residual
+// push: each round pushes every vertex whose residual has reached eps,
+// moving alpha of it into the score and spreading the rest over the
+// out-neighbors. Rounds are Jacobi-style (all pushes of a round read the
+// residuals chosen at its start), so the result is independent of how the
+// adjacency was fetched; processing active vertices in ascending order with
+// sorted neighbor lists makes the float arithmetic deterministic too.
+type pprMachine struct {
+	res       map[uint32]float64
+	score     map[uint32]float64
+	batch     []uint32
+	topN      int
+	round     int
+	maxRounds int
+	alpha     float64
+	eps       float64
+}
+
+func (m *pprMachine) need() []uint32 {
+	if m.round >= m.maxRounds {
+		return nil
+	}
+	m.batch = m.batch[:0]
+	for v, r := range m.res {
+		if r >= m.eps {
+			m.batch = append(m.batch, v)
+		}
+	}
+	sort.Slice(m.batch, func(i, j int) bool { return m.batch[i] < m.batch[j] })
+	return m.batch
+}
+
+func (m *pprMachine) advance(adj [][]uint32) {
+	for i, v := range m.batch {
+		rv := m.res[v]
+		delete(m.res, v)
+		m.score[v] += m.alpha * rv
+		l := adj[i]
+		if len(l) == 0 {
+			continue // dangling vertex: its residual mass retires
+		}
+		sorted := append([]uint32(nil), l...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		share := (1 - m.alpha) * rv / float64(len(sorted))
+		for _, u := range sorted {
+			m.res[u] += share
+		}
+	}
+	m.round++
+}
+
+func (m *pprMachine) result() []byte {
+	type vs struct {
+		v uint32
+		s float64
+	}
+	all := make([]vs, 0, len(m.score))
+	for v, s := range m.score {
+		all = append(all, vs{v, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].v < all[j].v
+	})
+	if len(all) > m.topN {
+		all = all[:m.topN]
+	}
+	b := make([]byte, 4+12*len(all))
+	binary.LittleEndian.PutUint32(b, uint32(len(all)))
+	for i, e := range all {
+		binary.LittleEndian.PutUint32(b[4+12*i:], e.v)
+		binary.LittleEndian.PutUint64(b[8+12*i:], math.Float64bits(e.s))
+	}
+	return b
+}
+
+// DecodePPR unpacks a PPR result payload into (vertex, score) pairs.
+func DecodePPR(payload []byte) ([]uint32, []float64, error) {
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("serve: ppr payload %d bytes", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if len(payload) != 4+12*n {
+		return nil, nil, fmt.Errorf("serve: ppr payload %d bytes for %d entries", len(payload), n)
+	}
+	vs := make([]uint32, n)
+	ss := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vs[i] = binary.LittleEndian.Uint32(payload[4+12*i:])
+		ss[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8+12*i:]))
+	}
+	return vs, ss, nil
+}
+
+// DecodeU32 unpacks a KHop/Dist result payload.
+func DecodeU32(payload []byte) (uint32, error) {
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("serve: u32 payload %d bytes", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload), nil
+}
+
+// Oracle answers queries against the whole graph in one process — the
+// single-host reference the distributed serving path must match exactly
+// (same machines, adjacency read straight from the CSR).
+type Oracle struct {
+	G   *graph.Graph
+	Cfg Config
+}
+
+// NewOracle builds an oracle with defaulted config (the config must match
+// the server's for PPR results to agree).
+func NewOracle(g *graph.Graph, cfg Config) *Oracle {
+	cfg.fill()
+	return &Oracle{G: g, Cfg: cfg}
+}
+
+// Answer runs one query to completion locally and returns the result
+// payload (the same bytes a StatusOK response would carry).
+func (o *Oracle) Answer(q Query) ([]byte, error) {
+	m, err := newMachine(q, o.G.N, &o.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	for verts := m.need(); len(verts) > 0; verts = m.need() {
+		adj := make([][]uint32, len(verts))
+		for i, v := range verts {
+			adj[i] = o.G.Neighbors(int(v))
+		}
+		m.advance(adj)
+	}
+	return m.result(), nil
+}

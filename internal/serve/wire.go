@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Client protocol: length-prefixed frames over TCP, all integers
+// little-endian. A request is
+//
+//	u32 frameLen | u32 reqid | u8 op | u32 a | u32 b
+//
+// where reqid is a client-chosen correlation id (echoed verbatim, so one
+// connection can pipeline many concurrent requests) and (op, a, b) is the
+// query: KHop(src=a, k=b), Dist(src=a, dst=b), PPR(src=a, topN=b).
+// A response is
+//
+//	u32 frameLen | u32 reqid | u8 status | payload
+//
+// with status OK (op-specific payload), Shed (u32 retry-after in
+// milliseconds — the client-visible face of the admission-control credit
+// machinery, the serving analogue of the transport's retriable
+// ErrResource), or Error (UTF-8 message).
+
+// Query operations.
+const (
+	OpKHop uint8 = 1 // a = source vertex, b = hop count; result u32 count
+	OpDist uint8 = 2 // a = source, b = destination; result u32 hops (^0 = unreachable)
+	OpPPR  uint8 = 3 // a = source, b = topN; result u32 n | n x (u32 vertex, u64 scoreBits)
+)
+
+// Response status codes.
+const (
+	StatusOK    uint8 = 0
+	StatusShed  uint8 = 1 // overloaded: retry after the indicated delay
+	StatusError uint8 = 2
+)
+
+// Unreachable is the Dist result for a destination the source cannot reach.
+const Unreachable = ^uint32(0)
+
+// maxFrame bounds a client frame; anything larger is a protocol error.
+const maxFrame = 1 << 20
+
+// Query is one client request's operation triple.
+type Query struct {
+	Op   uint8
+	A, B uint32
+}
+
+// OpName returns the metric/report label for an operation.
+func OpName(op uint8) string {
+	switch op {
+	case OpKHop:
+		return "khop"
+	case OpDist:
+		return "dist"
+	case OpPPR:
+		return "ppr"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// WriteRequest frames one request onto w.
+func WriteRequest(w io.Writer, reqid uint32, q Query) error {
+	var b [4 + 13]byte
+	binary.LittleEndian.PutUint32(b[0:], 13)
+	binary.LittleEndian.PutUint32(b[4:], reqid)
+	b[8] = q.Op
+	binary.LittleEndian.PutUint32(b[9:], q.A)
+	binary.LittleEndian.PutUint32(b[13:], q.B)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadRequest parses the next request frame from r.
+func ReadRequest(r io.Reader) (reqid uint32, q Query, err error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return 0, Query{}, err
+	}
+	if len(body) != 13 {
+		return 0, Query{}, fmt.Errorf("serve: request frame is %d bytes, want 13", len(body))
+	}
+	reqid = binary.LittleEndian.Uint32(body)
+	q.Op = body[4]
+	q.A = binary.LittleEndian.Uint32(body[5:])
+	q.B = binary.LittleEndian.Uint32(body[9:])
+	return reqid, q, nil
+}
+
+// EncodeResponse frames one response (ready for a single Write).
+func EncodeResponse(reqid uint32, status uint8, payload []byte) []byte {
+	b := make([]byte, 4+5+len(payload))
+	binary.LittleEndian.PutUint32(b[0:], uint32(5+len(payload)))
+	binary.LittleEndian.PutUint32(b[4:], reqid)
+	b[8] = status
+	copy(b[9:], payload)
+	return b
+}
+
+// ReadResponse parses the next response frame from r.
+func ReadResponse(r io.Reader) (reqid uint32, status uint8, payload []byte, err error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if len(body) < 5 {
+		return 0, 0, nil, fmt.Errorf("serve: response frame is %d bytes, want >= 5", len(body))
+	}
+	return binary.LittleEndian.Uint32(body), body[4], body[5:], nil
+}
+
+// readFrame reads one length-prefixed frame body.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("serve: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// ShedPayload encodes/decodes the Shed status payload.
+func ShedPayload(retryAfterMs uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], retryAfterMs)
+	return b[:]
+}
+
+// RetryAfterMs extracts the retry hint from a Shed payload (0 if absent).
+func RetryAfterMs(payload []byte) uint32 {
+	if len(payload) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(payload)
+}
+
+// Inter-rank sub-query wire format, carried on the reserved serve tags
+// (cluster.ServeTagLo..): an adjacency request names the global vertices
+// whose out-edges the owning rank must return; the reply mirrors the
+// request order as a degree array plus a flat neighbor array (a one-round
+// CSR). Both carry the 24-bit query id that multiplexes concurrent
+// in-flight queries, mirroring the tracing msgid encoding.
+
+// encodeAdjReq builds an adjacency request payload in a layer buffer
+// returned by alloc.
+func encodeAdjReq(alloc func(int) []byte, qid uint32, verts []uint32) []byte {
+	b := alloc(8 + 4*len(verts))
+	binary.LittleEndian.PutUint32(b[0:], qid)
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(verts)))
+	for i, v := range verts {
+		binary.LittleEndian.PutUint32(b[8+4*i:], v)
+	}
+	return b
+}
+
+// decodeAdjReq parses an adjacency request (copying out of the transient
+// message buffer).
+func decodeAdjReq(data []byte) (qid uint32, verts []uint32, err error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("serve: adj request %d bytes", len(data))
+	}
+	qid = binary.LittleEndian.Uint32(data)
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if len(data) != 8+4*n {
+		return 0, nil, fmt.Errorf("serve: adj request %d bytes for %d vertices", len(data), n)
+	}
+	verts = make([]uint32, n)
+	for i := range verts {
+		verts[i] = binary.LittleEndian.Uint32(data[8+4*i:])
+	}
+	return qid, verts, nil
+}
+
+// encodeAdjRep builds an adjacency reply payload: qid, vertex count, the
+// per-vertex degrees, then the flat neighbor array.
+func encodeAdjRep(alloc func(int) []byte, qid uint32, adj [][]uint32) []byte {
+	total := 0
+	for _, l := range adj {
+		total += len(l)
+	}
+	b := alloc(8 + 4*len(adj) + 4*total)
+	binary.LittleEndian.PutUint32(b[0:], qid)
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(adj)))
+	off := 8
+	for _, l := range adj {
+		binary.LittleEndian.PutUint32(b[off:], uint32(len(l)))
+		off += 4
+	}
+	for _, l := range adj {
+		for _, u := range l {
+			binary.LittleEndian.PutUint32(b[off:], u)
+			off += 4
+		}
+	}
+	return b
+}
+
+// decodeAdjRep parses an adjacency reply (copying out of the transient
+// message buffer).
+func decodeAdjRep(data []byte) (qid uint32, adj [][]uint32, err error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("serve: adj reply %d bytes", len(data))
+	}
+	qid = binary.LittleEndian.Uint32(data)
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if len(data) < 8+4*n {
+		return 0, nil, fmt.Errorf("serve: adj reply %d bytes for %d vertices", len(data), n)
+	}
+	degs := make([]int, n)
+	total := 0
+	for i := range degs {
+		degs[i] = int(binary.LittleEndian.Uint32(data[8+4*i:]))
+		total += degs[i]
+	}
+	if len(data) != 8+4*n+4*total {
+		return 0, nil, fmt.Errorf("serve: adj reply %d bytes, want %d", len(data), 8+4*n+4*total)
+	}
+	adj = make([][]uint32, n)
+	off := 8 + 4*n
+	flat := make([]uint32, total)
+	for i := range flat {
+		flat[i] = binary.LittleEndian.Uint32(data[off+4*i:])
+	}
+	pos := 0
+	for i, d := range degs {
+		adj[i] = flat[pos : pos+d : pos+d]
+		pos += d
+	}
+	return qid, adj, nil
+}
+
+// Control messages on the drain tag.
+const ctrlStop uint8 = 1
+
+// encodeCtrl builds a one-byte control payload.
+func encodeCtrl(alloc func(int) []byte, kind uint8) []byte {
+	b := alloc(1)
+	b[0] = kind
+	return b
+}

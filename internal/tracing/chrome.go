@@ -21,7 +21,8 @@ const (
 
 func laneOf(t EventType) int {
 	switch t {
-	case EvSendEnq, EvRecvDeq, EvLayerSend, EvLayerRecv:
+	case EvSendEnq, EvRecvDeq, EvLayerSend, EvLayerRecv,
+		EvQueryRecv, EvQueryScatter, EvQueryGather, EvQueryServe, EvQueryDone:
 		return laneApp
 	case EvCreditStall, EvRetransmit, EvAckTx, EvAckRx, EvStallWarn:
 		return laneNet
@@ -106,6 +107,19 @@ func ChromeTrace(events []Event, rank int) []byte {
 				ID: fmt.Sprintf("%#x", e.MsgID),
 			}
 			if e.Type == EvRecvDeq {
+				fe.Ph, fe.BP = "f", "e"
+			}
+			out = append(out, fe)
+		}
+		// Query lifecycle arrows: admission to completion, keyed by the
+		// query id (a distinct flow namespace from wire message ids).
+		if e.MsgID != 0 && (e.Type == EvQueryRecv || e.Type == EvQueryDone) {
+			fe := chromeEvent{
+				Name: "query", Ph: "s", PID: rank, TID: tid,
+				TS: tsMicros(e.TS), Cat: "query",
+				ID: fmt.Sprintf("q%#x", e.MsgID),
+			}
+			if e.Type == EvQueryDone {
 				fe.Ph, fe.BP = "f", "e"
 			}
 			out = append(out, fe)

@@ -88,6 +88,16 @@ const (
 	EvLayerSend // comm layer accepted an application message
 	EvLayerRecv // comm layer delivered an application message
 
+	// Graph-query serving lifecycle (internal/serve). The msgid of these
+	// events is the query id — rank<<24|seq, the same encoding as wire
+	// message ids — so one query's stages line up as a flow in the merged
+	// timeline, next to the transport messages it generated.
+	EvQueryRecv    // frontend admitted a client query; arg = op
+	EvQueryScatter // coordinator scattered a sub-query batch; arg = round
+	EvQueryGather  // coordinator absorbed a sub-query reply
+	EvQueryServe   // owning rank served an adjacency sub-query
+	EvQueryDone    // query completed; arg: 1=ok 2=shed 3=error
+
 	numEventTypes
 )
 
@@ -113,6 +123,11 @@ var eventNames = [numEventTypes]string{
 	EvProgressIdle: "progress-idle",
 	EvLayerSend:    "layer-send",
 	EvLayerRecv:    "layer-recv",
+	EvQueryRecv:    "query-recv",
+	EvQueryScatter: "query-scatter",
+	EvQueryGather:  "query-gather",
+	EvQueryServe:   "query-serve",
+	EvQueryDone:    "query-done",
 }
 
 func (t EventType) String() string {
