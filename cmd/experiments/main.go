@@ -38,12 +38,21 @@ func main() {
 	netfab := flag.Bool("netfabric", false, "transport comparison: in-process simulator vs loopback UDP provider")
 	netfabOut := flag.String("netfabric-out", "", "also write the netfabric report JSON to this path")
 
+	shards := flag.Int("shards", 0,
+		"progress shards per rank (sets LCI_ENDPOINT_SHARDS for every in-process run; 0 = inherit env)")
+
 	scale := flag.Int("scale", 0, "graph scale (default from suite)")
 	hostsStr := flag.String("hosts", "", "host sweep, e.g. 2,4,8")
 	threads := flag.Int("threads", 0, "compute threads per host")
 	repeats := flag.Int("repeats", 0, "runs per data point (paper: 5)")
 	microIters := flag.Int("micro-iters", 2000, "Fig 1 iterations")
 	flag.Parse()
+
+	if *shards > 0 {
+		// Every harness sizes endpoints through bench.LCIOptions, which
+		// reads this variable; exporting it here covers all of them.
+		os.Setenv("LCI_ENDPOINT_SHARDS", strconv.Itoa(*shards))
+	}
 
 	e := bench.DefaultExp()
 	if *scale > 0 {

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,6 +64,7 @@ type options struct {
 	scale       int
 	seed        int64
 	threads     int
+	shards      int
 	source      uint
 	prIters     int
 	repeat      int
@@ -84,6 +86,8 @@ func parseFlags() *options {
 	flag.IntVar(&o.scale, "scale", 10, "graph scale (2^scale vertices)")
 	flag.Int64Var(&o.seed, "seed", 42, "graph generator seed")
 	flag.IntVar(&o.threads, "threads", 2, "compute threads per rank")
+	flag.IntVar(&o.shards, "shards", 0,
+		"progress shards per rank (sets LCI_ENDPOINT_SHARDS; 0 = inherit env, default 1)")
 	flag.UintVar(&o.source, "source", 0, "bfs/sssp source vertex")
 	flag.IntVar(&o.prIters, "pr-iters", 10, "pagerank iterations")
 	flag.IntVar(&o.repeat, "repeat", 1, "run the app list this many times (live-metrics window)")
@@ -121,6 +125,12 @@ func parent(o *options) int {
 	j.Loss, j.Dup, j.Reorder, j.FaultSeed = o.loss, o.dup, o.reorder, o.faultSeed
 	// -trace-out implies tracing in every child.
 	j.Trace = o.traceOut != ""
+	// Children inherit the parent's environment, so exporting the shard
+	// count here reaches both the netfabric reader group and the LCI
+	// progress-shard set in every rank.
+	if o.shards > 0 {
+		os.Setenv(netfabric.EnvEndpointShards, strconv.Itoa(o.shards))
+	}
 
 	// With -metrics-addr the parent also pre-binds one TCP listener per
 	// rank, for the same reason it pre-binds the UDP sockets: children

@@ -36,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -61,6 +62,7 @@ type options struct {
 	scale   int
 	seed    int64
 	threads int
+	shards  int
 
 	addr        string
 	metricsAddr string
@@ -91,6 +93,8 @@ func parseFlags() *options {
 	flag.IntVar(&o.scale, "scale", 12, "graph scale (2^scale vertices)")
 	flag.Int64Var(&o.seed, "seed", 42, "graph generator seed")
 	flag.IntVar(&o.threads, "threads", 2, "compute threads per rank")
+	flag.IntVar(&o.shards, "shards", 0,
+		"progress shards per rank (sets LCI_ENDPOINT_SHARDS; 0 = inherit env, default 1)")
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:0", "client TCP endpoint (rank 0)")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "",
 		"serve live telemetry over HTTP; rank r listens on port+r (port 0: ephemeral)")
@@ -133,6 +137,11 @@ func parent(o *options) int {
 	}
 	j.Loss, j.Dup, j.Reorder, j.FaultSeed = o.loss, o.dup, o.reorder, o.faultSeed
 	j.Trace = o.trace
+	// Children inherit the environment: the shard count reaches both the
+	// netfabric reader group and the LCI progress shards in every rank.
+	if o.shards > 0 {
+		os.Setenv(netfabric.EnvEndpointShards, strconv.Itoa(o.shards))
+	}
 
 	// Soak mode scrapes the cache counters from rank 0's live telemetry, so
 	// it always binds metrics listeners (ephemeral unless the user chose).

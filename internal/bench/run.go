@@ -217,12 +217,15 @@ func (c *Config) fill() {
 
 // LCIOptions sizes the LCI endpoint for a P-host graph run. cmd/lci-launch
 // uses the same sizing so multi-process runs match the in-process harness.
+// The budgets are rank-global: under LCI_ENDPOINT_SHARDS=K (the default
+// Shards here) lci.NewSharded partitions them K ways.
 func LCIOptions(p, threads int) lci.Options {
 	return lci.Options{
 		PoolPackets:    64 * p,
 		QueueDepth:     1024,
 		MaxOutstanding: 1024,
 		Workers:        threads + 1,
+		Shards:         lci.ShardsFromEnv(),
 	}
 }
 

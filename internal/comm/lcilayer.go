@@ -16,7 +16,12 @@ import (
 // tracked allocator (rendezvous), which is why its footprint stays small in
 // Fig. 5.
 type LCILayer struct {
-	ep      *lci.Endpoint
+	// ep is the rank's progress-shard set: one endpoint (and one progress
+	// goroutine) at Options.Shards ≤ 1, K of everything above that. The
+	// layer only ever posts through Sharded, which routes each send to the
+	// shard owning that peer/tag — compute threads on different shards
+	// never contend on the same pool partition or queues.
+	ep      *lci.Sharded
 	worker  int
 	rank    int
 	tracker memtrack.Tracker
@@ -76,10 +81,10 @@ func NewLCILayer(fep fabric.Provider, opt lci.Options) *LCILayer {
 		stop:   make(chan struct{}),
 	}
 	opt.Allocator = trackedAlloc{&l.tracker}
-	l.ep = lci.NewEndpoint(fep, opt)
-	l.worker = l.ep.Pool().RegisterWorker()
+	l.ep = lci.NewSharded(fep, opt)
+	l.worker = l.ep.RegisterWorker()
 	for i := range l.workers {
-		l.workers[i] = l.ep.Pool().RegisterWorker()
+		l.workers[i] = l.ep.RegisterWorker()
 	}
 	// Staging bundles are pool-like internal buffers (reused via the
 	// coalescer freelist), untracked just like the LCI packet pool.

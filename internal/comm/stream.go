@@ -44,7 +44,8 @@ const maxStreamThreads = 64
 const coalFlushInterval = 50 * time.Microsecond
 
 type LCIStream struct {
-	ep      *lci.Endpoint
+	// ep is the rank's progress-shard set (see LCILayer.ep).
+	ep      *lci.Sharded
 	tracker memtrack.Tracker
 
 	workers [maxStreamThreads]int // thread id → pool worker id (lock-free)
@@ -73,9 +74,9 @@ type LCIStream struct {
 func NewLCIStream(fep fabric.Provider, opt lci.Options) *LCIStream {
 	s := &LCIStream{stop: make(chan struct{}), flushDone: make(chan struct{})}
 	opt.Allocator = trackedAlloc{&s.tracker}
-	s.ep = lci.NewEndpoint(fep, opt)
+	s.ep = lci.NewSharded(fep, opt)
 	for i := range s.workers {
-		s.workers[i] = s.ep.Pool().RegisterWorker()
+		s.workers[i] = s.ep.RegisterWorker()
 	}
 	s.coal = newCoalescer(fep.Size(), s.ep.EagerLimit(), s.emit,
 		s.tracker.Free,

@@ -48,6 +48,20 @@ type Options struct {
 	// process-wide default tracer, which is itself nil — the no-op dark
 	// path — unless LCI_TRACE is set.
 	Tracer *tracing.Tracer
+
+	// Shards is the number of progress shards NewSharded builds (see
+	// shard.go). ≤ 1 (the default) keeps today's single progress server.
+	// NewEndpoint ignores it — a bare Endpoint is always one shard.
+	Shards int
+	// ShardByTag steers eager/RTS traffic by message tag instead of by
+	// peer rank. Only meaningful with Shards > 1.
+	ShardByTag bool
+
+	// shardIdx/shardTotal are set by NewSharded on each per-shard copy of
+	// the options: this endpoint's place in the shard group. They stay
+	// zero-valued for plain NewEndpoint callers (shard 0 of 1).
+	shardIdx   int
+	shardTotal int
 }
 
 func (o *Options) fill() {
@@ -59,6 +73,11 @@ func (o *Options) fill() {
 	}
 	if o.MaxOutstanding <= 0 {
 		o.MaxOutstanding = 1024
+	}
+	if o.MaxOutstanding > slotMask+1 {
+		// Request ids carry the shard index above bit shardIDShift, so a
+		// slot table can never exceed the slot field.
+		o.MaxOutstanding = slotMask + 1
 	}
 	if o.Workers <= 0 {
 		o.Workers = 4
@@ -168,22 +187,46 @@ type Endpoint struct {
 	statRecvs      atomic.Int64
 
 	// m holds the telemetry handles (zero value when disabled: all methods
-	// are nil-safe no-ops). progressSeq is the sampling clock for the timed
-	// progress iterations; it is touched only by the server goroutine.
-	m           coreMetrics
-	progressSeq uint64
+	// are nil-safe no-ops).
+	m coreMetrics
+
+	// ps is this endpoint's progress-loop state — see progressState for the
+	// ownership rule. When the endpoint is one shard of a Sharded group,
+	// each shard has its own ps; nothing in it is rank-global.
+	ps progressState
+
+	// shardIdx/shardTotal identify this endpoint inside a Sharded group
+	// (0 of 1 for a plain endpoint); idBits is shardIdx pre-shifted for
+	// stamping into request ids. All three are immutable after NewEndpoint.
+	shardIdx   int
+	shardTotal int
+	idBits     uint32
 
 	// tr is the lifecycle tracer (nil = dark path: every site pays one
 	// predictable branch). rank is cached so event sites skip the provider
 	// call; midSeq allocates wire message ids (24-bit, wrapping) and is only
-	// touched when tr != nil. wasBusy/idleStreak track progress-state edges
-	// (server goroutine only) so busy/idle is recorded per transition, not
-	// per poll.
-	tr         *tracing.Tracer
-	rank       int
-	midSeq     atomic.Uint32
-	wasBusy    bool
-	idleStreak uint32
+	// touched when tr != nil.
+	tr     *tracing.Tracer
+	rank   int
+	midSeq atomic.Uint32
+}
+
+// progressState is the mutable state of one progress loop: the sampling
+// clock for timed iterations and the busy/idle edge detector behind the
+// EvProgressBusy/EvProgressIdle transition events and the empty-poll stall
+// latch.
+//
+// Ownership rule: every field in this struct is owned EXCLUSIVELY by the
+// single goroutine driving this endpoint's Progress (the shard's
+// communication server). The fields are deliberately plain — not atomic —
+// because no other goroutine may read or write them; under endpoint
+// sharding each shard embeds its own copy, so K progress goroutines never
+// share an instance. Anything that other goroutines must observe (stat
+// counters, pool occupancy) lives outside this struct as atomics.
+type progressState struct {
+	seq        uint64 // sampling clock for the timed progress iterations
+	wasBusy    bool   // previous poll did work — busy/idle edge detection
+	idleStreak uint32 // consecutive empty polls; arms the stall latch
 }
 
 // Stats are endpoint-level counters for observability and tests.
@@ -229,6 +272,12 @@ func NewEndpoint(fep fabric.Provider, opt Options) *Endpoint {
 		alloc:      opt.Allocator,
 		eagerLimit: eager,
 	}
+	e.shardIdx = opt.shardIdx
+	e.shardTotal = opt.shardTotal
+	if e.shardTotal < 1 {
+		e.shardTotal = 1
+	}
+	e.idBits = uint32(e.shardIdx) << shardIDShift
 	e.serverWorker = e.pool.RegisterWorker()
 	reg := opt.Telemetry
 	if reg == nil {
@@ -337,7 +386,7 @@ func (e *Endpoint) SendEnq(worker, dst int, tag uint32, buf []byte) (*Request, b
 	pkt.ptype = RTS
 	pkt.dst = dst
 	pkt.header = packHeader(RTS, tag, mid)
-	pkt.meta = packMeta(sid, uint32(len(buf)))
+	pkt.meta = packMeta(e.encodeID(sid), uint32(len(buf)))
 	pkt.mid = mid
 	pkt.src = buf
 	pkt.req = r
@@ -426,7 +475,7 @@ func (e *Endpoint) RecvDeq() (*Request, bool) {
 			}
 			pend.rkey = rkey
 		}
-		header := packHeader(RTR, rid, headerMID(f.Header))
+		header := packHeader(RTR, e.encodeID(rid), headerMID(f.Header))
 		meta := packMeta(sid, rkey)
 		e.m.txRTR.Add(1)
 		if err := e.fep.Send(f.Src, header, meta, nil); err != nil {

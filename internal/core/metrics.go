@@ -1,6 +1,8 @@
 package lci
 
 import (
+	"strconv"
+	"strings"
 	"time"
 
 	"lcigraph/internal/telemetry"
@@ -84,34 +86,59 @@ func (m *coreMetrics) flushPolls() {
 	}
 }
 
+// shardMetric splices a `shard="i"` label into a metric name. Single-shard
+// endpoints (total ≤ 1, i.e. every pre-sharding caller) get the name back
+// unchanged, so the exported Metric* constants, NetStatsFromSnapshot and the
+// CI scrape greps keep matching byte-for-byte at the default configuration.
+func shardMetric(name string, idx, total int) string {
+	if total <= 1 {
+		return name
+	}
+	lbl := `shard="` + strconv.Itoa(idx) + `"`
+	if i := strings.LastIndexByte(name, '}'); i >= 0 {
+		return name[:i] + "," + lbl + "}"
+	}
+	return name + "{" + lbl + "}"
+}
+
+// metricName resolves a base metric name for this endpoint, adding the
+// shard label when the endpoint is one shard of several.
+func (e *Endpoint) metricName(base string) string {
+	return shardMetric(base, e.shardIdx, e.shardTotal)
+}
+
 // initMetrics wires the endpoint into reg. The existing stat atomics stay
 // the source of truth for TX/EGR/RTS, failures, and receives — they are
 // re-read at snapshot time via counter funcs; only packet types with no
 // pre-existing counter (RTR, FRG, per-proto RX) get live registry counters.
+// Under endpoint sharding every series carries this shard's label — each
+// shard owns its pool, queue and progress loop, so per-shard is the natural
+// grain; rank totals are a sum over the label.
 func (e *Endpoint) initMetrics(reg *telemetry.Registry) {
 	if !reg.Enabled() {
 		return
 	}
+	n := e.metricName
 	e.m = coreMetrics{
-		rxEGR:        reg.Counter(MetricRxEGR),
-		rxRTS:        reg.Counter(MetricRxRTS),
-		rxRTR:        reg.Counter(MetricRxRTR),
-		rxFRG:        reg.Counter(MetricRxFRG),
-		rxPutDone:    reg.Counter(MetricRxPutDone),
-		txRTR:        reg.Counter(MetricTxRTR),
-		txFRG:        reg.Counter(MetricTxFRG),
-		busy:         reg.Counter(MetricPollsBusy),
-		idle:         reg.Counter(MetricPollsIdle),
-		progressIter: reg.Histogram(MetricProgressIterNS),
-		eagerLat:     reg.Histogram(MetricEagerLatencyNS),
+		rxEGR:        reg.Counter(n(MetricRxEGR)),
+		rxRTS:        reg.Counter(n(MetricRxRTS)),
+		rxRTR:        reg.Counter(n(MetricRxRTR)),
+		rxFRG:        reg.Counter(n(MetricRxFRG)),
+		rxPutDone:    reg.Counter(n(MetricRxPutDone)),
+		txRTR:        reg.Counter(n(MetricTxRTR)),
+		txFRG:        reg.Counter(n(MetricTxFRG)),
+		busy:         reg.Counter(n(MetricPollsBusy)),
+		idle:         reg.Counter(n(MetricPollsIdle)),
+		progressIter: reg.Histogram(n(MetricProgressIterNS)),
+		eagerLat:     reg.Histogram(n(MetricEagerLatencyNS)),
 	}
-	reg.CounterFunc(MetricTxEGR, e.statEager.Load)
-	reg.CounterFunc(MetricTxRTS, e.statRendezvous.Load)
-	reg.CounterFunc(MetricSendFailures, e.statSendFails.Load)
-	reg.CounterFunc(MetricRecvDeq, e.statRecvs.Load)
-	reg.GaugeFunc(MetricPoolFree, telemetry.AggSum, func() int64 { return int64(e.pool.FreeCount()) })
-	reg.GaugeFunc(MetricPoolCapacity, telemetry.AggSum, func() int64 { return int64(e.pool.Capacity()) })
-	reg.GaugeFunc(MetricQueueDepth, telemetry.AggSum, func() int64 { return int64(e.q.Len()) })
+	reg.CounterFunc(n(MetricTxEGR), e.statEager.Load)
+	reg.CounterFunc(n(MetricTxRTS), e.statRendezvous.Load)
+	reg.CounterFunc(n(MetricSendFailures), e.statSendFails.Load)
+	reg.CounterFunc(n(MetricRecvDeq), e.statRecvs.Load)
+	reg.GaugeFunc(n(MetricPoolFree), telemetry.AggSum, func() int64 { return int64(e.pool.FreeCount()) })
+	reg.GaugeFunc(n(MetricPoolCapacity), telemetry.AggSum, func() int64 { return int64(e.pool.Capacity()) })
+	reg.GaugeFunc(n(MetricQueueDepth), telemetry.AggSum, func() int64 { return int64(e.q.Len()) })
 }
 
 // observeEagerLatency finishes a sampled eager injection-latency

@@ -37,8 +37,8 @@ const progressBatch = 64
 // returns true if any work was done. It must be called from a single
 // goroutine (the dedicated communication server).
 func (e *Endpoint) Progress() bool {
-	e.progressSeq++
-	if e.m.progressIter != nil && e.progressSeq&progressSampleMask == 0 {
+	e.ps.seq++
+	if e.m.progressIter != nil && e.ps.seq&progressSampleMask == 0 {
 		t0 := time.Now()
 		worked := e.progressStep()
 		e.m.progressIter.Observe(time.Since(t0).Nanoseconds())
@@ -74,25 +74,27 @@ func (e *Endpoint) notePoll(worked bool) {
 		return
 	}
 	if worked {
-		if !e.wasBusy {
-			e.tr.RecordArg(tracing.EvProgressBusy, -1, tracing.ProtoNone, 0, e.idleStreak, 0)
-			e.wasBusy = true
+		if !e.ps.wasBusy {
+			e.tr.RecordArg(tracing.EvProgressBusy, -1, tracing.ProtoNone, 0, e.ps.idleStreak, 0)
+			e.ps.wasBusy = true
 		}
-		e.idleStreak = 0
+		e.ps.idleStreak = 0
 	} else {
-		e.idleStreak++
-		if e.wasBusy {
+		e.ps.idleStreak++
+		if e.ps.wasBusy {
 			e.tr.Record(tracing.EvProgressIdle, -1, tracing.ProtoNone, 0, 0)
-			e.wasBusy = false
+			e.ps.wasBusy = false
 		}
 		// Empty-poll stall: the streak threshold fires exactly once per idle
 		// episode (any productive poll resets the streak and re-arms it), and
 		// only when there is parked work that polling should be moving —
 		// ordinary quiescence between supersteps idles forever without this.
-		if e.idleStreak == emptyPollStallStreak && e.hasParkedWork() {
+		// Each shard latches independently: the streak and the parked work it
+		// inspects are both per-shard state.
+		if e.ps.idleStreak == emptyPollStallStreak && e.hasParkedWork() {
 			e.tr.RecordArg(tracing.EvStallWarn, -1, tracing.ProtoNone, 0, stallPoll, 0)
-			e.tr.DumpNow(fmt.Sprintf("rank %d progress: %d consecutive empty polls with parked work (outbox=%v stash=%d frags=%d)",
-				e.rank, e.idleStreak, e.outBlocked, len(e.stash), len(e.frags)))
+			e.tr.DumpNow(fmt.Sprintf("rank %d shard %d/%d progress: %d consecutive empty polls with parked work (outbox=%v stash=%d frags=%d)",
+				e.rank, e.shardIdx, e.shardTotal, e.ps.idleStreak, e.outBlocked, len(e.stash), len(e.frags)))
 		}
 	}
 }
@@ -268,7 +270,11 @@ func (e *Endpoint) flushOutbox() bool {
 // put straight from the user's source buffer — or, on an RDMA-less
 // transport, start streaming FRG fragments.
 func (e *Endpoint) handleRTR(f *fabric.Frame) {
-	sid, rkey := metaHi(f.Meta), metaLo(f.Meta)
+	// Meta hi is our own sid: strip the shard bits to index the slot table.
+	// recvID is the receiver's encoded rid and is echoed back opaquely (in
+	// the put immediate or on FRG headers) — its shard bits are what route
+	// the completion to the right shard over there.
+	sid, rkey := metaHi(f.Meta)&slotMask, metaLo(f.Meta)
 	recvID := headerTag(f.Header)
 	p := e.sends.get(sid)
 	if p.req == nil {
@@ -340,7 +346,7 @@ func (e *Endpoint) pumpFragments() bool {
 // handleFragment is the FRG callback on the receive side: copy the chunk
 // into the pending rendezvous buffer and complete on the last byte.
 func (e *Endpoint) handleFragment(f *fabric.Frame) {
-	rid := headerTag(f.Header)
+	rid := headerTag(f.Header) & slotMask
 	p := e.recvs.get(rid)
 	if p == nil || p.req == nil {
 		panic("lci: fragment for unknown recv request")
@@ -374,7 +380,7 @@ func (e *Endpoint) finishSend(sid uint32) {
 // completePut is the RDMA-completion callback: the receiver's buffer is now
 // filled; finish the receive request.
 func (e *Endpoint) completePut(f *fabric.Frame) {
-	rid := uint32(f.Header)
+	rid := uint32(f.Header) & slotMask
 	p := e.recvs.get(rid)
 	if p == nil || p.req == nil {
 		panic("lci: put completion for unknown recv request")

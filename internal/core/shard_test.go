@@ -1,0 +1,424 @@
+package lci
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lcigraph/internal/fabric"
+	"lcigraph/internal/netfabric"
+	"lcigraph/internal/tracing"
+)
+
+// TestShardOfPeerRemap pins the peer→shard hash: in range, deterministic,
+// and — the case that matters when K does not divide the peer count — never
+// more than one peer apart between the fullest and emptiest shard, so a
+// 10-peer job on 4 shards splits 3/3/2/2 rather than clumping.
+func TestShardOfPeerRemap(t *testing.T) {
+	const peers = 10
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 16} {
+		counts := make([]int, k)
+		for p := 0; p < peers; p++ {
+			s := ShardOfPeer(p, k)
+			if s < 0 || s >= k {
+				t.Fatalf("ShardOfPeer(%d,%d) = %d out of range", p, k, s)
+			}
+			if again := ShardOfPeer(p, k); again != s {
+				t.Fatalf("ShardOfPeer(%d,%d) not deterministic: %d then %d", p, k, s, again)
+			}
+			counts[s]++
+		}
+		min, max := peers, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("k=%d: shard loads %v spread by %d peers, want ≤ 1", k, counts, max-min)
+		}
+	}
+	// Changing K remaps peers: the shard count is a run constant, never a
+	// live knob. Document that 10 peers land differently on 3 vs 4 shards.
+	remapped := false
+	for p := 0; p < peers; p++ {
+		if ShardOfPeer(p, 3) != ShardOfPeer(p, 4) {
+			remapped = true
+		}
+	}
+	if !remapped {
+		t.Error("K=3 and K=4 produced identical assignments for 10 peers")
+	}
+}
+
+// TestShardOfTagSpread: dense tag ranges (a framework numbering its fields
+// 0,1,2,…) must scatter across shards — no empty shard, nothing holding more
+// than half the tags — and out-of-range results are impossible.
+func TestShardOfTagSpread(t *testing.T) {
+	const tags = 64
+	for _, k := range []int{1, 2, 4, 8} {
+		counts := make([]int, k)
+		for tag := uint32(0); tag < tags; tag++ {
+			s := ShardOfTag(tag, k)
+			if s < 0 || s >= k {
+				t.Fatalf("ShardOfTag(%d,%d) = %d out of range", tag, k, s)
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if c == 0 {
+				t.Errorf("k=%d: shard %d got no tags from a dense range of %d", k, s, tags)
+			}
+			if k > 1 && c > tags*3/4 {
+				t.Errorf("k=%d: shard %d clumped %d/%d tags", k, s, c, tags)
+			}
+		}
+	}
+}
+
+// TestShardRouteControlAffinity pins the routing invariant the whole design
+// rests on: frames that carry a request id (RTR, FRG, put completions) must
+// land on the shard encoded in the id — not the shard the data steering
+// would pick — while EGR/RTS follow the steering mode.
+func TestShardRouteControlAffinity(t *testing.T) {
+	const k = 4
+	route := shardRoute(k, false)
+	id := func(shard int) uint32 { return uint32(shard)<<shardIDShift | 17 }
+
+	for shard := 0; shard < k; shard++ {
+		// Put completion: Header is the raw immediate = encoded rid.
+		pd := &fabric.Frame{Kind: fabric.KindPutDone, Src: 3, Header: uint64(id(shard))}
+		if got := route(pd); got != shard {
+			t.Errorf("put-done with rid shard %d routed to %d", shard, got)
+		}
+		// RTR: meta hi is the sender's encoded sid.
+		rtr := &fabric.Frame{Src: 3, Header: packHeader(RTR, 9, 0), Meta: packMeta(id(shard), 0)}
+		if got := route(rtr); got != shard {
+			t.Errorf("RTR with sid shard %d routed to %d", shard, got)
+		}
+		// FRG: header tag is the receiver's encoded rid.
+		frg := &fabric.Frame{Src: 3, Header: packHeader(FRG, id(shard), 0), Meta: 0}
+		if got := route(frg); got != shard {
+			t.Errorf("FRG with rid shard %d routed to %d", shard, got)
+		}
+	}
+	// Data frames steer by peer in the default mode, whatever the tag says.
+	for src := 0; src < 8; src++ {
+		egr := &fabric.Frame{Src: src, Header: packHeader(EGR, 0xbeef, 0)}
+		if got := route(egr); got != ShardOfPeer(src, k) {
+			t.Errorf("EGR from %d routed to %d, want %d", src, got, ShardOfPeer(src, k))
+		}
+	}
+	// Tag mode steers the same data frames by tag instead.
+	tagRoute := shardRoute(k, true)
+	rts := &fabric.Frame{Src: 1, Header: packHeader(RTS, 0xbeef, 0)}
+	if got := tagRoute(rts); got != ShardOfTag(0xbeef, k) {
+		t.Errorf("RTS tag-routed to %d, want %d", got, ShardOfTag(0xbeef, k))
+	}
+}
+
+// shardedPairOn builds two K-sharded LCI endpoint sets over a sim fabric.
+func shardedPairOn(t testing.TB, prof fabric.Profile, opt Options) (*fabric.Fabric, *Sharded, *Sharded, func()) {
+	t.Helper()
+	f := fabric.New(2, prof)
+	a := NewSharded(f.Endpoint(0), opt)
+	b := NewSharded(f.Endpoint(1), opt)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, s := range []*Sharded{a, b} {
+		wg.Add(1)
+		go func(s *Sharded) {
+			defer wg.Done()
+			s.Serve(stop)
+		}(s)
+	}
+	return f, a, b, func() {
+		close(stop)
+		wg.Wait()
+		a.Drain()
+		b.Drain()
+	}
+}
+
+func shardedRecvOne(s *Sharded) *Request {
+	for {
+		r, ok := s.RecvDeq()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		r.Wait(nil)
+		return r
+	}
+}
+
+func shardedSendRetry(s *Sharded, w, dst int, tag uint32, buf []byte) *Request {
+	for {
+		if r, ok := s.SendEnq(w, dst, tag, buf); ok {
+			return r
+		}
+		runtime.Gosched()
+	}
+}
+
+// runShardedConservation is runConservation with K=4 progress shards and
+// tag steering (so a 2-host pair still exercises every shard): count
+// messages of size bytes a→b across 16 tags, every frame back on the
+// fabric free-list afterwards.
+func runShardedConservation(t *testing.T, prof fabric.Profile, size, count int) {
+	t.Helper()
+	f, a, b, shutdown := shardedPairOn(t, prof, Options{Shards: 4, ShardByTag: true})
+	if a.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", a.Shards())
+	}
+	w := a.RegisterWorker()
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	var reqs []*Request
+	for i := 0; i < count; i++ {
+		reqs = append(reqs, shardedSendRetry(a, w, 1, uint32(i%16), buf))
+		r := shardedRecvOne(b)
+		if r.Size != size {
+			t.Fatalf("message %d: size %d, want %d", i, r.Size, size)
+		}
+		r.Release()
+	}
+	for _, r := range reqs {
+		r.Wait(nil)
+	}
+	shutdown()
+	if n := f.FramesOutstanding(); n != 0 {
+		t.Fatalf("%d frames still outstanding after drain", n)
+	}
+	for _, s := range []*Sharded{a, b} {
+		for i := 0; i < s.Shards(); i++ {
+			p := s.Shard(i).Pool()
+			if p.FreeCount() != p.Capacity() {
+				t.Fatalf("shard %d pool: %d/%d free after drain", i, p.FreeCount(), p.Capacity())
+			}
+		}
+	}
+}
+
+func TestShardedConservationEager(t *testing.T) {
+	runShardedConservation(t, fabric.TestProfile(), 64, 200)
+}
+
+func TestShardedConservationRendezvous(t *testing.T) {
+	runShardedConservation(t, fabric.TestProfile(), 4<<10, 50)
+}
+
+func TestShardedConservationFragmented(t *testing.T) {
+	// Sockets has no RDMA: FRG fragments must follow their rid's shard.
+	runShardedConservation(t, fabric.Sockets(), 64<<10, 4)
+}
+
+// TestShardedLossyUDPConservation is the ISSUE's headline satellite: shards=4
+// over real loopback UDP with 5% loss plus duplication and reordering must
+// deliver every message exactly once, uncorrupted, and leak no pool frames —
+// under -race this also proves the shard partitioning keeps the K progress
+// goroutines off each other's state.
+func TestShardedLossyUDPConservation(t *testing.T) {
+	provs, err := netfabric.NewLoopbackGroup(2, netfabric.Config{
+		RTO:            time.Millisecond,
+		EndpointShards: 4,
+		Fault:          netfabric.Fault{Loss: 0.05, Dup: 0.02, Reorder: 0.02, Seed: 31},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Shards: 4, ShardByTag: true}
+	a := NewSharded(provs[0], opt)
+	b := NewSharded(provs[1], opt)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, s := range []*Sharded{a, b} {
+		wg.Add(1)
+		go func(s *Sharded) {
+			defer wg.Done()
+			s.Serve(stop)
+		}(s)
+	}
+	w := a.RegisterWorker()
+
+	// 16 tags spread over the 4 shards; even tags are eager, odd tags are
+	// fragmented rendezvous (UDP has no RDMA), so both datapaths cross the
+	// lossy wire on every shard.
+	const perTag = 3
+	const tags = 16
+	rng := rand.New(rand.NewSource(5))
+	payload := make(map[uint32][]byte, tags)
+	for tag := uint32(0); tag < tags; tag++ {
+		n := 64
+		if tag%2 == 1 {
+			n = a.EagerLimit()*4 + int(tag)*211
+		}
+		p := make([]byte, n)
+		rng.Read(p)
+		payload[tag] = p
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := make(map[uint32]int, tags)
+		for i := 0; i < perTag*tags; i++ {
+			r := shardedRecvOne(b)
+			want := payload[r.Tag]
+			if want == nil || r.Size != len(want) {
+				t.Errorf("tag %d: size %d, want %d", r.Tag, r.Size, len(want))
+				return
+			}
+			if !bytes.Equal(r.Data, want) {
+				t.Errorf("tag %d: payload corrupted", r.Tag)
+				return
+			}
+			got[r.Tag]++
+			r.Release()
+		}
+		// Exactly once: every tag's count must match, and the loop above
+		// consumed exactly perTag*tags messages — a duplicate delivery would
+		// steal another tag's slot and show up here.
+		for tag := uint32(0); tag < tags; tag++ {
+			if got[tag] != perTag {
+				t.Errorf("tag %d delivered %d times, want %d", tag, got[tag], perTag)
+			}
+		}
+	}()
+
+	var reqs []*Request
+	for i := 0; i < perTag; i++ {
+		for tag := uint32(0); tag < tags; tag++ {
+			reqs = append(reqs, shardedSendRetry(a, w, 1, tag, payload[tag]))
+		}
+	}
+	for _, r := range reqs {
+		r.Wait(nil)
+	}
+	<-done
+
+	close(stop)
+	wg.Wait()
+	a.Drain()
+	b.Drain()
+	netfabric.CloseGroup(provs)
+	for _, s := range []*Sharded{a, b} {
+		for i := 0; i < s.Shards(); i++ {
+			p := s.Shard(i).Pool()
+			if p.FreeCount() != p.Capacity() {
+				t.Fatalf("rank %d shard %d pool: %d/%d free after drain — leaked frames",
+					s.Rank(), i, p.FreeCount(), p.Capacity())
+			}
+		}
+	}
+}
+
+// TestShardStallLatchIndependence drives two shards' stall detectors side by
+// side: a stalled shard must fire its own warning without either silencing
+// the other shard or tripping it spuriously — the latch (idleStreak, parked
+// work) is per-shard state.
+func TestShardStallLatchIndependence(t *testing.T) {
+	tr := tracing.New(2, 256)
+	var dump dumpBuf
+	tr.SetDumpWriter(&dump)
+	s0 := &Endpoint{tr: tr, rank: 2, shardIdx: 0, shardTotal: 2}
+	s1 := &Endpoint{tr: tr, rank: 2, shardIdx: 1, shardTotal: 2}
+
+	// Shard 0 jams (outbox refused by the fabric); shard 1 is merely quiet.
+	// Interleave the polls the way two progress goroutines would.
+	s0.notePoll(true)
+	s0.outBlocked = true
+	for i := 0; i < 2*emptyPollStallStreak; i++ {
+		s0.notePoll(false)
+		s1.notePoll(false)
+	}
+	out := dump.String()
+	if !strings.Contains(out, "shard 0/2") {
+		t.Errorf("stall dump does not name the stalled shard:\n%s", out)
+	}
+	if strings.Contains(out, "shard 1/2") {
+		t.Errorf("idle shard 1 tripped spuriously:\n%s", out)
+	}
+	warns := 0
+	for _, ev := range tr.Events() {
+		if ev.Type == tracing.EvStallWarn {
+			warns++
+		}
+	}
+	if warns != 1 {
+		t.Fatalf("recorded %d stall warnings, want exactly 1 (shard 0 only)", warns)
+	}
+
+	// Now shard 1 jams too: its latch must fire independently — shard 0's
+	// earlier episode must not have consumed the only warning. (The flight
+	// dump itself is rate-limited per rank by design, so only the trace
+	// event — the latch — is asserted here.)
+	s1.notePoll(true)
+	s1.outBlocked = true
+	for i := 0; i < 2*emptyPollStallStreak; i++ {
+		s1.notePoll(false)
+	}
+	warns = 0
+	for _, ev := range tr.Events() {
+		if ev.Type == tracing.EvStallWarn {
+			warns++
+		}
+	}
+	if warns != 2 {
+		t.Fatalf("recorded %d stall warnings, want 2 (one per stalled shard)", warns)
+	}
+}
+
+// TestShardedPeerModeDefault: the default (peer) steering with K=1 must be
+// the plain endpoint — no views, same object behavior — and with K>1 on a
+// provider that cannot shard it must fall back to 1 rather than fail.
+func TestShardedFallbacks(t *testing.T) {
+	f := fabric.New(2, fabric.TestProfile())
+	s := NewSharded(f.Endpoint(0), Options{})
+	if s.Shards() != 1 {
+		t.Fatalf("default Shards() = %d, want 1", s.Shards())
+	}
+	if got := s.ShardFor(1, 99); got != s.Shard(0) {
+		t.Fatal("K=1 ShardFor must return the single endpoint")
+	}
+	// A provider that is not a fabric.Sharder clamps to 1.
+	s2 := NewSharded(plainProvider{f.Endpoint(1)}, Options{Shards: 4})
+	if s2.Shards() != 1 {
+		t.Fatalf("non-Sharder provider: Shards() = %d, want 1", s2.Shards())
+	}
+}
+
+// plainProvider hides the Sharder interface of the wrapped provider.
+type plainProvider struct{ fabric.Provider }
+
+// TestShardMetricLabel pins the label splicing: names with existing labels
+// get shard appended inside the braces, bare names grow a label set, and —
+// the bit-identical guarantee — single-shard endpoints keep the exact names
+// the Metric* constants and CI scrape greps expect.
+func TestShardMetricLabel(t *testing.T) {
+	cases := []struct {
+		in         string
+		idx, total int
+		want       string
+	}{
+		{MetricPollsBusy, 2, 4, `lci_core_progress_polls_total{state="busy",shard="2"}`},
+		{MetricPoolFree, 1, 4, `lci_core_pool_free{shard="1"}`},
+		{MetricPollsBusy, 0, 1, MetricPollsBusy},
+		{MetricPoolFree, 0, 1, MetricPoolFree},
+		{MetricPoolFree, 0, 0, MetricPoolFree},
+	}
+	for _, c := range cases {
+		if got := shardMetric(c.in, c.idx, c.total); got != c.want {
+			t.Errorf("shardMetric(%q,%d,%d) = %q, want %q", c.in, c.idx, c.total, got, c.want)
+		}
+	}
+}

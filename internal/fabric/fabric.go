@@ -272,11 +272,11 @@ func New(n int, prof Profile) *Fabric {
 		f.frames = concurrent.NewMPMC[*Frame](cap)
 	}
 	for i := range f.eps {
-		f.eps[i] = &Endpoint{
-			fab:  f,
-			rank: i,
-			ring: concurrent.NewMPMC[*Frame](prof.RingDepth),
-		}
+		e := &Endpoint{fab: f, rank: i}
+		e.rs.Store(&ringSet{rings: []*concurrent.MPMC[*Frame]{
+			concurrent.NewMPMC[*Frame](prof.RingDepth),
+		}})
+		f.eps[i] = e
 	}
 	return f
 }
@@ -328,13 +328,36 @@ type region struct {
 	valid bool
 }
 
+// ringSet is an endpoint's receive side: one ring per progress shard plus
+// the route that picks the ring for an arriving frame. It is immutable —
+// ShardViews installs a new set with a single atomic pointer swap, so
+// delivery never observes a half-built slice. Before sharding (and always
+// at K=1) there is exactly one ring and no route.
+type ringSet struct {
+	rings []*concurrent.MPMC[*Frame]
+	route func(*Frame) int // nil: everything lands on rings[0]
+}
+
+// pick returns the ring an arriving frame belongs on, clamping a bad route
+// result to shard 0 rather than dropping traffic.
+func (rs *ringSet) pick(f *Frame) *concurrent.MPMC[*Frame] {
+	if rs.route == nil || len(rs.rings) == 1 {
+		return rs.rings[0]
+	}
+	i := rs.route(f)
+	if i < 0 || i >= len(rs.rings) {
+		i = 0
+	}
+	return rs.rings[i]
+}
+
 // Endpoint is one host's NIC. Send and Put may be called from any goroutine
 // of the owning host; Poll is normally called by a single progress thread
-// (it is nevertheless thread-safe).
+// per shard view (it is nevertheless thread-safe).
 type Endpoint struct {
 	fab  *Fabric
 	rank int
-	ring *concurrent.MPMC[*Frame]
+	rs   atomic.Pointer[ringSet]
 
 	mu      sync.Mutex
 	regions []region
@@ -431,7 +454,7 @@ func (e *Endpoint) Send(dst int, header, meta uint64, data []byte) error {
 	target := e.fab.eps[dst]
 	f.rep = target
 	e.charge(e.fab.prof.SendCost, len(data))
-	if !target.ring.Enqueue(f) {
+	if !target.deliver(f) {
 		// Undelivered: return the frame to the pool without counting it as
 		// a consumer recycle.
 		f.rep = nil
@@ -516,7 +539,7 @@ func (e *Endpoint) Put(dst int, rkey uint32, offset int, data []byte, imm uint64
 	f.rep = target
 	e.charge(e.fab.prof.PutCost, len(data))
 	copy(dstBuf, data)
-	if !target.ring.Enqueue(f) {
+	if !target.deliver(f) {
 		// Roll-back is impossible for real RDMA; but since the receiver only
 		// reads the region after seeing the completion, re-copying on retry
 		// is harmless. Report retriable failure.
@@ -533,11 +556,19 @@ func (e *Endpoint) Put(dst int, rkey uint32, offset int, data []byte, imm uint64
 	return nil
 }
 
+// deliver routes an arriving frame onto the receive ring of the shard that
+// owns it. False means the ring was full (back-pressure: the caller rolls
+// the frame back and reports ErrResource).
+func (e *Endpoint) deliver(f *Frame) bool {
+	return e.rs.Load().pick(f).Enqueue(f)
+}
+
 // Poll removes and returns one incoming frame, or nil if none is pending.
-// The caller owns the frame until it calls Release.
+// The caller owns the frame until it calls Release. On a sharded endpoint
+// the base Poll drains shard 0's ring; the other shards poll their views.
 func (e *Endpoint) Poll() *Frame {
 	e.polls.Add(1)
-	f, ok := e.ring.Dequeue()
+	f, ok := e.rs.Load().rings[0].Dequeue()
 	if !ok {
 		return nil
 	}
@@ -550,7 +581,7 @@ func (e *Endpoint) Poll() *Frame {
 // The caller owns every returned frame until it calls Release.
 func (e *Endpoint) PollBatch(dst []*Frame) int {
 	e.polls.Add(1)
-	n := e.ring.DequeueBatch(dst)
+	n := e.rs.Load().rings[0].DequeueBatch(dst)
 	if n > 0 {
 		e.pollHits.Add(int64(n))
 		e.batchPolls.Add(1)
@@ -558,8 +589,75 @@ func (e *Endpoint) PollBatch(dst []*Frame) int {
 	return n
 }
 
-// Pending returns a racy estimate of queued incoming frames.
-func (e *Endpoint) Pending() int { return e.ring.Len() }
+// Pending returns a racy estimate of queued incoming frames, summed across
+// every shard ring.
+func (e *Endpoint) Pending() int {
+	n := 0
+	for _, r := range e.rs.Load().rings {
+		n += r.Len()
+	}
+	return n
+}
+
+// ShardViews implements Sharder: it splits the endpoint's receive side into
+// k rings selected by route.Frame and returns k Provider views, one per
+// progress shard. View 0 keeps the original ring, so frames delivered
+// before the split surface there. Send/Put, the region table, and the stat
+// counters stay rank-global — any view may send on behalf of its shard.
+func (e *Endpoint) ShardViews(k int, route ShardRoute) []Provider {
+	if k < 1 {
+		panic("fabric: ShardViews needs k >= 1")
+	}
+	old := e.rs.Load()
+	rings := make([]*concurrent.MPMC[*Frame], k)
+	rings[0] = old.rings[0]
+	for i := 1; i < k; i++ {
+		rings[i] = concurrent.NewMPMC[*Frame](e.fab.prof.RingDepth)
+	}
+	var route0 func(*Frame) int
+	if k > 1 {
+		route0 = route.Frame
+	}
+	e.rs.Store(&ringSet{rings: rings, route: route0})
+	views := make([]Provider, k)
+	for i := range views {
+		views[i] = &shardView{Endpoint: e, ring: rings[i]}
+	}
+	return views
+}
+
+// shardView is one progress shard's window onto a sharded endpoint: it
+// polls only its own ring and delegates everything else to the base
+// endpoint.
+type shardView struct {
+	*Endpoint
+	ring *concurrent.MPMC[*Frame]
+}
+
+func (v *shardView) Poll() *Frame {
+	v.polls.Add(1)
+	f, ok := v.ring.Dequeue()
+	if !ok {
+		return nil
+	}
+	v.pollHits.Add(1)
+	return f
+}
+
+func (v *shardView) PollBatch(dst []*Frame) int {
+	v.polls.Add(1)
+	n := v.ring.DequeueBatch(dst)
+	if n > 0 {
+		v.pollHits.Add(int64(n))
+		v.batchPolls.Add(1)
+	}
+	return n
+}
+
+func (v *shardView) Pending() int { return v.ring.Len() }
+
+var _ Provider = (*shardView)(nil)
+var _ Sharder = (*Endpoint)(nil)
 
 // Stats returns a snapshot of the endpoint's counters.
 func (e *Endpoint) Stats() Stats {

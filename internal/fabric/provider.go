@@ -52,3 +52,30 @@ type Provider interface {
 }
 
 var _ Provider = (*Endpoint)(nil)
+
+// ShardRoute tells a sharded provider which progress shard owns what. A
+// route must be pure and stable: the same frame (or peer) always maps to
+// the same shard, on every rank, for the whole run.
+type ShardRoute struct {
+	// Frame returns the shard index in [0,K) that must consume f. It runs
+	// on the provider's delivery path (reader goroutines), so it must be
+	// cheap and must not retain f.
+	Frame func(f *Frame) int
+	// Peer, when non-nil, returns the shard that owns all traffic exchanged
+	// with peer. Providers with per-peer state (flows, retransmit queues)
+	// use it to partition housekeeping so each shard view only touches the
+	// flows it owns. Nil means ownership is not peer-aligned (tag sharding)
+	// and every view may service every peer.
+	Peer func(peer int) int
+}
+
+// Sharder is implemented by providers that can split frame delivery across
+// K progress shards. ShardViews partitions the provider's receive side into
+// K rings selected by route and returns K Provider views: view i's
+// Poll/PollBatch/Pending drain only shard i's ring, while Send/Put/regions
+// and wire-level Stats remain rank-global (any view may send). ShardViews
+// must be called at most once, before traffic, with k ≥ 1; frames already
+// queued at the time of the call surface on view 0.
+type Sharder interface {
+	ShardViews(k int, route ShardRoute) []Provider
+}

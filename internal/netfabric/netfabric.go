@@ -90,6 +90,13 @@ type Config struct {
 	// primary socket cannot join a reuseport group. Also settable via
 	// LCI_READER_SHARDS for launcher-spawned workers.
 	ReaderShards int
+	// EndpointShards is the number of progress shards the upper layer will
+	// run over this provider (fabric.Sharder views). It does not change the
+	// provider's behavior by itself; it raises ReaderShards to match, so
+	// kernel-side reuseport steering and upper-layer progress sharding have
+	// the same parallelism, and it is reported by Capabilities. Default 1.
+	// Also settable via LCI_ENDPOINT_SHARDS for launcher-spawned workers.
+	EndpointShards int
 
 	// Ablation knobs (also settable via LCI_NO_BATCH_IO, LCI_NO_PIGGYBACK,
 	// LCI_FIXED_RTO, LCI_NO_GSO for launcher-spawned workers).
@@ -177,6 +184,18 @@ func (c *Config) fill() error {
 	if c.ReaderShards <= 0 {
 		c.ReaderShards = min(4, runtime.NumCPU())
 	}
+	if c.EndpointShards <= 0 {
+		c.EndpointShards = 1
+	}
+	if c.EndpointShards > 16 {
+		c.EndpointShards = 16
+	}
+	// One receive socket per progress shard at minimum: the kernel spreads
+	// peers across the reuseport group, the route spreads them across the
+	// progress shards, and matching counts keep the two alignable.
+	if c.ReaderShards < c.EndpointShards {
+		c.ReaderShards = c.EndpointShards
+	}
 	if c.ReaderShards > 16 {
 		c.ReaderShards = 16
 	}
@@ -252,9 +271,13 @@ type Provider struct {
 	wireScratch [][]byte
 	dstScratch  []int
 
-	ring   *concurrent.MPMC[*fabric.Frame] // delivery ring drained by Poll
-	frames *concurrent.MPMC[*fabric.Frame] // provider frame free-list
-	txBufs sync.Pool                       // datagram encode buffers
+	// rs is the delivery side: one ring per progress shard plus the route
+	// that picks the ring for a completed message. Immutable and swapped
+	// atomically by ShardViews; a single unrouted ring until then.
+	rs       atomic.Pointer[ringSet]
+	epShards int                             // configured progress-shard count (Capabilities)
+	frames   *concurrent.MPMC[*fabric.Frame] // provider frame free-list
+	txBufs   sync.Pool                       // datagram encode buffers
 
 	fault *faultInjector
 
@@ -301,6 +324,38 @@ type Provider struct {
 }
 
 var _ fabric.Provider = (*Provider)(nil)
+var _ fabric.Sharder = (*Provider)(nil)
+
+// ringSet is the provider's delivery side: one ring per progress shard and
+// the route that picks a completed message's ring. Immutable — ShardViews
+// installs a replacement with one atomic pointer swap, so reader goroutines
+// never observe a half-built slice. Every ring is sized size×credits, the
+// same capacity the single ring had, so the credit-quota argument that the
+// ring can never overflow holds per shard no matter how the route skews.
+type ringSet struct {
+	rings []*concurrent.MPMC[*fabric.Frame]
+	route func(*fabric.Frame) int // nil: everything lands on rings[0]
+}
+
+// pick returns the ring an inbound frame belongs on, clamping a bad route
+// result to shard 0 rather than dropping traffic.
+func (rs *ringSet) pick(f *fabric.Frame) *concurrent.MPMC[*fabric.Frame] {
+	if rs.route == nil || len(rs.rings) == 1 {
+		return rs.rings[0]
+	}
+	i := rs.route(f)
+	if i < 0 || i >= len(rs.rings) {
+		i = 0
+	}
+	return rs.rings[i]
+}
+
+// deliver routes one completed message onto its owning shard's ring. False
+// means that ring is full — with correct credit accounting this cannot
+// happen, and both callers treat it as a protocol bug.
+func (p *Provider) deliver(fr *fabric.Frame) bool {
+	return p.rs.Load().pick(fr).Enqueue(fr)
+}
 
 // readerShard is one receive socket plus its vectored read driver. Shard 0
 // wraps the provider's primary socket (which also transmits); extra shards
@@ -361,7 +416,10 @@ func New(cfg Config) (*Provider, error) {
 	if p.readBufLen < 2048 {
 		p.readBufLen = 2048
 	}
-	p.ring = concurrent.NewMPMC[*fabric.Frame](p.size * p.credits)
+	p.epShards = cfg.EndpointShards
+	p.rs.Store(&ringSet{rings: []*concurrent.MPMC[*fabric.Frame]{
+		concurrent.NewMPMC[*fabric.Frame](p.size * p.credits),
+	}})
 	p.frames = concurrent.NewMPMC[*fabric.Frame](p.size * p.credits)
 	p.txBufs.New = func() any { return make([]byte, cfg.MTU) }
 	if cfg.Fault.enabled() {
@@ -498,9 +556,12 @@ func (p *Provider) ShardRx() []int64 {
 // Capabilities summarizes the kernel fast-path tiers this endpoint
 // negotiated, for launcher/CI logs.
 func (p *Provider) Capabilities() string {
-	return fmt.Sprintf("batchio=%v gso=%v gro=%v rxq_ovfl=%v shards=%d",
-		p.BatchIO(), p.gsoOn.Load(), p.gro, p.rxq, len(p.shards))
+	return fmt.Sprintf("batchio=%v gso=%v gro=%v rxq_ovfl=%v shards=%d epshards=%d",
+		p.BatchIO(), p.gsoOn.Load(), p.gro, p.rxq, len(p.shards), p.epShards)
 }
+
+// EndpointShards returns the configured progress-shard count (≥ 1).
+func (p *Provider) EndpointShards() int { return p.epShards }
 
 // Close drains in-flight packets, then stops the reader and closes the
 // socket. The upper layers must be stopped first (a Send on a closed
@@ -725,7 +786,7 @@ func (p *Provider) sendSelf(header, meta uint64, data []byte) error {
 	} else {
 		fr.Data = nil
 	}
-	if !p.ring.Enqueue(fr) {
+	if !p.deliver(fr) {
 		// Capacity is sized for the worst case; reaching here is a bug.
 		panic("netfabric: delivery ring overflow on self-send")
 	}
@@ -773,12 +834,17 @@ func (p *Provider) flushFlowLocked(fl *flow, now time.Time) {
 // flushPending flushes every flow holding pending packets. O(1) when no
 // flow is dirty; called from the progress path (Poll/PollBatch), the
 // housekeeping tick and Close.
-func (p *Provider) flushPending() {
+func (p *Provider) flushPending() { p.flushFlows(p.flows) }
+
+// flushFlows is flushPending over an arbitrary flow subset: shard views
+// pass only the flows their shard owns, so K concurrent progress loops do
+// not contend on each other's flow locks.
+func (p *Provider) flushFlows(flows []*flow) {
 	if p.txPendFlows.Load() == 0 {
 		return
 	}
 	now := time.Now()
-	for _, fl := range p.flows {
+	for _, fl := range flows {
 		if fl == nil || fl.pendTx.Load() == 0 {
 			continue
 		}
@@ -915,7 +981,7 @@ func (p *Provider) Put(int, uint32, int, []byte, uint64) error {
 func (p *Provider) Poll() *fabric.Frame {
 	p.flushPending()
 	p.polls.Add(1)
-	f, ok := p.ring.Dequeue()
+	f, ok := p.rs.Load().rings[0].Dequeue()
 	if !ok {
 		return nil
 	}
@@ -928,7 +994,7 @@ func (p *Provider) Poll() *fabric.Frame {
 func (p *Provider) PollBatch(dst []*fabric.Frame) int {
 	p.flushPending()
 	p.polls.Add(1)
-	n := p.ring.DequeueBatch(dst)
+	n := p.rs.Load().rings[0].DequeueBatch(dst)
 	if n > 0 {
 		p.pollHits.Add(int64(n))
 		p.batchPolls.Add(1)
@@ -936,8 +1002,92 @@ func (p *Provider) PollBatch(dst []*fabric.Frame) int {
 	return n
 }
 
-// Pending returns a racy estimate of queued incoming frames.
-func (p *Provider) Pending() int { return p.ring.Len() }
+// Pending returns a racy estimate of queued incoming frames, summed across
+// every shard ring.
+func (p *Provider) Pending() int {
+	n := 0
+	for _, r := range p.rs.Load().rings {
+		n += r.Len()
+	}
+	return n
+}
+
+// ShardViews implements fabric.Sharder: it splits the delivery side into k
+// rings selected by route.Frame and returns k Provider views, one per
+// progress shard. View 0 keeps the original ring (frames delivered before
+// the split surface there); the wire, the flows, and the reliability
+// machinery stay rank-global. When route.Peer is set, each view's poll-path
+// transmit flush only touches the flows its shard owns, so concurrent
+// progress loops never contend on a flow lock; without it (tag sharding)
+// every view flushes every flow — the flow locks keep that correct, and
+// the housekeeping tick backstops latency either way.
+func (p *Provider) ShardViews(k int, route fabric.ShardRoute) []fabric.Provider {
+	if k < 1 {
+		panic("netfabric: ShardViews needs k >= 1")
+	}
+	old := p.rs.Load()
+	rings := make([]*concurrent.MPMC[*fabric.Frame], k)
+	rings[0] = old.rings[0]
+	for i := 1; i < k; i++ {
+		rings[i] = concurrent.NewMPMC[*fabric.Frame](p.size * p.credits)
+	}
+	var route0 func(*fabric.Frame) int
+	if k > 1 {
+		route0 = route.Frame
+	}
+	p.rs.Store(&ringSet{rings: rings, route: route0})
+	views := make([]fabric.Provider, k)
+	for i := range views {
+		v := &shardView{Provider: p, ring: rings[i], flows: p.flows}
+		if route.Peer != nil && k > 1 {
+			owned := make([]*flow, 0, (p.size+k-1)/k)
+			for r, fl := range p.flows {
+				if fl != nil && route.Peer(r) == i {
+					owned = append(owned, fl)
+				}
+			}
+			v.flows = owned
+		}
+		views[i] = v
+	}
+	return views
+}
+
+// shardView is one progress shard's window onto the provider: it polls only
+// its own delivery ring, flushes only its own flows' pending transmits, and
+// delegates everything else (sends, regions, stats, teardown) to the base
+// provider.
+type shardView struct {
+	*Provider
+	ring  *concurrent.MPMC[*fabric.Frame]
+	flows []*flow // flows whose poll-path flush this shard owns
+}
+
+func (v *shardView) Poll() *fabric.Frame {
+	v.flushFlows(v.flows)
+	v.polls.Add(1)
+	f, ok := v.ring.Dequeue()
+	if !ok {
+		return nil
+	}
+	v.pollHits.Add(1)
+	return f
+}
+
+func (v *shardView) PollBatch(dst []*fabric.Frame) int {
+	v.flushFlows(v.flows)
+	v.polls.Add(1)
+	n := v.ring.DequeueBatch(dst)
+	if n > 0 {
+		v.pollHits.Add(int64(n))
+		v.batchPolls.Add(1)
+	}
+	return n
+}
+
+func (v *shardView) Pending() int { return v.ring.Len() }
+
+var _ fabric.Provider = (*shardView)(nil)
 
 // reader drains one receive shard in vectored bursts and runs the
 // reliability protocol on what arrives. Shard 0 (the primary socket) also
@@ -1167,7 +1317,7 @@ func (p *Provider) apply(fl *flow, d *dataPkt) {
 	copy(fl.asm.Data[d.fragOff:], d.chunk)
 	fl.asmGot += len(d.chunk)
 	if fl.asmGot >= fl.asmLen {
-		if !p.ring.Enqueue(fl.asm) {
+		if !p.deliver(fl.asm) {
 			panic("netfabric: delivery ring overflow (credit accounting bug)")
 		}
 		fl.asm = nil
@@ -1406,6 +1556,11 @@ const (
 	EnvFixedRTO     = "LCI_FIXED_RTO"
 	EnvNoGSO        = "LCI_NO_GSO"
 	EnvReaderShards = "LCI_READER_SHARDS"
+
+	// EnvEndpointShards is the upper-layer progress-shard count (internal/
+	// core reads the same variable to size its shard set); the provider uses
+	// it to align the reuseport reader group and report it in Capabilities.
+	EnvEndpointShards = "LCI_ENDPOINT_SHARDS"
 )
 
 // InEnv reports whether the process was spawned by the SPMD launcher.
@@ -1437,6 +1592,11 @@ func FromEnv() (*Provider, error) {
 	if s := os.Getenv(EnvReaderShards); s != "" {
 		if n, err := strconv.Atoi(s); err == nil {
 			cfg.ReaderShards = n
+		}
+	}
+	if s := os.Getenv(EnvEndpointShards); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			cfg.EndpointShards = n
 		}
 	}
 	if s := os.Getenv(EnvSeed); s != "" {
