@@ -50,6 +50,7 @@ import (
 	"lcigraph/internal/cluster"
 	"lcigraph/internal/comm"
 	"lcigraph/internal/graph"
+	"lcigraph/internal/health"
 	"lcigraph/internal/launch"
 	"lcigraph/internal/netfabric"
 	"lcigraph/internal/partition"
@@ -76,6 +77,8 @@ type options struct {
 	metricsAddr string
 	metricsOut  string
 	traceOut    string
+	opsLog      string
+	injectStall string
 }
 
 func parseFlags() *options {
@@ -102,6 +105,10 @@ func parseFlags() *options {
 		"write the merged cluster telemetry snapshot to this JSON file (rank 0)")
 	flag.StringVar(&o.traceOut, "trace-out", "",
 		"enable message-lifecycle tracing and write the merged Chrome trace to this JSON file (rank 0)")
+	flag.StringVar(&o.opsLog, "ops-log", "",
+		"append health ops events (alerts, status changes) as JSONL to this file (rank 0)")
+	flag.StringVar(&o.injectStall, "inject-stall", "",
+		"fault injection rank:shard:after:dur — wedge that rank's progress shard for dur after the delay")
 	flag.Parse()
 	return o
 }
@@ -144,7 +151,16 @@ func parent(o *options) int {
 		fmt.Fprintf(os.Stderr, "lci-launch: metrics on %s (rank 0 merges at /cluster)\n",
 			strings.Join(j.MetricsAddrs, ","))
 	}
-	if err := j.Start(os.Args[1:], nil); err != nil {
+	henv, err := launch.HealthEnv(o.opsLog, o.injectStall, "lci-launch")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lci-launch:", err)
+		return 2
+	}
+	var extra func(rank int) ([]string, []*os.File)
+	if henv != nil {
+		extra = func(rank int) ([]string, []*os.File) { return henv(rank), nil }
+	}
+	if err := j.Start(os.Args[1:], extra); err != nil {
 		fmt.Fprintln(os.Stderr, "lci-launch:", err)
 		return 2
 	}
@@ -170,7 +186,12 @@ func child(o *options) int {
 	prov.RegisterMetrics(reg)
 	tr := tracing.Default() // nil unless LCI_TRACE (the parent sets it for -trace-out)
 	tr.NotifySIGQUIT()
-	srv := launch.ServeMetrics(reg, tr, rank)
+	mon := health.New(health.Options{
+		Rank: rank, Ranks: size, Reg: reg, Tracer: tr,
+		OpsLogPath: os.Getenv(health.EnvOpsLog),
+	})
+	mon.Start()
+	srv := launch.ServeMetrics(reg, tr, mon, rank)
 
 	g := graph.Named(o.graph, o.scale, o.seed)
 	pt := partition.Build(g, size, partition.VertexCut)
@@ -185,6 +206,7 @@ func child(o *options) int {
 	var merged *telemetry.Snapshot
 	var mergedTrace []byte
 	cluster.RunRank(rank, size, o.threads, layer, func(h *cluster.Host) {
+		mon.Bind(h.Layer)
 		for it := 0; it < o.repeat; it++ {
 			for _, app := range appList {
 				app = strings.TrimSpace(app)
@@ -192,6 +214,7 @@ func child(o *options) int {
 					continue
 				}
 				rt := abelian.New(h, hg, partition.VertexCut)
+				rt.Health = mon
 				bad, detail := runApp(rt, g, hg, app, o)
 				totalBad := h.AllreduceSum(bad)
 				if totalBad > 0 {
@@ -248,6 +271,9 @@ func child(o *options) int {
 				}
 			}
 		}
+		// Stop judging before RunRank tears the layer down: a stopped
+		// progress loop is indistinguishable from a wedged one.
+		mon.Close()
 	})
 
 	if st := prov.Stats(); st.Retransmits > 0 || st.CreditStalls > 0 {

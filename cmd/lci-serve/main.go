@@ -45,6 +45,7 @@ import (
 	"lcigraph/internal/cluster"
 	"lcigraph/internal/comm"
 	"lcigraph/internal/graph"
+	"lcigraph/internal/health"
 	"lcigraph/internal/launch"
 	"lcigraph/internal/netfabric"
 	"lcigraph/internal/partition"
@@ -67,6 +68,8 @@ type options struct {
 	addr        string
 	metricsAddr string
 	trace       bool
+	opsLog      string
+	injectStall string
 
 	maxInFlight  int
 	maxPerClient int
@@ -99,6 +102,10 @@ func parseFlags() *options {
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "",
 		"serve live telemetry over HTTP; rank r listens on port+r (port 0: ephemeral)")
 	flag.BoolVar(&o.trace, "trace", false, "record message-lifecycle traces (/debug/trace)")
+	flag.StringVar(&o.opsLog, "ops-log", "",
+		"append health ops events (alerts, status changes) as JSONL to this file (rank 0)")
+	flag.StringVar(&o.injectStall, "inject-stall", "",
+		"fault injection rank:shard:after:dur — wedge that rank's progress shard for dur after the delay")
 	flag.IntVar(&o.maxInFlight, "max-inflight", 0, "admission: max resident queries (0 = default)")
 	flag.IntVar(&o.maxPerClient, "max-per-client", 0, "admission: max resident queries per client (0 = default)")
 	flag.IntVar(&o.cacheSize, "cache", 0, "result-cache entries (0 = default)")
@@ -171,17 +178,26 @@ func parent(o *options) int {
 	if maddr != "" {
 		serveFD = 5
 	}
+	henv, err := launch.HealthEnv(o.opsLog, o.injectStall, "lci-serve")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lci-serve:", err)
+		return 2
+	}
 	var extraErr error
 	extra := func(rank int) ([]string, []*os.File) {
+		var env []string
+		if henv != nil {
+			env = henv(rank)
+		}
 		if rank != 0 {
-			return nil, nil
+			return env, nil
 		}
 		f, err := cln.(*net.TCPListener).File()
 		if err != nil {
 			extraErr = err
-			return nil, nil
+			return env, nil
 		}
-		return []string{fmt.Sprintf("%s=%d", envServeFD, serveFD)}, []*os.File{f}
+		return append(env, fmt.Sprintf("%s=%d", envServeFD, serveFD)), []*os.File{f}
 	}
 	if err := j.Start(os.Args[1:], extra); err != nil {
 		fmt.Fprintln(os.Stderr, "lci-serve:", err)
@@ -311,7 +327,12 @@ func child(o *options) int {
 	prov.RegisterMetrics(reg)
 	tr := tracing.Default() // nil unless LCI_TRACE (the parent sets it for -trace)
 	tr.NotifySIGQUIT()
-	msrv := launch.ServeMetrics(reg, tr, rank)
+	mon := health.New(health.Options{
+		Rank: rank, Ranks: size, Reg: reg, Tracer: tr,
+		OpsLogPath: os.Getenv(health.EnvOpsLog),
+	})
+	mon.Start()
+	msrv := launch.ServeMetrics(reg, tr, mon, rank)
 
 	// Every rank builds the same partition deterministically; EdgeCut keeps
 	// a vertex's full out-neighborhood on its owner, which is what lets one
@@ -328,8 +349,10 @@ func child(o *options) int {
 		CacheSize:    o.cacheSize,
 		Reg:          reg,
 		Tracer:       tr,
+		Health:       mon,
 	}
 	cluster.RunRank(rank, size, o.threads, layer, func(h *cluster.Host) {
+		mon.Bind(h.Layer)
 		s := serve.New(h, pt, cfg)
 		if rank == 0 {
 			ln, err := launch.InheritedListener(serveFDFromEnv())
@@ -352,6 +375,9 @@ func child(o *options) int {
 		} else {
 			s.Run()
 		}
+		// Stop judging before RunRank tears the layer down: a stopped
+		// progress loop is indistinguishable from a wedged one.
+		mon.Close()
 	})
 
 	if st := prov.Stats(); st.Retransmits > 0 || st.CreditStalls > 0 {

@@ -235,26 +235,27 @@ func TestFieldTagAllocatorReserved(t *testing.T) {
 	})
 }
 
-// TestFieldTagAllocatorServeReserved: the serving control-tag range
-// [cluster.ServeTagLo, cluster.CollectiveTag) is reserved exactly like the
-// collective tag — the allocator must hand out every tag below ServeTagLo
-// and panic on the first field that would touch the range.
+// TestFieldTagAllocatorServeReserved: the reserved control-tag range
+// [cluster.HealthTag, cluster.CollectiveTag) — health heartbeats plus the
+// serving control tags — is guarded exactly like the collective tag: the
+// allocator must hand out every tag below HealthTag and panic on the first
+// field that would touch the range.
 func TestFieldTagAllocatorServeReserved(t *testing.T) {
 	g := graph.Ring(8)
 	runCluster(g, 1, func(rt *Runtime) {
 		// Fields consume tag pairs (2k, 2k+1); every pair strictly below
-		// ServeTagLo must allocate without panicking.
-		okFields := int(cluster.ServeTagLo) / 2
+		// HealthTag must allocate without panicking.
+		okFields := int(cluster.HealthTag) / 2
 		for i := 0; i < okFields; i++ {
 			rt.NewField(0, minU64)
 		}
 		defer func() {
 			if recover() == nil {
-				t.Errorf("allocating a field tag inside [ServeTagLo, CollectiveTag] did not panic")
+				t.Errorf("allocating a field tag inside [HealthTag, CollectiveTag] did not panic")
 			}
 		}()
 		rt.NewField(0, minU64)
-		t.Errorf("no panic at the ServeTagLo boundary (field %d)", okFields)
+		t.Errorf("no panic at the HealthTag boundary (field %d)", okFields)
 	})
 }
 

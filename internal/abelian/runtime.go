@@ -19,11 +19,27 @@ import (
 	"lcigraph/internal/trace"
 )
 
+// HealthSink receives the runtime's per-round health signals. NoteRound
+// accounts one finished round and the time this rank spent in end-of-round
+// communication (field sync + allreduce), which is dominated by waiting for
+// stragglers — the superstep skew signal (a rank that finishes early waits
+// long; the straggler waits least). Pump gives the sink a turn on the
+// comm-layer-owning goroutine for its own reserved-tag traffic (heartbeat
+// digests). health.Monitor implements it.
+type HealthSink interface {
+	NoteRound(barrier time.Duration)
+	Pump()
+}
+
 // Runtime is one host's Abelian runtime instance.
 type Runtime struct {
 	Host *cluster.Host
 	HG   *partition.HostGraph
 	Pol  partition.Policy
+
+	// Health, if set, receives NoteRound/Pump once per BSP round — from
+	// RecordRound (the path every app takes) or EndRound.
+	Health HealthSink
 
 	// Fused enables the tighter LCI integration of §VI (future work):
 	// gather buffers are injected from the compute threads as they
@@ -43,6 +59,7 @@ type Runtime struct {
 	Trace       *trace.Trace
 	lastCompute time.Duration
 	lastComm    time.Duration
+	healthComm  time.Duration // CommTime at the last health note
 
 	// Per-round traffic comes from the layer's message-size histogram
 	// (count = messages, sum = payload bytes), differenced between
@@ -77,9 +94,24 @@ func (rt *Runtime) timeComm(fn func()) {
 // fn receives the worker pool for parallel loops.
 func (rt *Runtime) Compute(fn func()) { rt.timeCompute(fn) }
 
+// noteHealthRound feeds the health sink one finished round and the comm
+// time accumulated since the last note. It runs on the goroutine that owns
+// the comm layer (rounds are driven from the host main goroutine), which is
+// what makes the Pump call safe under the AsyncLayer contract.
+func (rt *Runtime) noteHealthRound() {
+	if rt.Health == nil {
+		return
+	}
+	rt.Health.NoteRound(rt.CommTime - rt.healthComm)
+	rt.healthComm = rt.CommTime
+	rt.Health.Pump()
+}
+
 // RecordRound emits one trace record covering the compute and comm time
-// accumulated since the previous record. No-op without a Trace.
+// accumulated since the previous record, and gives the health sink its
+// per-round turn. The trace part is a no-op without a Trace.
 func (rt *Runtime) RecordRound() {
+	rt.noteHealthRound()
 	if rt.Trace == nil {
 		return
 	}
@@ -116,5 +148,6 @@ func (rt *Runtime) EndRound(localActivations int64, fields ...*Field) int64 {
 	start := time.Now()
 	total := rt.Host.AllreduceSum(localActivations)
 	rt.CommTime += time.Since(start)
+	rt.noteHealthRound()
 	return total
 }

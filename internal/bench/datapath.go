@@ -12,6 +12,7 @@ import (
 
 	"lcigraph/internal/comm"
 	"lcigraph/internal/fabric"
+	"lcigraph/internal/health"
 	"lcigraph/internal/telemetry"
 	"lcigraph/internal/tracing"
 )
@@ -25,6 +26,7 @@ type DatapathVariant struct {
 	Coalescing bool   `json:"coalescing"`
 	Telemetry  bool   `json:"telemetry"`
 	Tracing    bool   `json:"tracing"`
+	Health     bool   `json:"health"`
 	Messages   int    `json:"messages"`
 
 	AllocsPerMsg float64 `json:"allocs_per_msg"`
@@ -70,6 +72,15 @@ type DatapathReport struct {
 	TracingOn          DatapathVariant `json:"tracing_on"`
 	TracingOverheadPct float64         `json:"tracing_overhead_pct"`
 
+	// HealthOn re-runs the optimized configuration with a health.Monitor
+	// sampling rank 0's live registry at 100x the production cadence (10 ms
+	// vs 1 s), so the bench overstates rather than hides the cost. The
+	// monitor's snapshot/derive work rides its own goroutine; what this arm
+	// prices is the cache and scheduler pressure it puts on the hot path.
+	// Same 3% leave-it-on budget as telemetry (DESIGN.md §16).
+	HealthOn          DatapathVariant `json:"health_on"`
+	HealthOverheadPct float64         `json:"health_overhead_pct"`
+
 	AllocImprovement float64 `json:"alloc_improvement"` // baseline/optimized allocs per msg
 	FrameImprovement float64 `json:"frame_improvement"` // baseline/optimized frames per msg
 }
@@ -78,7 +89,7 @@ type DatapathReport struct {
 // perPeer messages of size bytes to every other host per epoch, received via
 // FinishFusedCount. One warm-up epoch populates the frame free-list and the
 // layers' internal buffers before measurement starts.
-func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele, trace bool) DatapathVariant {
+func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele, trace, healthOn bool) DatapathVariant {
 	prof := fabric.TestProfile()
 	prof.DisableFramePool = !pool
 	fab := fabric.New(hosts, prof)
@@ -158,6 +169,15 @@ func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele, 
 	}
 
 	runEpoch(1, mkBufs(1), 0) // warm-up
+	var mon *health.Monitor
+	if healthOn {
+		// 10 ms sampling is 100x the production cadence; a ~100-epoch trial
+		// then sees several full snapshot+derive cycles competing with the
+		// exchange for cores, which is already far beyond the worst case we
+		// budget for.
+		mon = health.New(health.Options{Rank: 0, Ranks: hosts, Interval: 10 * time.Millisecond, Reg: regs[0]})
+		mon.Start()
+	}
 	all := mkBufs(epochs)
 	framesBefore := frames()
 	var before, after runtime.MemStats
@@ -168,16 +188,18 @@ func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele, 
 		runEpoch(2, all, e)
 	}
 	wall := time.Since(start)
+	mon.Close()
 	runtime.ReadMemStats(&after)
 	framesAfter := frames()
 	net := NetStatsFromSnapshot(mergeRegistries(regs))
 
 	v := DatapathVariant{
-		Name:       variantName(pool, coalesce, tele, trace),
+		Name:       variantName(pool, coalesce, tele, trace, healthOn),
 		FramePool:  pool,
 		Coalescing: coalesce,
 		Telemetry:  tele,
 		Tracing:    trace,
+		Health:     healthOn,
 		Messages:   hosts * (hosts - 1) * perPeer * epochs,
 	}
 	msgs := float64(v.Messages)
@@ -206,7 +228,7 @@ func medianVariant(vs []DatapathVariant) DatapathVariant {
 	return sorted[len(sorted)/2]
 }
 
-func variantName(pool, coalesce, tele, trace bool) string {
+func variantName(pool, coalesce, tele, trace, healthOn bool) string {
 	var name string
 	switch {
 	case pool && coalesce:
@@ -223,6 +245,9 @@ func variantName(pool, coalesce, tele, trace bool) string {
 	}
 	if trace {
 		name += ",tracing"
+	}
+	if healthOn {
+		name += ",health"
 	}
 	return name
 }
@@ -244,7 +269,7 @@ func Datapath(hosts, perPeer, size, epochs int) DatapathReport {
 		epochs = 25
 	}
 	r := DatapathReport{Hosts: hosts, PerPeer: perPeer, MsgSize: size, Epochs: epochs}
-	r.Baseline = runDatapathVariant(hosts, perPeer, size, epochs, false, false, true, false)
+	r.Baseline = runDatapathVariant(hosts, perPeer, size, epochs, false, false, true, false, false)
 	// The on/off delta is a few ns/msg, so each trial must run long enough
 	// that scheduler jitter amortizes: ~10 ms trials swing ±15% run to run.
 	ovEpochs := epochs
@@ -254,18 +279,23 @@ func Datapath(hosts, perPeer, size, epochs int) DatapathReport {
 	onT := make([]DatapathVariant, overheadTrials)
 	offT := make([]DatapathVariant, overheadTrials)
 	trcT := make([]DatapathVariant, overheadTrials)
+	hlT := make([]DatapathVariant, overheadTrials)
 	ratios := make([]float64, overheadTrials)
 	trcRatios := make([]float64, overheadTrials)
+	hlRatios := make([]float64, overheadTrials)
 	for i := range onT {
-		onT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, false)
-		offT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, false, false)
-		trcT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, true)
+		onT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, false, false)
+		offT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, false, false, false)
+		trcT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, true, false)
+		hlT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, false, true)
 		ratios[i] = onT[i].NsPerMsg / offT[i].NsPerMsg
 		trcRatios[i] = trcT[i].NsPerMsg / onT[i].NsPerMsg
+		hlRatios[i] = hlT[i].NsPerMsg / onT[i].NsPerMsg
 	}
 	r.Optimized = medianVariant(onT)
 	r.TelemetryOff = medianVariant(offT)
 	r.TracingOn = medianVariant(trcT)
+	r.HealthOn = medianVariant(hlT)
 	// Overhead is the median of the per-pair ratios, not the ratio of
 	// medians: the two runs of a pair are adjacent in time, so slow machine
 	// drift hits both and divides out.
@@ -273,6 +303,8 @@ func Datapath(hosts, perPeer, size, epochs int) DatapathReport {
 	r.OverheadPct = (ratios[len(ratios)/2] - 1) * 100
 	sort.Float64s(trcRatios)
 	r.TracingOverheadPct = (trcRatios[len(trcRatios)/2] - 1) * 100
+	sort.Float64s(hlRatios)
+	r.HealthOverheadPct = (hlRatios[len(hlRatios)/2] - 1) * 100
 	if r.Optimized.AllocsPerMsg > 0 {
 		r.AllocImprovement = r.Baseline.AllocsPerMsg / r.Optimized.AllocsPerMsg
 	}
@@ -289,7 +321,7 @@ func (r DatapathReport) Table() string {
 		r.Hosts, r.PerPeer, r.MsgSize, r.Epochs, r.Baseline.Messages, r.Optimized.Messages)
 	fmt.Fprintf(&b, "%-28s %12s %14s %12s %10s\n",
 		"variant", "allocs/msg", "alloc B/msg", "frames/msg", "ns/msg")
-	for _, v := range []DatapathVariant{r.Baseline, r.Optimized, r.TelemetryOff, r.TracingOn} {
+	for _, v := range []DatapathVariant{r.Baseline, r.Optimized, r.TelemetryOff, r.TracingOn, r.HealthOn} {
 		fmt.Fprintf(&b, "%-28s %12.2f %14.1f %12.3f %10.0f\n",
 			v.Name, v.AllocsPerMsg, v.BytesPerMsg, v.FramesPerMsg, v.NsPerMsg)
 	}
@@ -307,6 +339,13 @@ func (r DatapathReport) Table() string {
 	fmt.Fprintf(&b, "tracing overhead at %dB: %+.1f%% ns/msg vs dark (nil-tracer) path; "+
 		"dark path rides in both telemetry arms above\n",
 		r.MsgSize, r.TracingOverheadPct)
+	fmt.Fprintf(&b, "health sampling overhead at %dB: %+.1f%% ns/msg at a 10ms interval "+
+		"(production cadence is 1s)\n",
+		r.MsgSize, r.HealthOverheadPct)
+	if r.HealthOverheadPct > 3 {
+		fmt.Fprintf(&b, "WARNING: health sampling overhead %.1f%% exceeds the 3%% leave-it-on budget\n",
+			r.HealthOverheadPct)
+	}
 	return b.String()
 }
 

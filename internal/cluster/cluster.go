@@ -31,8 +31,17 @@ const CollectiveTag uint32 = 255
 // range [ServeTagLo, CollectiveTag): internal/serve multiplexes its
 // query-scatter, reply-gather and drain-control traffic on these base tags,
 // concurrently with collective traffic on CollectiveTag. Frameworks must
-// allocate their field tags strictly below ServeTagLo.
+// allocate their field tags strictly below the whole reserved range, i.e.
+// below HealthTag.
 const ServeTagLo uint32 = 250
+
+// HealthTag carries the cluster health monitor's heartbeat digests
+// (internal/health): non-zero ranks post compact per-rank digests to rank 0
+// on this tag over the free-running comm layer, so rank 0 holds a
+// cluster-wide health view even when a peer's HTTP endpoint is unreachable.
+// It sits just below ServeTagLo and extends the reserved range downward to
+// [HealthTag, CollectiveTag].
+const HealthTag uint32 = 249
 
 // Host is one host's context inside a job.
 type Host struct {

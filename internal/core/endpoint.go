@@ -181,6 +181,10 @@ type Endpoint struct {
 	// transports only), drained by the server.
 	frags []*fragJob
 
+	// injectStall is the armed LCI_INJECT_STALL fault (nil in production);
+	// see inject.go.
+	injectStall *stallInjection
+
 	statEager      atomic.Int64
 	statRendezvous atomic.Int64
 	statSendFails  atomic.Int64
@@ -278,6 +282,7 @@ func NewEndpoint(fep fabric.Provider, opt Options) *Endpoint {
 		e.shardTotal = 1
 	}
 	e.idBits = uint32(e.shardIdx) << shardIDShift
+	e.injectStall = injectStallFor(e.shardIdx)
 	e.serverWorker = e.pool.RegisterWorker()
 	reg := opt.Telemetry
 	if reg == nil {

@@ -1,0 +1,58 @@
+package lci
+
+import (
+	"testing"
+	"time"
+
+	"lcigraph/internal/fabric"
+)
+
+func TestParseInjectStall(t *testing.T) {
+	shard, after, dur, err := ParseInjectStall("1:3s:10s")
+	if err != nil || shard != 1 || after != 3*time.Second || dur != 10*time.Second {
+		t.Fatalf("got shard=%d after=%v dur=%v err=%v", shard, after, dur, err)
+	}
+	for _, bad := range []string{"", "1:3s", "x:3s:10s", "-1:3s:10s", "1:nope:10s", "1:3s:0s", "1:3s:10s:extra"} {
+		if _, _, _, err := ParseInjectStall(bad); err == nil {
+			t.Errorf("ParseInjectStall(%q) accepted", bad)
+		}
+	}
+}
+
+// TestInjectStallWedgesServe: with the knob set for shard 0, Serve must go
+// quiet for the configured window (the progress counter stops advancing),
+// and stop must still win against a long wedge.
+func TestInjectStallWedgesServe(t *testing.T) {
+	t.Setenv(EnvInjectStall, "0:50ms:30s")
+	f := fabric.New(1, fabric.TestProfile())
+	e := NewEndpoint(f.Endpoint(0), Options{})
+	if e.injectStall == nil {
+		t.Fatal("injection not armed for shard 0")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		e.Serve(stop)
+		close(done)
+	}()
+	// Wait past the arm delay so the wedge is in force, then ask Serve to
+	// stop: it must return promptly despite the 30s stall window.
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not honor stop during an injected stall")
+	}
+}
+
+// TestInjectStallShardMismatch: an injection naming another shard must not
+// arm on shard 0.
+func TestInjectStallShardMismatch(t *testing.T) {
+	t.Setenv(EnvInjectStall, "3:1ms:1s")
+	f := fabric.New(1, fabric.TestProfile())
+	e := NewEndpoint(f.Endpoint(0), Options{})
+	if e.injectStall != nil {
+		t.Fatal("injection armed on the wrong shard")
+	}
+}

@@ -398,11 +398,15 @@ func (e *Endpoint) completePut(f *fabric.Frame) {
 // progress; a real deployment pins the server thread and spins.
 func (e *Endpoint) Serve(stop <-chan struct{}) {
 	idle := 0
+	start := time.Now()
 	for {
 		select {
 		case <-stop:
 			return
 		default:
+		}
+		if e.injectStall != nil {
+			e.maybeInjectStall(start, stop)
 		}
 		idle = idleBackoff(idle, e.Progress())
 	}

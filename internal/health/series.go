@@ -1,0 +1,64 @@
+package health
+
+import (
+	"encoding/json"
+)
+
+// Point is one time-series sample: UnixNano timestamp and value.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Series is a fixed-capacity ring buffer of points — one derived signal
+// (a counter's rate, a histogram's windowed p99, a gauge level) sampled on
+// the monitor ticker. Memory is bounded at construction: a full ring
+// overwrites its oldest point. Not safe for concurrent use; the Monitor's
+// mutex guards every series.
+type Series struct {
+	buf  []Point
+	head int // next write position
+	n    int // points held (≤ len(buf))
+}
+
+func newSeries(capacity int) *Series {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Series{buf: make([]Point, capacity)}
+}
+
+// add appends a point, evicting the oldest when full.
+func (s *Series) add(t int64, v float64) {
+	s.buf[s.head] = Point{T: t, V: v}
+	s.head = (s.head + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+}
+
+// Len returns the number of points held.
+func (s *Series) Len() int { return s.n }
+
+// Last returns the most recent point.
+func (s *Series) Last() (Point, bool) {
+	if s.n == 0 {
+		return Point{}, false
+	}
+	return s.buf[(s.head-1+len(s.buf))%len(s.buf)], true
+}
+
+// Points returns the held points oldest-first (a fresh slice).
+func (s *Series) Points() []Point {
+	out := make([]Point, 0, s.n)
+	start := (s.head - s.n + len(s.buf)) % len(s.buf)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(start+i)%len(s.buf)])
+	}
+	return out
+}
+
+// MarshalJSON renders the series as its points, oldest first.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Points())
+}

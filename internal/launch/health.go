@@ -1,0 +1,51 @@
+package launch
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	lci "lcigraph/internal/core"
+	"lcigraph/internal/health"
+)
+
+// HealthEnv parses the launchers' shared health flags into a per-rank
+// environment list for Job.Start's extra callback: -ops-log routes the
+// JSONL ops-event path to rank 0 (health.EnvOpsLog), and -inject-stall
+// "rank:shard:after:dur" routes a validated stall injection
+// (lci.EnvInjectStall) to the targeted rank only, so exactly one progress
+// shard in the whole job wedges. Returns (nil, nil) when neither knob is
+// set; name prefixes diagnostics ("lci-launch", "lci-serve").
+func HealthEnv(opsLog, injectStall, name string) (func(rank int) []string, error) {
+	stallRank, stallSpec := -1, ""
+	if injectStall != "" {
+		i := strings.IndexByte(injectStall, ':')
+		if i <= 0 {
+			return nil, fmt.Errorf("-inject-stall %q: want rank:shard:after:dur", injectStall)
+		}
+		r, err := strconv.Atoi(injectStall[:i])
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("-inject-stall %q: bad rank", injectStall)
+		}
+		stallSpec = injectStall[i+1:]
+		if _, _, _, err := lci.ParseInjectStall(stallSpec); err != nil {
+			return nil, fmt.Errorf("-inject-stall %q: %v", injectStall, err)
+		}
+		stallRank = r
+		fmt.Fprintf(os.Stderr, "%s: injecting progress stall on rank %d (%s)\n", name, r, stallSpec)
+	}
+	if opsLog == "" && stallRank < 0 {
+		return nil, nil
+	}
+	return func(rank int) []string {
+		var env []string
+		if rank == 0 && opsLog != "" {
+			env = append(env, health.EnvOpsLog+"="+opsLog)
+		}
+		if rank == stallRank {
+			env = append(env, lci.EnvInjectStall+"="+stallSpec)
+		}
+		return env
+	}, nil
+}

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"lcigraph/internal/health"
 	"lcigraph/internal/netfabric"
 	"lcigraph/internal/telemetry"
 	"lcigraph/internal/tracing"
@@ -253,9 +254,11 @@ func (j *Job) closeBound() {
 // additionally serves /cluster(.json), scraping every peer's /metrics.json
 // and merging. Alongside the metrics, /debug/trace(/flight) serve the
 // lifecycle tracer — on rank 0 the trace document merges every peer's,
-// scraped from their /debug/trace?local=1. Returns nil when no listener was
-// inherited.
-func ServeMetrics(reg *telemetry.Registry, tr *tracing.Tracer, rank int) *http.Server {
+// scraped from their /debug/trace?local=1 — and, when a health monitor is
+// wired, /healthz (200 OK / 503 DEGRADED|UNHEALTHY) and /debug/health.json
+// (the judgment view plus every time series; what cmd/lci-top polls).
+// Returns nil when no listener was inherited. mon may be nil.
+func ServeMetrics(reg *telemetry.Registry, tr *tracing.Tracer, mon *health.Monitor, rank int) *http.Server {
 	fdStr := os.Getenv(EnvMetricsFD)
 	if fdStr == "" {
 		return nil
@@ -282,6 +285,10 @@ func ServeMetrics(reg *telemetry.Registry, tr *tracing.Tracer, rank int) *http.S
 	mux := http.NewServeMux()
 	mux.Handle("/debug/trace", tracing.Handler(tr, mergedFn))
 	mux.Handle("/debug/trace/", tracing.Handler(tr, mergedFn))
+	if mon != nil {
+		mux.HandleFunc("/healthz", mon.ServeHealthz)
+		mux.HandleFunc("/debug/health.json", mon.ServeJSON)
+	}
 	mux.Handle("/", telemetry.Handler(reg, clusterFn))
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)

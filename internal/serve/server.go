@@ -59,7 +59,16 @@ type Config struct {
 
 	Reg    *telemetry.Registry // nil: telemetry off
 	Tracer *tracing.Tracer     // nil: tracing off
+
+	// Health, if set, gets a turn on the layer-owning goroutine every loop
+	// iteration for its reserved-tag heartbeat traffic (health.Monitor's
+	// Pump; it rate-limits itself, so the per-iteration cost is a clock
+	// read).
+	Health HealthPump
 }
+
+// HealthPump is the serving loop's hook into the health monitor.
+type HealthPump interface{ Pump() }
 
 func (c *Config) fill() {
 	if c.MaxInFlight <= 0 {
@@ -196,6 +205,9 @@ func backoff(idle int, worked bool) int {
 func (s *Server) runCoordinator() {
 	idle := 0
 	for {
+		if s.cfg.Health != nil {
+			s.cfg.Health.Pump()
+		}
 		worked := false
 		// Absorb a bounded batch of client requests so reply polling never
 		// starves under open-loop load.
@@ -250,6 +262,9 @@ func (s *Server) runCoordinator() {
 func (s *Server) runWorker() {
 	idle := 0
 	for {
+		if s.cfg.Health != nil {
+			s.cfg.Health.Pump()
+		}
 		worked := false
 		for {
 			m, ok := s.layer.RecvTag(tagQuery)

@@ -29,25 +29,53 @@ func (h HistSnap) Avg() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
-// Quantile estimates the q-quantile (0..1) from the buckets, returning the
-// upper bound of the bucket containing that rank — a coarse but monotone
-// estimate, good enough for "p99 eager latency is in the 8–16 µs bucket".
+// Quantile estimates the q-quantile (0..1) from the buckets. The bucket
+// containing the target rank is located by cumulative count, then the value
+// is interpolated linearly inside that bucket's [low, high] span assuming
+// observations spread uniformly within it. Power-of-two buckets double in
+// width, so the worst-case error is half the selected bucket's span —
+// against the previous upper-bound-only estimate this roughly halves the
+// quantization, which matters for SLO thresholds sitting inside wide
+// high-latency buckets. The estimate is monotone in q.
 func (h HistSnap) Quantile(q float64) int64 {
 	if h.Count == 0 {
 		return 0
 	}
-	rank := int64(q * float64(h.Count))
-	if rank >= h.Count {
-		rank = h.Count - 1
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
+	// Target position in the cumulative mass [0, Count]: the value at
+	// cumulative fraction q. Bucket i covers cumulative [seen, seen+n);
+	// inside it the value rises linearly from lo to hi.
+	r := q * float64(h.Count)
 	var seen int64
+	last := 0
 	for i, n := range h.Buckets {
-		seen += n
-		if seen > rank {
-			return BucketHigh(i)
+		if n == 0 {
+			continue
 		}
+		last = i
+		if float64(seen+n) > r {
+			if i == 0 {
+				return 0 // bucket 0 holds v ≤ 0 only
+			}
+			lo := BucketHigh(i-1) + 1
+			hi := BucketHigh(i)
+			p := (r - float64(seen)) / float64(n)
+			if p < 0 {
+				p = 0
+			} else if p > 1 {
+				p = 1
+			}
+			return lo + int64(p*float64(hi-lo)+0.5)
+		}
+		seen += n
 	}
-	return BucketHigh(NumBuckets - 1)
+	// q == 1 (or float round-up past the last bucket): the maximum's bucket
+	// upper bound.
+	return BucketHigh(last)
 }
 
 // Snapshot is a point-in-time copy of a registry (or a merge of several
@@ -229,7 +257,7 @@ func (s *Snapshot) Report() string {
 	sort.Strings(names)
 	for _, name := range names {
 		h := s.Hists[name]
-		fmt.Fprintf(&b, "  %-52s n=%d avg=%.1f p50≤%d p99≤%d\n",
+		fmt.Fprintf(&b, "  %-52s n=%d avg=%.1f p50≈%d p99≈%d\n",
 			name, h.Count, h.Avg(), h.Quantile(0.50), h.Quantile(0.99))
 	}
 	return b.String()

@@ -29,6 +29,26 @@ func (t *Tracer) SetDumpWriter(w io.Writer) {
 	t.dumpW.Store(&dumpSink{w: w})
 }
 
+// dumpExtraFn is a supplemental section appended to every flight dump.
+type dumpExtraFn func(io.Writer)
+
+// SetDumpExtra registers a callback appended after the event table in every
+// Dump/DumpNow — the health monitor hangs its one-screen summary (status,
+// active alerts, worst-rank skew, top rates) here so stall forensics and
+// health state land in the same artifact. A nil fn removes it. The callback
+// runs on the dumping goroutine and must not itself dump.
+func (t *Tracer) SetDumpExtra(fn func(io.Writer)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.dumpExtra.Store(nil)
+		return
+	}
+	f := dumpExtraFn(fn)
+	t.dumpExtra.Store(&f)
+}
+
 // dumpRateLimit bounds how often DumpNow actually writes: stall detectors
 // can fire every housekeeping tick while wedged, and one dump per second
 // already captures the whole ring.
@@ -66,6 +86,7 @@ func (t *Tracer) Dump(w io.Writer, reason string) {
 		t.rank, len(events), reason)
 	if len(events) == 0 {
 		fmt.Fprintf(w, "(ring empty)\n")
+		t.dumpExtraTo(w)
 		return
 	}
 	base := events[0].TS
@@ -84,5 +105,12 @@ func (t *Tracer) Dump(w io.Writer, reason string) {
 		fmt.Fprintf(w, "%12.1f  %-13s %5s %5s %8d %8d  %s\n",
 			float64(e.TS-base)/1e3, e.Type.String(), peer,
 			protoName(e.Proto), e.Size, e.Arg, msgid)
+	}
+	t.dumpExtraTo(w)
+}
+
+func (t *Tracer) dumpExtraTo(w io.Writer) {
+	if fn := t.dumpExtra.Load(); fn != nil {
+		(*fn)(w)
 	}
 }

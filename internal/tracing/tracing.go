@@ -231,9 +231,10 @@ type Tracer struct {
 	mask   uint64
 	shards [numShards]ringShard
 
-	dumpMu   sync.Mutex
-	dumpW    atomic.Pointer[dumpSink]
-	lastDump atomic.Int64 // UnixNano of the last rate-limited DumpNow
+	dumpMu    sync.Mutex
+	dumpW     atomic.Pointer[dumpSink]
+	dumpExtra atomic.Pointer[dumpExtraFn]
+	lastDump  atomic.Int64 // UnixNano of the last rate-limited DumpNow
 }
 
 // DefaultShardCap is the default per-shard ring capacity in events. 16
