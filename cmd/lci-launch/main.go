@@ -51,6 +51,7 @@ import (
 	"lcigraph/internal/comm"
 	"lcigraph/internal/graph"
 	"lcigraph/internal/health"
+	"lcigraph/internal/incident"
 	"lcigraph/internal/launch"
 	"lcigraph/internal/netfabric"
 	"lcigraph/internal/partition"
@@ -79,6 +80,8 @@ type options struct {
 	traceOut    string
 	opsLog      string
 	injectStall string
+	incidentDir string
+	profPeriod  string
 }
 
 func parseFlags() *options {
@@ -109,6 +112,10 @@ func parseFlags() *options {
 		"append health ops events (alerts, status changes) as JSONL to this file (rank 0)")
 	flag.StringVar(&o.injectStall, "inject-stall", "",
 		"fault injection rank:shard:after:dur — wedge that rank's progress shard for dur after the delay")
+	flag.StringVar(&o.incidentDir, "incident-dir", "",
+		"write alert/on-demand incident bundles (cross-rank postmortem evidence) into this directory")
+	flag.StringVar(&o.profPeriod, "profile-period", "",
+		"continuous-profiling sampling period (e.g. 60s; 0 disables; default 60s with -incident-dir)")
 	flag.Parse()
 	return o
 }
@@ -137,6 +144,18 @@ func parent(o *options) int {
 	// progress-shard set in every rank.
 	if o.shards > 0 {
 		os.Setenv(netfabric.EnvEndpointShards, strconv.Itoa(o.shards))
+	}
+	// Same inheritance route for incident capture: the directory (and the
+	// optional continuous-profiling cadence) reach every rank via env.
+	if o.incidentDir != "" {
+		if err := os.MkdirAll(o.incidentDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "lci-launch:", err)
+			return 2
+		}
+		os.Setenv(incident.EnvIncidentDir, o.incidentDir)
+	}
+	if o.profPeriod != "" {
+		os.Setenv(incident.EnvProfilePeriod, o.profPeriod)
 	}
 
 	// With -metrics-addr the parent also pre-binds one TCP listener per
@@ -185,13 +204,23 @@ func child(o *options) int {
 	reg := telemetry.New(rank) // honors LCI_NO_TELEMETRY
 	prov.RegisterMetrics(reg)
 	tr := tracing.Default() // nil unless LCI_TRACE (the parent sets it for -trace-out)
-	tr.NotifySIGQUIT()
 	mon := health.New(health.Options{
 		Rank: rank, Ranks: size, Reg: reg, Tracer: tr,
 		OpsLogPath: os.Getenv(health.EnvOpsLog),
 	})
+	rec := incident.FromEnv(rank, size, reg, tr, mon)
+	if rec != nil {
+		// The recorder's SIGQUIT handler subsumes the flight-record dump
+		// (it dumps, then writes an emergency bundle, then re-raises).
+		rec.NotifySignals()
+		mon.SetAlertHook(rec.OnAlert)
+		mon.SetPumpHook(rec.Pump)
+		rec.Start()
+	} else {
+		tr.NotifySIGQUIT()
+	}
 	mon.Start()
-	srv := launch.ServeMetrics(reg, tr, mon, rank)
+	srv := launch.ServeMetrics(reg, tr, mon, rec, rank)
 
 	g := graph.Named(o.graph, o.scale, o.seed)
 	pt := partition.Build(g, size, partition.VertexCut)
@@ -207,6 +236,7 @@ func child(o *options) int {
 	var mergedTrace []byte
 	cluster.RunRank(rank, size, o.threads, layer, func(h *cluster.Host) {
 		mon.Bind(h.Layer)
+		rec.Bind(h.Layer)
 		for it := 0; it < o.repeat; it++ {
 			for _, app := range appList {
 				app = strings.TrimSpace(app)
@@ -272,7 +302,9 @@ func child(o *options) int {
 			}
 		}
 		// Stop judging before RunRank tears the layer down: a stopped
-		// progress loop is indistinguishable from a wedged one.
+		// progress loop is indistinguishable from a wedged one. The
+		// recorder goes first so no capture posts on a dying layer.
+		rec.Close()
 		mon.Close()
 	})
 

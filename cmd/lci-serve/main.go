@@ -46,6 +46,7 @@ import (
 	"lcigraph/internal/comm"
 	"lcigraph/internal/graph"
 	"lcigraph/internal/health"
+	"lcigraph/internal/incident"
 	"lcigraph/internal/launch"
 	"lcigraph/internal/netfabric"
 	"lcigraph/internal/partition"
@@ -70,6 +71,8 @@ type options struct {
 	trace       bool
 	opsLog      string
 	injectStall string
+	incidentDir string
+	profPeriod  string
 
 	maxInFlight  int
 	maxPerClient int
@@ -106,6 +109,10 @@ func parseFlags() *options {
 		"append health ops events (alerts, status changes) as JSONL to this file (rank 0)")
 	flag.StringVar(&o.injectStall, "inject-stall", "",
 		"fault injection rank:shard:after:dur — wedge that rank's progress shard for dur after the delay")
+	flag.StringVar(&o.incidentDir, "incident-dir", "",
+		"write alert/on-demand incident bundles (cross-rank postmortem evidence) into this directory")
+	flag.StringVar(&o.profPeriod, "profile-period", "",
+		"continuous-profiling sampling period (e.g. 60s; 0 disables; default 60s with -incident-dir)")
 	flag.IntVar(&o.maxInFlight, "max-inflight", 0, "admission: max resident queries (0 = default)")
 	flag.IntVar(&o.maxPerClient, "max-per-client", 0, "admission: max resident queries per client (0 = default)")
 	flag.IntVar(&o.cacheSize, "cache", 0, "result-cache entries (0 = default)")
@@ -148,6 +155,17 @@ func parent(o *options) int {
 	// netfabric reader group and the LCI progress shards in every rank.
 	if o.shards > 0 {
 		os.Setenv(netfabric.EnvEndpointShards, strconv.Itoa(o.shards))
+	}
+	// Same inheritance route for incident capture.
+	if o.incidentDir != "" {
+		if err := os.MkdirAll(o.incidentDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "lci-serve:", err)
+			return 2
+		}
+		os.Setenv(incident.EnvIncidentDir, o.incidentDir)
+	}
+	if o.profPeriod != "" {
+		os.Setenv(incident.EnvProfilePeriod, o.profPeriod)
 	}
 
 	// Soak mode scrapes the cache counters from rank 0's live telemetry, so
@@ -326,13 +344,21 @@ func child(o *options) int {
 	reg := telemetry.New(rank) // honors LCI_NO_TELEMETRY
 	prov.RegisterMetrics(reg)
 	tr := tracing.Default() // nil unless LCI_TRACE (the parent sets it for -trace)
-	tr.NotifySIGQUIT()
 	mon := health.New(health.Options{
 		Rank: rank, Ranks: size, Reg: reg, Tracer: tr,
 		OpsLogPath: os.Getenv(health.EnvOpsLog),
 	})
+	rec := incident.FromEnv(rank, size, reg, tr, mon)
+	if rec != nil {
+		rec.NotifySignals() // subsumes the SIGQUIT flight-record dump
+		mon.SetAlertHook(rec.OnAlert)
+		mon.SetPumpHook(rec.Pump)
+		rec.Start()
+	} else {
+		tr.NotifySIGQUIT()
+	}
 	mon.Start()
-	msrv := launch.ServeMetrics(reg, tr, mon, rank)
+	msrv := launch.ServeMetrics(reg, tr, mon, rec, rank)
 
 	// Every rank builds the same partition deterministically; EdgeCut keeps
 	// a vertex's full out-neighborhood on its owner, which is what lets one
@@ -353,6 +379,7 @@ func child(o *options) int {
 	}
 	cluster.RunRank(rank, size, o.threads, layer, func(h *cluster.Host) {
 		mon.Bind(h.Layer)
+		rec.Bind(h.Layer)
 		s := serve.New(h, pt, cfg)
 		if rank == 0 {
 			ln, err := launch.InheritedListener(serveFDFromEnv())
@@ -376,7 +403,9 @@ func child(o *options) int {
 			s.Run()
 		}
 		// Stop judging before RunRank tears the layer down: a stopped
-		// progress loop is indistinguishable from a wedged one.
+		// progress loop is indistinguishable from a wedged one. The
+		// recorder goes first so no capture posts on a dying layer.
+		rec.Close()
 		mon.Close()
 	})
 

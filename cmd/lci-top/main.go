@@ -10,9 +10,12 @@
 //	lci-top -addr 127.0.0.1:9380             # refresh every second
 //	lci-top -addr 127.0.0.1:9380 -interval 250ms
 //	lci-top -addr 127.0.0.1:9380 -once       # one frame, no screen control (CI)
+//	lci-top -addr 127.0.0.1:9380 -once -json # raw /debug/health.json payload
 //
 // Exit code: with -once, 0 when the cluster judgment is OK and 1 otherwise,
-// so scripts can gate on it like /healthz.
+// so scripts can gate on it like /healthz. -json (implies -once) emits the
+// raw health payload instead of the rendered frame, for jq pipelines and
+// log archival; the exit-code contract is the same.
 package main
 
 import (
@@ -30,12 +33,14 @@ import (
 type payload struct {
 	View   health.View               `json:"view"`
 	Series map[string][]health.Point `json:"series"`
+	Links  map[string]string         `json:"links,omitempty"`
 }
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9380", "rank 0 telemetry endpoint (host:port)")
 	interval := flag.Duration("interval", time.Second, "refresh period")
 	once := flag.Bool("once", false, "render one frame without screen control and exit (CI-friendly)")
+	asJSON := flag.Bool("json", false, "emit the raw health payload as JSON and exit (implies -once)")
 	flag.Parse()
 
 	url := "http://" + *addr + "/debug/health.json"
@@ -45,10 +50,17 @@ func main() {
 		var frame string
 		if err != nil {
 			frame = fmt.Sprintf("lci-top: %v\n", err)
+		} else if *asJSON {
+			out, merr := json.MarshalIndent(p, "", "  ")
+			if merr != nil {
+				err, frame = merr, fmt.Sprintf("lci-top: %v\n", merr)
+			} else {
+				frame = string(out) + "\n"
+			}
 		} else {
 			frame = render(p)
 		}
-		if *once {
+		if *once || *asJSON {
 			fmt.Print(frame)
 			if err != nil || p.View.Status != health.StatusOK {
 				os.Exit(1)

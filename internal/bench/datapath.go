@@ -13,6 +13,7 @@ import (
 	"lcigraph/internal/comm"
 	"lcigraph/internal/fabric"
 	"lcigraph/internal/health"
+	"lcigraph/internal/incident"
 	"lcigraph/internal/telemetry"
 	"lcigraph/internal/tracing"
 )
@@ -27,6 +28,7 @@ type DatapathVariant struct {
 	Telemetry  bool   `json:"telemetry"`
 	Tracing    bool   `json:"tracing"`
 	Health     bool   `json:"health"`
+	Incident   bool   `json:"incident"`
 	Messages   int    `json:"messages"`
 
 	AllocsPerMsg float64 `json:"allocs_per_msg"`
@@ -81,6 +83,15 @@ type DatapathReport struct {
 	HealthOn          DatapathVariant `json:"health_on"`
 	HealthOverheadPct float64         `json:"health_overhead_pct"`
 
+	// IncidentOn re-runs the optimized configuration with the continuous
+	// profiler sampling at 100x the production duty cycle (20 ms CPU windows
+	// every 600 ms vs 2 s every 60 s), pricing what "always ready for a
+	// postmortem" costs the hot path: the SIGPROF interrupts during each
+	// window plus the ring bookkeeping. Same 3% leave-it-on budget
+	// (DESIGN.md §17).
+	IncidentOn          DatapathVariant `json:"incident_on"`
+	IncidentOverheadPct float64         `json:"incident_overhead_pct"`
+
 	AllocImprovement float64 `json:"alloc_improvement"` // baseline/optimized allocs per msg
 	FrameImprovement float64 `json:"frame_improvement"` // baseline/optimized frames per msg
 }
@@ -89,7 +100,7 @@ type DatapathReport struct {
 // perPeer messages of size bytes to every other host per epoch, received via
 // FinishFusedCount. One warm-up epoch populates the frame free-list and the
 // layers' internal buffers before measurement starts.
-func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele, trace, healthOn bool) DatapathVariant {
+func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele, trace, healthOn, incidentOn bool) DatapathVariant {
 	prof := fabric.TestProfile()
 	prof.DisableFramePool = !pool
 	fab := fabric.New(hosts, prof)
@@ -178,6 +189,21 @@ func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele, 
 		mon = health.New(health.Options{Rank: 0, Ranks: hosts, Interval: 10 * time.Millisecond, Reg: regs[0]})
 		mon.Start()
 	}
+	var rec *incident.Recorder
+	var recDir string
+	if incidentOn {
+		// 20 ms CPU windows every 600 ms is the production duty cycle (2 s
+		// per 60 s) at 100x cadence: several full StartCPUProfile/Stop
+		// cycles land inside a trial, so the SIGPROF cost is overstated,
+		// not hidden.
+		recDir, _ = os.MkdirTemp("", "lci-bench-incident-")
+		rec = incident.New(incident.Options{
+			Rank: 0, Ranks: 1, Dir: recDir, Reg: regs[0],
+			ProfilePeriod:   600 * time.Millisecond,
+			ProfileDuration: 20 * time.Millisecond,
+		})
+		rec.Start()
+	}
 	all := mkBufs(epochs)
 	framesBefore := frames()
 	var before, after runtime.MemStats
@@ -189,17 +215,22 @@ func runDatapathVariant(hosts, perPeer, size, epochs int, pool, coalesce, tele, 
 	}
 	wall := time.Since(start)
 	mon.Close()
+	rec.Close()
+	if recDir != "" {
+		os.RemoveAll(recDir)
+	}
 	runtime.ReadMemStats(&after)
 	framesAfter := frames()
 	net := NetStatsFromSnapshot(mergeRegistries(regs))
 
 	v := DatapathVariant{
-		Name:       variantName(pool, coalesce, tele, trace, healthOn),
+		Name:       variantName(pool, coalesce, tele, trace, healthOn, incidentOn),
 		FramePool:  pool,
 		Coalescing: coalesce,
 		Telemetry:  tele,
 		Tracing:    trace,
 		Health:     healthOn,
+		Incident:   incidentOn,
 		Messages:   hosts * (hosts - 1) * perPeer * epochs,
 	}
 	msgs := float64(v.Messages)
@@ -228,7 +259,7 @@ func medianVariant(vs []DatapathVariant) DatapathVariant {
 	return sorted[len(sorted)/2]
 }
 
-func variantName(pool, coalesce, tele, trace, healthOn bool) string {
+func variantName(pool, coalesce, tele, trace, healthOn, incidentOn bool) string {
 	var name string
 	switch {
 	case pool && coalesce:
@@ -248,6 +279,9 @@ func variantName(pool, coalesce, tele, trace, healthOn bool) string {
 	}
 	if healthOn {
 		name += ",health"
+	}
+	if incidentOn {
+		name += ",profiling"
 	}
 	return name
 }
@@ -269,7 +303,7 @@ func Datapath(hosts, perPeer, size, epochs int) DatapathReport {
 		epochs = 25
 	}
 	r := DatapathReport{Hosts: hosts, PerPeer: perPeer, MsgSize: size, Epochs: epochs}
-	r.Baseline = runDatapathVariant(hosts, perPeer, size, epochs, false, false, true, false, false)
+	r.Baseline = runDatapathVariant(hosts, perPeer, size, epochs, false, false, true, false, false, false)
 	// The on/off delta is a few ns/msg, so each trial must run long enough
 	// that scheduler jitter amortizes: ~10 ms trials swing ±15% run to run.
 	ovEpochs := epochs
@@ -280,22 +314,27 @@ func Datapath(hosts, perPeer, size, epochs int) DatapathReport {
 	offT := make([]DatapathVariant, overheadTrials)
 	trcT := make([]DatapathVariant, overheadTrials)
 	hlT := make([]DatapathVariant, overheadTrials)
+	incT := make([]DatapathVariant, overheadTrials)
 	ratios := make([]float64, overheadTrials)
 	trcRatios := make([]float64, overheadTrials)
 	hlRatios := make([]float64, overheadTrials)
+	incRatios := make([]float64, overheadTrials)
 	for i := range onT {
-		onT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, false, false)
-		offT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, false, false, false)
-		trcT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, true, false)
-		hlT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, false, true)
+		onT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, false, false, false)
+		offT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, false, false, false, false)
+		trcT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, true, false, false)
+		hlT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, false, true, false)
+		incT[i] = runDatapathVariant(hosts, perPeer, size, ovEpochs, true, true, true, false, false, true)
 		ratios[i] = onT[i].NsPerMsg / offT[i].NsPerMsg
 		trcRatios[i] = trcT[i].NsPerMsg / onT[i].NsPerMsg
 		hlRatios[i] = hlT[i].NsPerMsg / onT[i].NsPerMsg
+		incRatios[i] = incT[i].NsPerMsg / onT[i].NsPerMsg
 	}
 	r.Optimized = medianVariant(onT)
 	r.TelemetryOff = medianVariant(offT)
 	r.TracingOn = medianVariant(trcT)
 	r.HealthOn = medianVariant(hlT)
+	r.IncidentOn = medianVariant(incT)
 	// Overhead is the median of the per-pair ratios, not the ratio of
 	// medians: the two runs of a pair are adjacent in time, so slow machine
 	// drift hits both and divides out.
@@ -305,6 +344,8 @@ func Datapath(hosts, perPeer, size, epochs int) DatapathReport {
 	r.TracingOverheadPct = (trcRatios[len(trcRatios)/2] - 1) * 100
 	sort.Float64s(hlRatios)
 	r.HealthOverheadPct = (hlRatios[len(hlRatios)/2] - 1) * 100
+	sort.Float64s(incRatios)
+	r.IncidentOverheadPct = (incRatios[len(incRatios)/2] - 1) * 100
 	if r.Optimized.AllocsPerMsg > 0 {
 		r.AllocImprovement = r.Baseline.AllocsPerMsg / r.Optimized.AllocsPerMsg
 	}
@@ -321,7 +362,7 @@ func (r DatapathReport) Table() string {
 		r.Hosts, r.PerPeer, r.MsgSize, r.Epochs, r.Baseline.Messages, r.Optimized.Messages)
 	fmt.Fprintf(&b, "%-28s %12s %14s %12s %10s\n",
 		"variant", "allocs/msg", "alloc B/msg", "frames/msg", "ns/msg")
-	for _, v := range []DatapathVariant{r.Baseline, r.Optimized, r.TelemetryOff, r.TracingOn, r.HealthOn} {
+	for _, v := range []DatapathVariant{r.Baseline, r.Optimized, r.TelemetryOff, r.TracingOn, r.HealthOn, r.IncidentOn} {
 		fmt.Fprintf(&b, "%-28s %12.2f %14.1f %12.3f %10.0f\n",
 			v.Name, v.AllocsPerMsg, v.BytesPerMsg, v.FramesPerMsg, v.NsPerMsg)
 	}
@@ -345,6 +386,13 @@ func (r DatapathReport) Table() string {
 	if r.HealthOverheadPct > 3 {
 		fmt.Fprintf(&b, "WARNING: health sampling overhead %.1f%% exceeds the 3%% leave-it-on budget\n",
 			r.HealthOverheadPct)
+	}
+	fmt.Fprintf(&b, "continuous profiling overhead at %dB: %+.1f%% ns/msg at 20ms windows per 600ms "+
+		"(production cadence is 2s per 60s)\n",
+		r.MsgSize, r.IncidentOverheadPct)
+	if r.IncidentOverheadPct > 3 {
+		fmt.Fprintf(&b, "WARNING: continuous profiling overhead %.1f%% exceeds the 3%% leave-it-on budget\n",
+			r.IncidentOverheadPct)
 	}
 	return b.String()
 }

@@ -45,18 +45,19 @@ func TestDatapathReport(t *testing.T) {
 // epoch under each data-path configuration (go test -bench Datapath -benchmem).
 func BenchmarkDatapath(b *testing.B) {
 	for _, v := range []struct {
-		name                                string
-		pool, coalesce, tele, trace, health bool
+		name                                          string
+		pool, coalesce, tele, trace, health, incident bool
 	}{
-		{"baseline", false, false, true, false, false},
-		{"pooled", true, false, true, false, false},
-		{"pooled+coalesced", true, true, true, false, false},
-		{"pooled+coalesced/no-telemetry", true, true, false, false, false},
-		{"pooled+coalesced/tracing", true, true, true, true, false},
-		{"pooled+coalesced/health", true, true, true, false, true},
+		{"baseline", false, false, true, false, false, false},
+		{"pooled", true, false, true, false, false, false},
+		{"pooled+coalesced", true, true, true, false, false, false},
+		{"pooled+coalesced/no-telemetry", true, true, false, false, false, false},
+		{"pooled+coalesced/tracing", true, true, true, true, false, false},
+		{"pooled+coalesced/health", true, true, true, false, true, false},
+		{"pooled+coalesced/profiling", true, true, true, false, false, true},
 	} {
 		b.Run(v.name, func(b *testing.B) {
-			r := runDatapathVariant(4, 64, 64, b.N, v.pool, v.coalesce, v.tele, v.trace, v.health)
+			r := runDatapathVariant(4, 64, 64, b.N, v.pool, v.coalesce, v.tele, v.trace, v.health, v.incident)
 			b.ReportMetric(r.AllocsPerMsg, "allocs/msg")
 			b.ReportMetric(r.FramesPerMsg, "frames/msg")
 			b.ReportMetric(r.NsPerMsg, "ns/msg")

@@ -39,9 +39,18 @@ const ServeTagLo uint32 = 250
 // (internal/health): non-zero ranks post compact per-rank digests to rank 0
 // on this tag over the free-running comm layer, so rank 0 holds a
 // cluster-wide health view even when a peer's HTTP endpoint is unreachable.
-// It sits just below ServeTagLo and extends the reserved range downward to
-// [HealthTag, CollectiveTag].
+// It sits just below ServeTagLo.
 const HealthTag uint32 = 249
+
+// IncidentTag carries incident-capture control and evidence traffic
+// (internal/incident): capture requests fan out from rank 0 and every
+// rank's postmortem evidence blob (profiles, trace ring, metric snapshots)
+// rides back to rank 0 for bundling, all on the free-running comm layer —
+// the same transport the incident is about, which is exactly why evidence
+// shipping must not depend on a second control plane being healthy. It
+// extends the reserved range downward to [IncidentTag, CollectiveTag];
+// frameworks must allocate their field tags strictly below IncidentTag.
+const IncidentTag uint32 = 248
 
 // Host is one host's context inside a job.
 type Host struct {

@@ -73,6 +73,7 @@ func (m *Monitor) judgeLocked(now time.Time, a Alert, bad bool) {
 			st.active = true
 			st.enter = 0
 			m.firedTotal++
+			m.pendingFired = append(m.pendingFired, a)
 			m.ops.Event("alert_fired", opsAlertFields(a))
 		}
 		return

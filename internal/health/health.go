@@ -232,7 +232,63 @@ type Monitor struct {
 	// by the ticker.
 	hb pumpState
 
+	// alertHook (func(Alert)) and pumpHook (func()) let the incident
+	// recorder observe alert latches and ride the existing Pump call sites
+	// in abelian/serve without new wiring there. Hooks fire outside mu.
+	alertHook atomic.Value
+	pumpHook  atomic.Value
+
+	// pendingFired collects alerts latched under mu this tick; sample()
+	// fires them to the alert hook after unlock so the hook may call back
+	// into the monitor.
+	pendingFired []Alert
+
 	ops *OpsLog
+}
+
+// SetAlertHook registers fn to be called (outside the monitor's lock) each
+// time an alert episode latches — locally or, on rank 0, via a peer digest.
+// One hook; nil clears it. The incident recorder uses this as its trigger.
+func (m *Monitor) SetAlertHook(fn func(Alert)) {
+	if m == nil {
+		return
+	}
+	m.alertHook.Store(fn)
+}
+
+// SetPumpHook registers fn to be called at the top of every Pump, on the
+// layer-owning goroutine. One hook; nil clears it. The incident recorder
+// rides this to drive its own reserved-tag traffic through the call sites
+// that already pump the monitor.
+func (m *Monitor) SetPumpHook(fn func()) {
+	if m == nil {
+		return
+	}
+	m.pumpHook.Store(fn)
+}
+
+func (m *Monitor) fireAlertHook(alerts []Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	hook, _ := m.alertHook.Load().(func(Alert))
+	if hook == nil {
+		return
+	}
+	for _, a := range alerts {
+		hook(a)
+	}
+}
+
+// OpsEvent appends one structured event to the monitor's ops log (nil-safe,
+// no-op without a configured log). The incident recorder announces bundle
+// writes through it so captures land in the same durable JSONL stream as
+// the alerts that triggered them.
+func (m *Monitor) OpsEvent(kind string, fields map[string]any) {
+	if m == nil {
+		return
+	}
+	m.ops.Event(kind, fields)
 }
 
 // New builds a monitor. Call Start to begin sampling and Close to stop.
@@ -424,12 +480,15 @@ func (m *Monitor) sample(now time.Time) {
 	}
 	m.prev, m.prevAt = snap, now
 	newStatus := m.statusLocked(now)
+	fired := m.pendingFired
+	m.pendingFired = nil
 	m.mu.Unlock()
 	if newStatus != prevStatus {
 		m.ops.Event("status_changed", map[string]any{
 			"rank": m.opt.Rank, "from": prevStatus.String(), "to": newStatus.String(),
 		})
 	}
+	m.fireAlertHook(fired)
 }
 
 // deriveSeries folds one snapshot delta into the ring-buffer series:

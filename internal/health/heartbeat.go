@@ -70,6 +70,9 @@ func (m *Monitor) Pump() {
 	if m == nil {
 		return
 	}
+	if hook, _ := m.pumpHook.Load().(func()); hook != nil {
+		hook()
+	}
 	now := time.Now()
 	m.lastPumpNs.Store(now.UnixNano())
 	m.hb.firstPumpNs.CompareAndSwap(0, now.UnixNano())
@@ -174,5 +177,6 @@ func (m *Monitor) drainDigests(now time.Time) {
 		for _, a := range fired {
 			m.ops.Event("alert_fired", opsAlertFields(a))
 		}
+		m.fireAlertHook(fired)
 	}
 }

@@ -165,21 +165,41 @@ func (m *Monitor) rank() int {
 	return m.opt.Rank
 }
 
-// ServeJSON is the /debug/health.json handler: the full view plus every
-// time series, the payload lci-top polls.
-func (m *Monitor) ServeJSON(w http.ResponseWriter, _ *http.Request) {
-	v := m.View()
-	series := map[string][]Point{}
+// DebugPayload is the full /debug/health.json body: the judgment view,
+// every ring-buffer time series, and links to the sibling debug endpoints
+// an operator reaches next. The incident recorder embeds the identical
+// payload in every evidence set, so a bundle's health.json and the live
+// endpoint read the same.
+type DebugPayload struct {
+	View   View               `json:"view"`
+	Series map[string][]Point `json:"series"`
+	Links  map[string]string  `json:"links,omitempty"`
+}
+
+// DebugJSON assembles the payload ServeJSON writes.
+func (m *Monitor) DebugJSON() DebugPayload {
+	p := DebugPayload{
+		View:   m.View(),
+		Series: map[string][]Point{},
+		Links: map[string]string{
+			"stacks":           "/debug/stacks",
+			"incident_capture": "/debug/incident/capture",
+			"pprof":            "/debug/pprof/",
+		},
+	}
 	if m != nil {
 		m.mu.Lock()
 		for name, s := range m.series {
-			series[name] = s.Points()
+			p.Series[name] = s.Points()
 		}
 		m.mu.Unlock()
 	}
+	return p
+}
+
+// ServeJSON is the /debug/health.json handler: the full view plus every
+// time series, the payload lci-top polls.
+func (m *Monitor) ServeJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
-		View   View               `json:"view"`
-		Series map[string][]Point `json:"series"`
-	}{v, series})
+	json.NewEncoder(w).Encode(m.DebugJSON())
 }

@@ -1,0 +1,56 @@
+package incident
+
+import (
+	"sync"
+	"time"
+)
+
+// guard is the single-flight capture latch. Three independent paths want to
+// capture evidence — the SIGQUIT emergency dump, alert-triggered captures,
+// and on-demand captures (HTTP / SIGUSR1) — and an incident tends to fire
+// all of them within the same second. Exactly one capture may run at a
+// time; late arrivals coalesce into the running one instead of stacking 2s
+// CPU profiles, and a cooldown keeps a flapping detector from turning the
+// recorder into a profile treadmill.
+type guard struct {
+	mu        sync.Mutex
+	busy      bool
+	lastEndNs int64
+
+	captures  int64 // captures actually started
+	coalesced int64 // attempts absorbed by a running capture or the cooldown
+}
+
+// begin claims the capture slot. force skips the cooldown (rank 0 already
+// applied cluster-wide pacing before broadcasting a capture order) but never
+// a running capture. ok=false means the attempt coalesced.
+func (g *guard) begin(now time.Time, cooldown time.Duration, force bool) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.busy {
+		g.coalesced++
+		return false
+	}
+	if !force && g.lastEndNs != 0 && now.UnixNano()-g.lastEndNs < cooldown.Nanoseconds() {
+		g.coalesced++
+		return false
+	}
+	g.busy = true
+	g.captures++
+	return true
+}
+
+// end releases the slot and starts the cooldown window.
+func (g *guard) end(now time.Time) {
+	g.mu.Lock()
+	g.busy = false
+	g.lastEndNs = now.UnixNano()
+	g.mu.Unlock()
+}
+
+// stats returns (captures started, attempts coalesced).
+func (g *guard) stats() (int64, int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.captures, g.coalesced
+}

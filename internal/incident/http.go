@@ -1,0 +1,68 @@
+package incident
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// statusPayload is the /debug/incident body.
+type statusPayload struct {
+	Enabled    bool   `json:"enabled"`
+	Rank       int    `json:"rank"`
+	Ranks      int    `json:"ranks"`
+	Dir        string `json:"dir,omitempty"`
+	Captures   int64  `json:"captures"`
+	Coalesced  int64  `json:"coalesced"`
+	Bundles    int64  `json:"bundles"`
+	LastBundle string `json:"last_bundle,omitempty"`
+	Continuous []struct {
+		Kind   string `json:"kind"`
+		WallNs int64  `json:"wall_ns"`
+		Bytes  int    `json:"bytes"`
+	} `json:"continuous_profiles"`
+}
+
+// ServeStatus is the /debug/incident handler: capture counters, the last
+// bundle path, and the continuous-profiling ring's inventory.
+func (r *Recorder) ServeStatus(w http.ResponseWriter, _ *http.Request) {
+	p := statusPayload{}
+	if r != nil {
+		p.Enabled = true
+		p.Rank, p.Ranks, p.Dir = r.opt.Rank, r.opt.Ranks, r.opt.Dir
+		p.Captures, p.Coalesced, p.Bundles = r.Stats()
+		p.LastBundle = r.LastBundle()
+		for _, e := range r.ProfileEntries() {
+			p.Continuous = append(p.Continuous, struct {
+				Kind   string `json:"kind"`
+				WallNs int64  `json:"wall_ns"`
+				Bytes  int    `json:"bytes"`
+			}{e.Kind, e.WallNs, len(e.Data)})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(p)
+}
+
+// ServeCapture is the /debug/incident/capture handler: requests an
+// on-demand capture and reports whether it was accepted or coalesced. The
+// capture itself runs asynchronously; poll /debug/incident for the bundle
+// path.
+func (r *Recorder) ServeCapture(w http.ResponseWriter, req *http.Request) {
+	accepted := r.TriggerCapture("manual", "via /debug/incident/capture from "+req.RemoteAddr)
+	w.Header().Set("Content-Type", "application/json")
+	if r == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{
+			"accepted": false, "error": "incident capture disabled (no -incident-dir)",
+		})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"accepted":      accepted,
+		"coalesced":     !accepted,
+		"requested_at":  time.Now().UnixNano(),
+		"last_bundle":   r.LastBundle(),
+		"gather_budget": r.opt.GatherTimeout.String(),
+	})
+}

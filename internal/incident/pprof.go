@@ -1,0 +1,310 @@
+package incident
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Minimal decoder for the pprof profile.proto format (gzip + protobuf).
+// The repo carries no dependencies, so the few fields the analyzer needs —
+// sample types, sample values with their location chains, and the
+// location→line→function→name resolution for symbol attribution — are
+// decoded by hand. Unknown fields are skipped per protobuf wire rules, so
+// profiles from any Go runtime version parse.
+
+// Profile is the decoded subset of a pprof profile.
+type Profile struct {
+	SampleTypes []string // e.g. ["samples", "cpu"] — type names only
+	TimeNs      int64
+	DurationNs  int64
+	Samples     []ProfSample
+	locLines    map[uint64][]uint64 // location id → function ids, leaf line first
+	funcNames   map[uint64]string   // function id → name
+}
+
+// ProfSample is one sample: its location chain (leaf first) and one value
+// per sample type.
+type ProfSample struct {
+	LocIDs []uint64
+	Values []int64
+}
+
+// protobuf wire types.
+const (
+	wireVarint = 0
+	wire64     = 1
+	wireBytes  = 2
+	wire32     = 5
+)
+
+func readVarint(b []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("truncated varint")
+}
+
+// walkFields iterates a protobuf message's fields, calling fn with each
+// field number and its payload (varint value, or byte slice for
+// length-delimited fields).
+func walkFields(b []byte, fn func(field int, wire int, v uint64, raw []byte) error) error {
+	for len(b) > 0 {
+		key, n, err := readVarint(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case wireVarint:
+			v, n, err := readVarint(b)
+			if err != nil {
+				return err
+			}
+			b = b[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case wire64:
+			if len(b) < 8 {
+				return fmt.Errorf("truncated fixed64")
+			}
+			b = b[8:]
+		case wireBytes:
+			ln, n, err := readVarint(b)
+			if err != nil {
+				return err
+			}
+			b = b[n:]
+			if uint64(len(b)) < ln {
+				return fmt.Errorf("truncated bytes field")
+			}
+			if err := fn(field, wire, 0, b[:ln]); err != nil {
+				return err
+			}
+			b = b[ln:]
+		case wire32:
+			if len(b) < 4 {
+				return fmt.Errorf("truncated fixed32")
+			}
+			b = b[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d", wire)
+		}
+	}
+	return nil
+}
+
+// packedVarints decodes a repeated-varint field that may arrive packed
+// (length-delimited) or as a single unpacked value.
+func packedVarints(wire int, v uint64, raw []byte, out []uint64) ([]uint64, error) {
+	if wire == wireVarint {
+		return append(out, v), nil
+	}
+	for len(raw) > 0 {
+		x, n, err := readVarint(raw)
+		if err != nil {
+			return out, err
+		}
+		raw = raw[n:]
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// ParseProfile decodes a (possibly gzipped) pprof profile.
+func ParseProfile(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, err
+		}
+		data = raw
+	}
+	p := &Profile{
+		locLines:  map[uint64][]uint64{},
+		funcNames: map[uint64]string{},
+	}
+	var strtab []string
+	var sampleTypeIdx []uint64
+	funcNameIdx := map[uint64]uint64{}
+	err := walkFields(data, func(field, wire int, v uint64, raw []byte) error {
+		switch field {
+		case 1: // ValueType sample_type
+			return walkFields(raw, func(f, w int, vv uint64, _ []byte) error {
+				if f == 1 && w == wireVarint {
+					sampleTypeIdx = append(sampleTypeIdx, vv)
+				}
+				return nil
+			})
+		case 2: // Sample
+			var s ProfSample
+			err := walkFields(raw, func(f, w int, vv uint64, rr []byte) error {
+				var err error
+				switch f {
+				case 1: // location_id
+					s.LocIDs, err = packedVarints(w, vv, rr, s.LocIDs)
+				case 2: // value
+					var vals []uint64
+					vals, err = packedVarints(w, vv, rr, nil)
+					for _, x := range vals {
+						s.Values = append(s.Values, int64(x))
+					}
+				}
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			p.Samples = append(p.Samples, s)
+		case 4: // Location
+			var id uint64
+			var fns []uint64
+			err := walkFields(raw, func(f, w int, vv uint64, rr []byte) error {
+				switch f {
+				case 1:
+					id = vv
+				case 4: // Line
+					return walkFields(rr, func(lf, lw int, lv uint64, _ []byte) error {
+						if lf == 1 && lw == wireVarint {
+							fns = append(fns, lv)
+						}
+						return nil
+					})
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			p.locLines[id] = fns
+		case 5: // Function
+			var id, nameIdx uint64
+			err := walkFields(raw, func(f, w int, vv uint64, _ []byte) error {
+				switch f {
+				case 1:
+					id = vv
+				case 2:
+					nameIdx = vv
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			// Resolved after the walk: proto offers no field-order guarantee,
+			// so the string table may follow the functions.
+			funcNameIdx[id] = nameIdx
+		case 6: // string_table
+			strtab = append(strtab, string(raw))
+		case 9:
+			p.TimeNs = int64(v)
+		case 10:
+			p.DurationNs = int64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Second pass: resolve stashed string-table indices.
+	resolve := func(idx uint64) string {
+		if idx < uint64(len(strtab)) {
+			return strtab[idx]
+		}
+		return fmt.Sprintf("?str%d", idx)
+	}
+	for _, idx := range sampleTypeIdx {
+		p.SampleTypes = append(p.SampleTypes, resolve(idx))
+	}
+	for id, nameIdx := range funcNameIdx {
+		p.funcNames[id] = resolve(nameIdx)
+	}
+	return p, nil
+}
+
+// leafSymbol names a sample's leaf frame: the first location's first line's
+// function (pprof stores stacks leaf-first).
+func (p *Profile) leafSymbol(s ProfSample) string {
+	for _, loc := range s.LocIDs {
+		fns := p.locLines[loc]
+		if len(fns) == 0 {
+			continue
+		}
+		if name, ok := p.funcNames[fns[0]]; ok && name != "" {
+			return name
+		}
+	}
+	return "(unknown)"
+}
+
+// valueIndex picks which sample value to aggregate: the one whose type name
+// matches want, else the last (pprof convention: the default measurement).
+func (p *Profile) valueIndex(want string) int {
+	for i, t := range p.SampleTypes {
+		if t == want {
+			return i
+		}
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// SymbolValue is one row of a flat-symbol aggregation.
+type SymbolValue struct {
+	Symbol string
+	Value  int64
+}
+
+// FlatSymbols aggregates the named sample value by leaf symbol, descending.
+// For CPU profiles want is "cpu" (nanoseconds); for goroutine profiles the
+// count is the only value.
+func (p *Profile) FlatSymbols(want string) []SymbolValue {
+	idx := p.valueIndex(want)
+	if idx < 0 {
+		return nil
+	}
+	agg := map[string]int64{}
+	for _, s := range p.Samples {
+		if idx >= len(s.Values) {
+			continue
+		}
+		agg[p.leafSymbol(s)] += s.Values[idx]
+	}
+	out := make([]SymbolValue, 0, len(agg))
+	for sym, v := range agg {
+		out = append(out, SymbolValue{sym, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Symbol < out[j].Symbol
+	})
+	return out
+}
+
+// Total sums the named sample value across all samples.
+func (p *Profile) Total(want string) int64 {
+	idx := p.valueIndex(want)
+	if idx < 0 {
+		return 0
+	}
+	var t int64
+	for _, s := range p.Samples {
+		if idx < len(s.Values) {
+			t += s.Values[idx]
+		}
+	}
+	return t
+}

@@ -1,0 +1,161 @@
+package incident
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// procStart anchors the monotonic clock shipped in evidence metadata: every
+// rank reports wall time plus nanoseconds since its own process start, so
+// the analyzer can correct cross-rank wall-clock skew when aligning
+// timelines.
+var procStart = time.Now()
+
+func monoNs() int64 { return time.Since(procStart).Nanoseconds() }
+
+// cpuMu serializes CPU profiling process-wide: the Go runtime supports one
+// CPU profile at a time, and both the continuous profiler and a live
+// incident capture (plus, potentially, an operator hitting
+// /debug/pprof/profile) want it.
+var cpuMu sync.Mutex
+
+// captureCPU records a CPU profile of roughly d, honoring an optional early
+// cancel. A busy profiler (endpoint scrape in flight) returns the runtime's
+// error rather than blocking the incident.
+func captureCPU(d time.Duration, cancel <-chan struct{}) ([]byte, error) {
+	cpuMu.Lock()
+	defer cpuMu.Unlock()
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, err
+	}
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+	case <-cancel:
+		t.Stop()
+	}
+	pprof.StopCPUProfile()
+	return buf.Bytes(), nil
+}
+
+// lookupProfile renders a named runtime profile (heap, goroutine, mutex) in
+// gzip+protobuf form.
+func lookupProfile(name string) []byte {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 0); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// ProfileEntry is one archived continuous-profiling sample.
+type ProfileEntry struct {
+	Kind   string `json:"kind"` // "cpu" | "goroutine"
+	WallNs int64  `json:"wall_ns"`
+	MonoNs int64  `json:"mono_ns"`
+	Data   []byte `json:"-"`
+}
+
+// profiler is the continuous-profiling loop: a short CPU profile plus a
+// goroutine snapshot every period, kept in a bounded ring. Its entire point
+// is the *pre*-incident baseline — when an alert latches, the bundle
+// already holds a profile from before things went wrong to diff the live
+// capture against, and a rank too wedged to run a live profile still
+// contributes its most recent archived one.
+type profiler struct {
+	period   time.Duration
+	duration time.Duration
+	keep     int
+
+	mu   sync.Mutex
+	ring []ProfileEntry // oldest first; bounded at keep entries per kind
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newProfiler(period, duration time.Duration, keep int) *profiler {
+	return &profiler{
+		period:   period,
+		duration: duration,
+		keep:     keep,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (p *profiler) start() { go p.run() }
+
+func (p *profiler) close() {
+	close(p.stop)
+	<-p.done
+}
+
+func (p *profiler) run() {
+	defer close(p.done)
+	// First sample immediately: the pre-incident guarantee must hold from
+	// process start, not one period in.
+	p.sampleOnce()
+	t := time.NewTicker(p.period)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.sampleOnce()
+		}
+	}
+}
+
+// sampleOnce archives one goroutine snapshot and one CPU window.
+func (p *profiler) sampleOnce() {
+	now := time.Now()
+	if g := lookupProfile("goroutine"); g != nil {
+		p.add(ProfileEntry{Kind: "goroutine", WallNs: now.UnixNano(), MonoNs: monoNs(), Data: g})
+	}
+	cpu, err := captureCPU(p.duration, p.stop)
+	if err == nil && len(cpu) > 0 {
+		p.add(ProfileEntry{Kind: "cpu", WallNs: now.UnixNano(), MonoNs: monoNs(), Data: cpu})
+	}
+}
+
+func (p *profiler) add(e ProfileEntry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ring = append(p.ring, e)
+	// Evict the oldest entry of e.Kind beyond the per-kind budget.
+	n := 0
+	for _, x := range p.ring {
+		if x.Kind == e.Kind {
+			n++
+		}
+	}
+	if n > p.keep {
+		for i, x := range p.ring {
+			if x.Kind == e.Kind {
+				p.ring = append(p.ring[:i], p.ring[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// entries returns the archived samples, oldest first.
+func (p *profiler) entries() []ProfileEntry {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProfileEntry, len(p.ring))
+	copy(out, p.ring)
+	return out
+}

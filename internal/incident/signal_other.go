@@ -1,0 +1,6 @@
+//go:build !unix
+
+package incident
+
+// NotifySignals is a no-op on platforms without SIGUSR1/SIGQUIT.
+func (r *Recorder) NotifySignals() {}

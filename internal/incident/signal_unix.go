@@ -1,0 +1,57 @@
+//go:build unix
+
+package incident
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// NotifySignals installs the recorder's signal handlers:
+//
+//   - SIGUSR1 requests an on-demand capture — the normal path through the
+//     trigger queue and, in multi-rank jobs, rank 0's gather.
+//   - SIGQUIT dumps the flight record (as tracing.NotifySIGQUIT would),
+//     then writes a local-only emergency bundle — without the live CPU
+//     profile, because the process is about to die; the continuous ring
+//     already holds recent CPU evidence — and re-raises, so the Go
+//     runtime's own goroutine dump and the process exit still happen.
+//     The bundle write shares the single-flight guard with alert and
+//     on-demand captures: if one is already running, SIGQUIT only dumps
+//     and re-raises.
+//
+// Call at most once per process, instead of (not in addition to)
+// tracing.NotifySIGQUIT. No-op on a nil recorder.
+func (r *Recorder) NotifySignals() {
+	if r == nil {
+		return
+	}
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for {
+			select {
+			case <-r.stop:
+				signal.Stop(usr1)
+				return
+			case <-usr1:
+				r.TriggerCapture("signal", "SIGUSR1")
+			}
+		}
+	}()
+
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		<-quit
+		r.opt.Tracer.Dump(os.Stderr, "SIGQUIT")
+		r.CaptureSync(Trigger{
+			Kind: "sigquit", Detail: "SIGQUIT emergency capture",
+			Rank: r.opt.Rank, AtNs: time.Now().UnixNano(),
+		}, false)
+		signal.Reset(syscall.SIGQUIT)
+		_ = syscall.Kill(os.Getpid(), syscall.SIGQUIT)
+	}()
+}

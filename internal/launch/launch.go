@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"lcigraph/internal/health"
+	"lcigraph/internal/incident"
 	"lcigraph/internal/netfabric"
 	"lcigraph/internal/telemetry"
 	"lcigraph/internal/tracing"
@@ -256,9 +257,12 @@ func (j *Job) closeBound() {
 // lifecycle tracer — on rank 0 the trace document merges every peer's,
 // scraped from their /debug/trace?local=1 — and, when a health monitor is
 // wired, /healthz (200 OK / 503 DEGRADED|UNHEALTHY) and /debug/health.json
-// (the judgment view plus every time series; what cmd/lci-top polls).
-// Returns nil when no listener was inherited. mon may be nil.
-func ServeMetrics(reg *telemetry.Registry, tr *tracing.Tracer, mon *health.Monitor, rank int) *http.Server {
+// (the judgment view plus every time series; what cmd/lci-top polls). With
+// an incident recorder wired, /debug/incident (capture status + continuous
+// profile inventory) and /debug/incident/capture (trigger an on-demand
+// cross-rank capture) join them. Returns nil when no listener was
+// inherited. mon and rec may be nil.
+func ServeMetrics(reg *telemetry.Registry, tr *tracing.Tracer, mon *health.Monitor, rec *incident.Recorder, rank int) *http.Server {
 	fdStr := os.Getenv(EnvMetricsFD)
 	if fdStr == "" {
 		return nil
@@ -288,6 +292,10 @@ func ServeMetrics(reg *telemetry.Registry, tr *tracing.Tracer, mon *health.Monit
 	if mon != nil {
 		mux.HandleFunc("/healthz", mon.ServeHealthz)
 		mux.HandleFunc("/debug/health.json", mon.ServeJSON)
+	}
+	if rec != nil {
+		mux.HandleFunc("/debug/incident", rec.ServeStatus)
+		mux.HandleFunc("/debug/incident/capture", rec.ServeCapture)
 	}
 	mux.Handle("/", telemetry.Handler(reg, clusterFn))
 	srv := &http.Server{Handler: mux}

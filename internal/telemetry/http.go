@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	runtimepprof "runtime/pprof"
+	"sync/atomic"
+	"time"
 )
 
 // Handler serves a registry over HTTP (the lci-launch -metrics-addr
@@ -50,7 +53,37 @@ func Handler(reg *Registry, cluster func() (*Snapshot, error)) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/stacks", ServeStacks)
 	return mux
+}
+
+// stacksLastNs is the last time /debug/stacks served a dump (UnixNano),
+// shared across handlers so the rate limit is process-wide.
+var stacksLastNs atomic.Int64
+
+// ServeStacks is the /debug/stacks handler: the full goroutine dump in
+// debug=2 text form — every goroutine with its complete stack, the thing an
+// operator wants first when a rank looks wedged. Walking every goroutine
+// stops the world, so the endpoint rate-limits itself to one dump per
+// second process-wide and answers 429 with Retry-After otherwise; a polling
+// dashboard pointed at it by mistake cannot turn the debug port into a
+// denial of service.
+func ServeStacks(w http.ResponseWriter, _ *http.Request) {
+	const minGap = time.Second
+	for {
+		last := stacksLastNs.Load()
+		now := time.Now().UnixNano()
+		if now-last < minGap.Nanoseconds() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "stack dumps are rate-limited to 1/s", http.StatusTooManyRequests)
+			return
+		}
+		if stacksLastNs.CompareAndSwap(last, now) {
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	runtimepprof.Lookup("goroutine").WriteTo(w, 2)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

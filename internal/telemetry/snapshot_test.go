@@ -220,3 +220,98 @@ func TestMergeShardLabeledHistograms(t *testing.T) {
 		t.Fatalf("merged buckets wrong: %v", h.Buckets[:12])
 	}
 }
+
+// TestQuantileExtremes pins q=0 and q=1: the minimum estimate must land at
+// the lower bound of the lowest occupied bucket and the maximum at the
+// upper bound of the highest occupied one — lci-incident's report prints
+// both ends of the latency distribution and must not invent values outside
+// the observed bucket range.
+func TestQuantileExtremes(t *testing.T) {
+	h := histOf([]int64{5, 6, 7, 100, 100, 3000}) // buckets 3 [4,7], 7 [64,127], 12 [2048,4095]
+	if got := h.Quantile(0); got != 4 {
+		t.Fatalf("Quantile(0) = %d, want 4 (lower bound of lowest occupied bucket)", got)
+	}
+	if got := h.Quantile(1); got != BucketHigh(12) {
+		t.Fatalf("Quantile(1) = %d, want %d (upper bound of highest occupied bucket)", got, BucketHigh(12))
+	}
+	// Every intermediate q stays inside the occupied range.
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if got := h.Quantile(q); got < 4 || got > BucketHigh(12) {
+			t.Fatalf("Quantile(%.2f) = %d escapes the occupied bucket range [4,%d]", q, got, BucketHigh(12))
+		}
+	}
+}
+
+// TestQuantileSingleBucket: with all mass in one bucket every quantile must
+// stay inside that bucket's span and remain monotone in q.
+func TestQuantileSingleBucket(t *testing.T) {
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = 512 + int64(i) // all in bucket 10: [512, 1023]
+	}
+	h := histOf(vals)
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		got := h.Quantile(q)
+		if got < 512 || got > 1023 {
+			t.Fatalf("single-bucket Quantile(%.1f) = %d, want within [512,1023]", q, got)
+		}
+		if got < prev {
+			t.Fatalf("single-bucket Quantile(%.1f) = %d < previous %d", q, got, prev)
+		}
+		prev = got
+	}
+	if got := h.Quantile(0); got != 512 {
+		t.Fatalf("single-bucket Quantile(0) = %d, want 512", got)
+	}
+	if got := h.Quantile(1); got != 1023 {
+		t.Fatalf("single-bucket Quantile(1) = %d, want 1023", got)
+	}
+}
+
+// TestMergeDisjointMetricSets: ranks running different subsystems (a serve
+// coordinator vs a worker, or a rank whose evidence predates a metric's
+// first use) contribute disjoint metric names; the merge must keep every
+// series with its own value and aggregation mode, not drop or cross-wire
+// them. lci-incident diff merges per-rank evidence snapshots exactly this
+// way.
+func TestMergeDisjointMetricSets(t *testing.T) {
+	r0 := NewEnabled(0)
+	r0.Counter("only_rank0_total").Add(5)
+	r0.GaugeFunc("only_rank0_depth", AggMax, func() int64 { return 3 })
+	r0.Histogram("only_rank0_bytes").Observe(64)
+	r1 := NewEnabled(1)
+	r1.Counter("only_rank1_total").Add(7)
+	r1.GaugeFunc("only_rank1_free", AggSum, func() int64 { return 2 })
+	r1.Histogram("only_rank1_bytes").Observe(128)
+
+	m := Merge(r0.Snapshot(), r1.Snapshot())
+	if m.Ranks != 2 {
+		t.Fatalf("ranks = %d, want 2", m.Ranks)
+	}
+	if got := m.Counter("only_rank0_total"); got != 5 {
+		t.Fatalf("rank-0-only counter = %d, want 5", got)
+	}
+	if got := m.Counter("only_rank1_total"); got != 7 {
+		t.Fatalf("rank-1-only counter = %d, want 7", got)
+	}
+	if got := m.Gauge("only_rank0_depth"); got != 3 {
+		t.Fatalf("rank-0-only gauge = %d, want 3", got)
+	}
+	if g := m.Gauges["only_rank0_depth"]; g.Agg != "max" {
+		t.Fatalf("rank-0-only gauge kept agg %q, want max", g.Agg)
+	}
+	if got := m.Gauge("only_rank1_free"); got != 2 {
+		t.Fatalf("rank-1-only gauge = %d, want 2", got)
+	}
+	if h := m.Hist("only_rank0_bytes"); h.Count != 1 || h.Sum != 64 {
+		t.Fatalf("rank-0-only hist = %+v", h)
+	}
+	if h := m.Hist("only_rank1_bytes"); h.Count != 1 || h.Sum != 128 {
+		t.Fatalf("rank-1-only hist = %+v", h)
+	}
+	// No series leaked into a name it was never registered under.
+	if _, ok := m.Counters["only_rank0_bytes"]; ok {
+		t.Fatal("histogram leaked into the counter map")
+	}
+}
